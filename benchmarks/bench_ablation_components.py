@@ -1,0 +1,38 @@
+"""Extension ablation: the full component grid on one target.
+
+Beyond the paper's Fig 5, this crosses SUFE and DAAN independently:
+full model / w/o SUFE / w/o DA / w/o both, isolating each module's
+contribution (DESIGN.md §4).
+"""
+
+from repro.evaluation.tables import format_series
+
+from common import FAST_CONFIG, PUBLIC_GROUP, emit, make_experiment
+
+VARIANTS = [
+    ("full", dict()),
+    ("w/o SUFE", dict(use_sufe=False)),
+    ("w/o DA", dict(use_da=False)),
+    ("w/o both", dict(use_sufe=False, use_da=False)),
+]
+
+
+def test_component_grid(benchmark):
+    experiment = make_experiment("bgl", PUBLIC_GROUP, seed=85)
+    experiment.prepare()
+
+    def run_grid():
+        return [
+            100.0 * experiment.run_logsynergy(
+                FAST_CONFIG, method_name=f"LogSynergy {name}", **kwargs
+            ).metrics.f1
+            for name, kwargs in VARIANTS
+        ]
+
+    f1s = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    emit("ablation_components", format_series(
+        "Extension: SUFE x DAAN component grid on BGL (F1 %)",
+        [name for name, _ in VARIANTS], {"F1": f1s}, x_label="variant",
+    ))
+    # Shape: the full model is not meaningfully beaten by stripped variants.
+    assert f1s[0] >= max(f1s[1:]) - 5.0, f"full model should lead (got {f1s})"

@@ -1,0 +1,41 @@
+"""Fig 4a: F1 vs the mutual-information loss weight λ_MI.
+
+Sweeps λ_MI over the paper's grid {0.001, 0.01, 0.05, 0.1, 0.5} on one
+target per dataset group.  Reproduction target (shape): performance is
+stable for small λ_MI and degrades as λ_MI grows large (the model starts
+sacrificing classification quality for disentanglement).
+"""
+
+from repro.evaluation.tables import format_series
+
+from common import FAST_CONFIG, ISP_GROUP, PUBLIC_GROUP, emit, make_experiment
+
+LAMBDA_GRID = [0.001, 0.01, 0.05, 0.1, 0.5]
+TARGETS = [("bgl", PUBLIC_GROUP), ("system_c", ISP_GROUP)]
+
+
+def test_fig4a_lambda_mi_sweep(benchmark):
+    def sweep():
+        series = {}
+        for target, group in TARGETS:
+            experiment = make_experiment(target, group, seed=40)
+            experiment.prepare()
+            f1s = []
+            for lambda_mi in LAMBDA_GRID:
+                config = FAST_CONFIG.with_overrides(lambda_mi=lambda_mi)
+                result = experiment.run_logsynergy(config)
+                f1s.append(100.0 * result.metrics.f1)
+            series[experiment.target] = f1s
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("fig4a", format_series(
+        "Fig 4a (reproduced): F1 vs lambda_MI", LAMBDA_GRID, series, x_label="lambda_MI"
+    ))
+    for target, f1s in series.items():
+        best_small = max(f1s[:2])   # lambda in {0.001, 0.01}
+        at_large = f1s[-1]          # lambda = 0.5
+        assert best_small >= at_large - 5.0, (
+            f"{target}: small lambda_MI should be at least as good as 0.5 "
+            f"(got {f1s})"
+        )

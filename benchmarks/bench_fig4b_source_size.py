@@ -1,0 +1,33 @@
+"""Fig 4b: F1 vs number of source-system training samples n_s.
+
+The paper sweeps n_s from 10,000 to 80,000 (step 10,000) and observes
+performance improving then stabilizing around 50,000.  At our 0.4 % data
+scale the grid maps to 140..1120 (step 140), stabilizing near 700.
+Reproduction target (shape): F1 rises with n_s and flattens.
+"""
+
+from repro.evaluation.tables import format_series
+
+from common import FAST_CONFIG, N_SOURCE, PUBLIC_GROUP, emit, make_experiment
+
+# Paper grid 10k..80k scaled by N_SOURCE/50_000.
+NS_GRID = [int(N_SOURCE * k / 5) for k in range(1, 9)]  # 140..1120
+
+
+def test_fig4b_source_size_sweep(benchmark):
+    def sweep():
+        f1s = []
+        for n_source in NS_GRID:
+            experiment = make_experiment("bgl", PUBLIC_GROUP, seed=41, n_source=n_source)
+            result = experiment.run_logsynergy(FAST_CONFIG)
+            f1s.append(100.0 * result.metrics.f1)
+        return f1s
+
+    f1s = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("fig4b", format_series(
+        "Fig 4b (reproduced): F1 vs n_s on BGL "
+        f"(paper grid 10k-80k scaled x{N_SOURCE / 50_000:.3f})",
+        NS_GRID, {"BGL": f1s}, x_label="n_s",
+    ))
+    # Shape: the largest budgets beat the smallest.
+    assert max(f1s[-3:]) > f1s[0], f"F1 should improve with n_s (got {f1s})"

@@ -1,0 +1,34 @@
+"""Fig 4c: F1 vs number of target-system training samples n_t.
+
+The paper sweeps n_t from 1,000 to 8,000 (step 1,000); F1 climbs sharply
+then stabilizes near 4,000, the evidence that 5,000 labeled target
+sequences suffice.  At our scale the grid maps to 20..160 (step 20).
+Reproduction target (shape): rising-then-flat curve.
+"""
+
+from repro.evaluation.tables import format_series
+
+from common import FAST_CONFIG, N_TARGET, PUBLIC_GROUP, emit, make_experiment
+
+# Paper grid 1k..8k scaled by N_TARGET/5_000.
+NT_GRID = [int(N_TARGET * k / 5) for k in range(1, 9)]  # 20..160
+
+
+def test_fig4c_target_size_sweep(benchmark):
+    def sweep():
+        f1s = []
+        for n_target in NT_GRID:
+            experiment = make_experiment("bgl", PUBLIC_GROUP, seed=42, n_target=n_target)
+            result = experiment.run_logsynergy(FAST_CONFIG)
+            f1s.append(100.0 * result.metrics.f1)
+        return f1s
+
+    f1s = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("fig4c", format_series(
+        "Fig 4c (reproduced): F1 vs n_t on BGL "
+        f"(paper grid 1k-8k scaled x{N_TARGET / 5_000:.3f})",
+        NT_GRID, {"BGL": f1s}, x_label="n_t",
+    ))
+    assert max(f1s[-4:]) >= max(f1s[:2]), (
+        f"F1 should not degrade as target samples grow (got {f1s})"
+    )

@@ -1,0 +1,58 @@
+"""Table V: P/R/F1 on System A, System B and System C (ISP group).
+
+Same protocol as Table IV on the CDMS-flavoured datasets, whose anomaly
+ratios are an order of magnitude lower (0.17 %-3.8 %).  Reproduction
+target: LogSynergy posts the top F1 on every target despite the extreme
+class imbalance; single-system baselines degrade hard on System A/B.
+"""
+
+import pytest
+
+from repro.evaluation.tables import format_results_table
+
+from common import (
+    BASELINE_KWARGS, FAST_CONFIG, ISP_GROUP, MAX_TEST, METHOD_ORDER,
+    N_SOURCE, N_TARGET, emit, make_experiment,
+)
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("target", ISP_GROUP)
+def test_table5_target(benchmark, target):
+    experiment = make_experiment(target, ISP_GROUP, seed=10 + ISP_GROUP.index(target))
+    experiment.prepare()
+
+    def run_all():
+        results = []
+        for method in METHOD_ORDER:
+            if method == "LogSynergy":
+                results.append(experiment.run_logsynergy(FAST_CONFIG))
+            else:
+                results.append(experiment.run_baseline(method, **BASELINE_KWARGS[method]))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    outcome = experiment.run([])
+    outcome.results = results
+    _RESULTS.append(outcome)
+
+    if len(_RESULTS) == len(ISP_GROUP):
+        emit("table5", format_results_table(
+            _RESULTS, METHOD_ORDER,
+            title=(
+                "Table V (reproduced): P/R/F1 on System A, System B, System C\n"
+                f"(ISP scale: see common.ISP_* knobs)"
+            ),
+        ))
+
+    # On System C the paper itself has LogRobust within 2 F1 points of
+    # LogSynergy (87.45 vs 89.26), so require LogSynergy to be at or near
+    # the top rather than strictly first.
+    by_method = outcome.by_method()
+    best_f1 = max(r.metrics.f1 for r in outcome.results)
+    ours = by_method["LogSynergy"].metrics.f1
+    assert ours >= best_f1 - 0.05, (
+        f"on {target} LogSynergy must be within 5 F1 points of the best "
+        f"(ours {100*ours:.1f} vs best {100*best_f1:.1f})"
+    )

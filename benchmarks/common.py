@@ -1,0 +1,99 @@
+"""Shared infrastructure for the table/figure benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artifacts at
+reduced scale (single CPU): the workload, parameter values and method set
+match the paper; dataset sizes and model widths are scaled as recorded in
+EXPERIMENTS.md.  Each benchmark prints its rows and writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.config import LogSynergyConfig
+from repro.evaluation.experiment import CrossSystemExperiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# --- Reduced-scale knobs (paper value -> here) -------------------------
+# Dataset scale: full logs -> 0.6 % of Table III line counts.
+SCALE = 0.006
+# The ISP systems' anomaly ratios are 0.17 %-3.8 % (Table III); at 0.4 %
+# public-group scale they would contain almost no anomalies, so that group runs at 10 %
+# scale with proportionally larger sample budgets and test caps.
+ISP_SCALE = 0.1
+ISP_N_SOURCE = 5000
+ISP_N_TARGET = 600
+ISP_MAX_TEST = 12000
+# n_s: 50,000 -> 1,000 sequences per source system.
+N_SOURCE = 1000
+# n_t: 5,000 -> 100 sequences from the target.
+N_TARGET = 100
+# Test set cap per target (keeps baseline prediction affordable).
+MAX_TEST = 800
+
+PUBLIC_GROUP = ["bgl", "spirit", "thunderbird"]
+ISP_GROUP = ["system_a", "system_b", "system_c"]
+
+# Reduced LogSynergy config: every architectural ratio of §IV-A4 kept,
+# widths shrunk for CPU training.
+FAST_CONFIG = LogSynergyConfig(
+    d_model=32, num_heads=4, num_layers=2, d_ff=64, feature_dim=16,
+    embedding_dim=64, epochs=16, batch_size=64, learning_rate=5e-4,
+    n_source=N_SOURCE, n_target=N_TARGET,
+)
+
+# Baseline kwargs scaled the same way (original layer/hidden choices from
+# §IV-A2, shrunk proportionally).
+BASELINE_KWARGS = {
+    "DeepLog": dict(epochs=4, hidden_size=32, num_layers=2, top_k=9),
+    "LogAnomaly": dict(epochs=4, hidden_size=32, num_layers=2, top_k=9),
+    "PLELog": dict(epochs=4, hidden_size=25),
+    "SpikeLog": dict(epochs=4, hidden_size=32),
+    "NeuralLog": dict(epochs=4, d_model=32, num_layers=1, d_ff=64),
+    "LogRobust": dict(epochs=4, hidden_size=32, num_layers=2),
+    "PreLog": dict(pretrain_epochs=4, tune_epochs=4, d_model=32, d_ff=64),
+    "LogTAD": dict(epochs=4, hidden_size=32, num_layers=2),
+    "LogTransfer": dict(source_epochs=4, target_epochs=4, hidden_size=32, num_layers=2),
+    "MetaLog": dict(meta_episodes=12, adapt_steps=10, hidden_size=25, num_layers=2),
+}
+
+METHOD_ORDER = [
+    "DeepLog", "LogAnomaly", "PLELog", "SpikeLog", "NeuralLog", "LogRobust",
+    "PreLog", "LogTAD", "LogTransfer", "MetaLog", "LogSynergy",
+]
+
+
+def make_experiment(target: str, group: list[str], seed: int = 0,
+                    n_source: int | None = None, n_target: int | None = None,
+                    scale: float | None = None,
+                    max_test: int | None = None) -> CrossSystemExperiment:
+    """Build the standard leave-one-out experiment for ``target``.
+
+    Scale, sample budgets and test cap default per group: the sparse ISP
+    systems use the ``ISP_*`` knobs so their splits contain enough
+    anomalies for stable metrics.
+    """
+    is_isp = target in ISP_GROUP
+    if scale is None:
+        scale = ISP_SCALE if is_isp else SCALE
+    if max_test is None:
+        max_test = ISP_MAX_TEST if is_isp else MAX_TEST
+    if n_source is None:
+        n_source = ISP_N_SOURCE if is_isp else N_SOURCE
+    if n_target is None:
+        n_target = ISP_N_TARGET if is_isp else N_TARGET
+    sources = [name for name in group if name != target]
+    return CrossSystemExperiment(
+        target, sources, scale=scale, n_source=n_source, n_target=n_target,
+        max_test=max_test, seed=seed,
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,5 @@
+"""Pytest bootstrap for the benchmark directory.
+
+Having a conftest here puts ``benchmarks/`` on ``sys.path`` so the
+benchmark modules can import their shared ``common`` helpers.
+"""

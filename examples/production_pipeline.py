@@ -1,0 +1,91 @@
+"""Production deployment scenario (§VI): the full online workflow.
+
+Simulates what the paper's ISP runs in production:
+
+  Filebeat-like collection -> Kafka-like buffering -> LogStash-like
+  formatting -> pattern-library-gated detection -> SMS + email alerting.
+
+A LogSynergy model is trained offline for a newly deployed CDMS-style
+system, then an online service consumes a live log stream, answering
+repeated patterns from the library and invoking the model only for novel
+ones.
+
+Run:  python examples/production_pipeline.py
+"""
+
+from repro import LogSynergy, LogSynergyConfig
+from repro.deploy import AlertRouter, EmailSink, OnlineService, SmsSink, deployment_speedup
+from repro.evaluation import continuous_target_split, source_training_slice
+from repro.logs import LogGenerator, build_dataset
+
+
+def train_offline() -> LogSynergy:
+    """Offline phase: transfer from two mature CDMS systems to system_c."""
+    print("== Offline phase: training the detector for the new system ==")
+    datasets = {
+        name: build_dataset(name, scale=0.05, seed=index)
+        for index, name in enumerate(["system_a", "system_b", "system_c"])
+    }
+    sources = {
+        name: source_training_slice(datasets[name].sequences, 1500)
+        for name in ("system_a", "system_b")
+    }
+    split = continuous_target_split(datasets["system_c"].sequences, 120)
+    config = LogSynergyConfig(
+        d_model=32, num_heads=4, num_layers=2, d_ff=64, feature_dim=16,
+        embedding_dim=64, epochs=8, batch_size=64, learning_rate=3e-4,
+    )
+    model = LogSynergy(config)
+    model.fit(sources, "system_c", split.train)
+    print(f"  trained on {sum(len(s) for s in sources.values())} source + "
+          f"{len(split.train)} target sequences\n")
+    return model
+
+
+def run_online(model: LogSynergy) -> None:
+    """Online phase: stream consumption, gated detection, alerting."""
+    print("== Online phase: consuming the live stream ==")
+    sms, email = SmsSink(), EmailSink()
+    service = OnlineService(model, router=AlertRouter([sms, email]))
+
+    # A production-shaped stream: heavy template repetition plus fault bursts.
+    stream = LogGenerator("system_c", seed=99, repeat_probability=0.9).generate(8000)
+    for start in range(0, len(stream), 2000):  # arrives in batches
+        batch = stream[start : start + 2000]
+        reports = service.process(batch)
+        print(f"  batch {start // 2000 + 1}: {len(batch)} lines, "
+              f"{len(reports)} alert(s)")
+
+    stats = service.stats
+    print("\nPipeline statistics:")
+    print(f"  windows inspected      : {stats.windows_seen}")
+    print(f"  model invocations      : {stats.model_invocations}")
+    print(f"  pattern-library skips  : {stats.model_skip_rate:.1%}")
+    print(f"  library size           : {len(service.library)} patterns "
+          f"({service.library.known_anomalous_patterns()} anomalous)")
+    print(f"  alerts raised          : {stats.anomalies_raised}")
+
+    if sms.delivered:
+        print("\nLatest SMS alert:")
+        print(f"  {sms.delivered[-1]}")
+        print("\nMatching email body (truncated):")
+        print("  " + "\n  ".join(email.delivered[-1].splitlines()[:6]))
+
+
+def show_deployment_economics() -> None:
+    """§VI-C1: deployment effort vs the rule-based status quo."""
+    print("\n== Deployment economics (Section VI-C1) ==")
+    comparison = deployment_speedup()
+    print(f"  rule-based rollout : {comparison['rule_based_hours']:,.0f} engineer-hours")
+    print(f"  LogSynergy rollout : {comparison['logsynergy_hours']:,.1f} hours")
+    print(f"  reduction          : {comparison['reduction']:.1%} (paper: >90 %)")
+
+
+def main() -> None:
+    model = train_offline()
+    run_online(model)
+    show_deployment_economics()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""LogSynergy reproduction: LLM-powered transfer learning for log anomaly
+detection in new software systems (ICDE 2025).
+
+Top-level convenience imports::
+
+    from repro import LogSynergy, LogSynergyConfig
+    from repro.logs import build_dataset
+    from repro.evaluation import CrossSystemExperiment
+"""
+
+from .config import ExperimentConfig, LogSynergyConfig
+from .core import LogSynergy
+
+__version__ = "1.0.0"
+
+__all__ = ["LogSynergy", "LogSynergyConfig", "ExperimentConfig", "__version__"]

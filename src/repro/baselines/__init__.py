@@ -1,0 +1,27 @@
+"""The nine baseline log anomaly detectors from Tables IV/V.
+
+Each is implemented from its original paper's architecture at reduced
+scale, sharing the repository's NN substrate and sentence encoder but
+consuming *raw* log text (no LLM interpretation) — the comparison the
+paper draws.
+"""
+
+from .base import BaselineDetector, EventIdFeaturizer, RawSequenceFeaturizer
+from .deeplog import DeepLog
+from .loganomaly import LogAnomaly
+from .plelog import PLELog
+from .spikelog import SpikeLog
+from .neurallog import NeuralLog
+from .logrobust import LogRobust
+from .prelog import PreLog
+from .logtad import LogTAD
+from .logtransfer import LogTransfer
+from .metalog import MetaLog
+from .registry import BASELINES, baseline_names, make_baseline
+
+__all__ = [
+    "BaselineDetector", "RawSequenceFeaturizer", "EventIdFeaturizer",
+    "DeepLog", "LogAnomaly", "PLELog", "SpikeLog", "NeuralLog", "LogRobust",
+    "PreLog", "LogTAD", "LogTransfer", "MetaLog",
+    "BASELINES", "make_baseline", "baseline_names",
+]

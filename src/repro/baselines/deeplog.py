@@ -1,0 +1,117 @@
+"""DeepLog (Du et al., CCS 2017): LSTM next-event prediction.
+
+Unsupervised: trains only on *normal* target-system sequences.  An LSTM
+learns to predict the next event id from the preceding window; at
+detection time a sequence is anomalous if any actual next event is not in
+the model's top-k predictions.  With few target samples DeepLog cannot
+cover the normal pattern space, so new-but-normal patterns are flagged —
+the high-recall/low-precision failure mode in Tables IV/V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..logs.sequences import LogSequence
+from .base import BaselineDetector, EventIdFeaturizer
+
+__all__ = ["DeepLog"]
+
+
+class DeepLog(BaselineDetector):
+    name = "DeepLog"
+    paradigm = "Unsupervised"
+
+    def __init__(self, hidden_size: int = 64, num_layers: int = 2, history: int = 5,
+                 top_k: int = 9, epochs: int = 5, lr: float = 1e-3, batch_size: int = 128,
+                 seed: int = 0):
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.history = history
+        self.top_k = top_k
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.featurizer = EventIdFeaturizer()
+        self._model: nn.Module | None = None
+        self._head: nn.Linear | None = None
+        self._embedding: nn.Embedding | None = None
+        self._vocab_size = 0
+        self._system = ""
+
+    def _windows(self, id_sequences: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(history, next) training pairs from event-id sequences."""
+        inputs, targets = [], []
+        for row in id_sequences:
+            for start in range(len(row) - self.history):
+                inputs.append(row[start : start + self.history])
+                targets.append(row[start + self.history])
+        return np.array(inputs, dtype=np.int64), np.array(targets, dtype=np.int64)
+
+    def fit(self, sources, target_system, target_train):
+        """Train the detector on the provided experiment data."""
+        del sources  # single-system method
+        self._system = target_system
+        normal = self._normal_only(target_train)
+        if not normal:
+            raise ValueError("DeepLog needs at least one normal training sequence")
+        ids = self.featurizer.encode_sequences(target_system, normal)
+        # Vocabulary must leave headroom for events first seen at test time.
+        self._vocab_size = int(ids.max()) + 1 + 512
+        rng = np.random.default_rng(self.seed)
+        self._embedding = nn.Embedding(self._vocab_size, 32, rng=rng)
+        self._model = nn.LSTM(32, self.hidden_size, num_layers=self.num_layers, rng=rng)
+        self._head = nn.Linear(self.hidden_size, self._vocab_size, rng=rng)
+        params = (
+            self._embedding.parameters() + self._model.parameters() + self._head.parameters()
+        )
+        optimizer = nn.Adam(params, lr=self.lr)
+
+        inputs, targets = self._windows(ids)
+        order_rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.epochs):
+            order = order_rng.permutation(len(inputs))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                embedded = self._embedding(inputs[index])
+                _, hidden = self._model(embedded)
+                logits = self._head(hidden)
+                loss = nn.cross_entropy(logits, targets[index])
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+        return self
+
+    def _top_k_hits(self, inputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            embedded = self._embedding(inputs)
+            _, hidden = self._model(embedded)
+            logits = self._head(hidden).data
+        ranked = np.argsort(-logits, axis=1)[:, : self.top_k]
+        return (ranked == targets[:, None]).any(axis=1)
+
+    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Return binary anomaly predictions for the given sequences."""
+        if self._model is None:
+            raise RuntimeError("fit must be called before predict")
+        ids = self.featurizer.encode_sequences(self._system, sequences)
+        # Unseen event ids beyond the embedding table are anomalies outright.
+        out = np.zeros(len(sequences), dtype=np.int64)
+        inputs, targets, owners = [], [], []
+        for row_index, row in enumerate(ids):
+            if row.max() >= self._vocab_size:
+                out[row_index] = 1
+                continue
+            for start in range(len(row) - self.history):
+                inputs.append(row[start : start + self.history])
+                targets.append(row[start + self.history])
+                owners.append(row_index)
+        if inputs:
+            hits = self._top_k_hits(np.array(inputs), np.array(targets))
+            for owner, hit in zip(owners, hits):
+                if not hit:
+                    out[owner] = 1
+        return out

@@ -1,0 +1,141 @@
+"""LogAnomaly (Meng et al., IJCAI 2019): sequential + quantitative LSTM.
+
+Unsupervised, normal-only training like DeepLog, but with two pattern
+views: a *sequential* LSTM predicting the next event's semantic embedding
+(template2vec in the paper; our shared sentence encoder here), and a
+*quantitative* LSTM over event-count vectors.  A window is anomalous if
+either view flags it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..logs.sequences import LogSequence
+from .base import BaselineDetector, EventIdFeaturizer, RawSequenceFeaturizer
+
+__all__ = ["LogAnomaly"]
+
+
+class LogAnomaly(BaselineDetector):
+    name = "LogAnomaly"
+    paradigm = "Unsupervised"
+
+    def __init__(self, hidden_size: int = 64, num_layers: int = 2, history: int = 5,
+                 top_k: int = 9, epochs: int = 5, lr: float = 1e-3, batch_size: int = 128,
+                 seed: int = 0):
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.history = history
+        self.top_k = top_k
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.ids = EventIdFeaturizer()
+        self.semantic = RawSequenceFeaturizer()
+        self._system = ""
+        self._vocab_size = 0
+        self._template_matrix: np.ndarray | None = None
+        self._sequential: tuple | None = None
+        self._count_threshold: float = 0.0
+        self._count_profile: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _template_vectors(self, max_id: int) -> np.ndarray:
+        store = self.ids._store(self._system)
+        matrix = np.zeros((max_id + 1, self.semantic.dim), dtype=np.float32)
+        for event_id in range(max_id + 1):
+            try:
+                text = store.template_text(event_id)
+            except KeyError:
+                continue
+            matrix[event_id] = self.semantic.encoder.encode(text)
+        return matrix
+
+    def _count_vector(self, row: np.ndarray) -> np.ndarray:
+        counts = np.zeros(self._vocab_size, dtype=np.float32)
+        for event in row:
+            if event < self._vocab_size:
+                counts[event] += 1
+        return counts
+
+    def fit(self, sources, target_system, target_train):
+        """Train the detector on the provided experiment data."""
+        del sources
+        self._system = target_system
+        normal = self._normal_only(target_train)
+        if not normal:
+            raise ValueError("LogAnomaly needs normal training sequences")
+        id_rows = self.ids.encode_sequences(target_system, normal)
+        max_id = int(id_rows.max())
+        self._vocab_size = max_id + 1 + 512
+        self._template_matrix = self._template_vectors(max_id)
+
+        rng = np.random.default_rng(self.seed)
+        lstm = nn.LSTM(self.semantic.dim, self.hidden_size, num_layers=self.num_layers, rng=rng)
+        head = nn.Linear(self.hidden_size, max_id + 1, rng=rng)
+        params = lstm.parameters() + head.parameters()
+        optimizer = nn.Adam(params, lr=self.lr)
+
+        inputs, targets = [], []
+        for row in id_rows:
+            for start in range(len(row) - self.history):
+                inputs.append(self._template_matrix[row[start : start + self.history]])
+                targets.append(row[start + self.history])
+        inputs = np.array(inputs, dtype=np.float32)
+        targets = np.array(targets, dtype=np.int64)
+
+        order_rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.epochs):
+            order = order_rng.permutation(len(inputs))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                _, hidden = lstm(nn.Tensor(inputs[index]))
+                loss = nn.cross_entropy(head(hidden), targets[index])
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+        self._sequential = (lstm, head, max_id)
+
+        # Quantitative view: profile of per-window event-count vectors.
+        counts = np.stack([self._count_vector(row) for row in id_rows])
+        self._count_profile = counts.mean(axis=0)
+        deviations = np.linalg.norm(counts - self._count_profile, axis=1)
+        self._count_threshold = float(np.percentile(deviations, 99.5)) + 1e-6
+        return self
+
+    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Return binary anomaly predictions for the given sequences."""
+        if self._sequential is None:
+            raise RuntimeError("fit must be called before predict")
+        lstm, head, max_id = self._sequential
+        id_rows = self.ids.encode_sequences(self._system, sequences)
+        out = np.zeros(len(sequences), dtype=np.int64)
+
+        inputs, targets, owners = [], [], []
+        for row_index, row in enumerate(id_rows):
+            if row.max() > max_id:
+                out[row_index] = 1  # unseen template: sequential view flags it
+                continue
+            for start in range(len(row) - self.history):
+                inputs.append(self._template_matrix[row[start : start + self.history]])
+                targets.append(row[start + self.history])
+                owners.append(row_index)
+        if inputs:
+            with nn.no_grad():
+                _, hidden = lstm(nn.Tensor(np.array(inputs, dtype=np.float32)))
+                logits = head(hidden).data
+            ranked = np.argsort(-logits, axis=1)[:, : self.top_k]
+            hits = (ranked == np.array(targets)[:, None]).any(axis=1)
+            for owner, hit in zip(owners, hits):
+                if not hit:
+                    out[owner] = 1
+
+        for row_index, row in enumerate(id_rows):
+            deviation = np.linalg.norm(self._count_vector(row) - self._count_profile)
+            if deviation > self._count_threshold:
+                out[row_index] = 1
+        return out

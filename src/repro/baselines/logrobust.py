@@ -1,0 +1,90 @@
+"""LogRobust (Zhang et al., ESEC/FSE 2019): attention Bi-LSTM classifier.
+
+Supervised, single-system: embeds Drain templates with TF-IDF-weighted
+word vectors (our sentence encoder provides the equivalent SIF weighting),
+runs a bidirectional LSTM, applies soft attention over timesteps, and
+classifies.  Known in the paper's evaluation for robustness to unstable
+log data — it degrades more gracefully than NeuralLog when the target
+diverges from training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..logs.sequences import LogSequence
+from .base import BaselineDetector, RawSequenceFeaturizer
+
+__all__ = ["LogRobust"]
+
+
+class LogRobust(BaselineDetector):
+    name = "LogRobust"
+    paradigm = "Supervised"
+
+    def __init__(self, hidden_size: int = 64, num_layers: int = 2, epochs: int = 8,
+                 lr: float = 1e-3, batch_size: int = 64, seed: int = 0):
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.featurizer = RawSequenceFeaturizer()
+        self._system = ""
+        self._bilstm: nn.BiLSTM | None = None
+        self._attention: nn.Linear | None = None
+        self._head: nn.Linear | None = None
+
+    def _forward(self, embedded: np.ndarray) -> nn.Tensor:
+        outputs = self._bilstm(nn.Tensor(embedded))  # (batch, seq, 2*hidden)
+        scores = self._attention(outputs.tanh())      # (batch, seq, 1)
+        weights = scores.softmax(axis=1)
+        context = (outputs * weights).sum(axis=1)
+        return self._head(context).reshape(-1)
+
+    def fit(self, sources, target_system, target_train):
+        """Train the detector on the provided experiment data."""
+        del sources  # single-system method
+        self._system = target_system
+        embedded = self.featurizer.embed_sequences(target_system, target_train)
+        labels = self._labels(target_train).astype(np.float32)
+
+        rng = np.random.default_rng(self.seed)
+        self._bilstm = nn.BiLSTM(self.featurizer.dim, self.hidden_size,
+                                 num_layers=self.num_layers, rng=rng)
+        self._attention = nn.Linear(2 * self.hidden_size, 1, rng=rng)
+        self._head = nn.Linear(2 * self.hidden_size, 1, rng=rng)
+        params = (
+            self._bilstm.parameters() + self._attention.parameters() + self._head.parameters()
+        )
+        optimizer = nn.Adam(params, lr=self.lr)
+        pos_weight = float(np.clip((labels == 0).sum() / max(1, (labels == 1).sum()), 1, 50))
+
+        order_rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.epochs):
+            order = order_rng.permutation(len(embedded))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                logits = self._forward(embedded[index])
+                loss = nn.binary_cross_entropy_with_logits(
+                    logits, labels[index], pos_weight=pos_weight
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+        return self
+
+    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Return binary anomaly predictions for the given sequences."""
+        if self._bilstm is None:
+            raise RuntimeError("fit must be called before predict")
+        embedded = self.featurizer.embed_sequences(self._system, sequences)
+        out = np.zeros(len(sequences), dtype=np.int64)
+        with nn.no_grad():
+            for start in range(0, len(embedded), 128):
+                probs = self._forward(embedded[start : start + 128]).sigmoid().data
+                out[start : start + 128] = (probs > 0.5).astype(np.int64)
+        return out

@@ -1,0 +1,105 @@
+"""LogTransfer (Chen et al., ISSRE 2020): supervised transfer via shared layers.
+
+Two-stage training: (1) an LSTM encoder plus classifier learns anomaly
+detection on the labeled *source* systems; (2) the encoder's lower layers
+are frozen ("shared network") and the fully-connected classifier is
+fine-tuned on the labeled target slice.  Word-level representations come
+from raw log text (the original uses Word2Vec/GloVe), so effectiveness
+hinges on surface similarity between source and target — the failure mode
+the paper's case study (§VI-D) dissects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..logs.sequences import LogSequence
+from .base import BaselineDetector, RawSequenceFeaturizer
+
+__all__ = ["LogTransfer"]
+
+
+class LogTransfer(BaselineDetector):
+    name = "LogTransfer"
+    paradigm = "Supervised Cross-System"
+
+    def __init__(self, hidden_size: int = 64, num_layers: int = 2, source_epochs: int = 6,
+                 target_epochs: int = 6, lr: float = 1e-3, batch_size: int = 64, seed: int = 0):
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.source_epochs = source_epochs
+        self.target_epochs = target_epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.featurizer = RawSequenceFeaturizer()
+        self._system = ""
+        self._lstm: nn.LSTM | None = None
+        self._classifier: nn.Sequential | None = None
+
+    def _forward(self, embedded: np.ndarray) -> nn.Tensor:
+        _, hidden = self._lstm(nn.Tensor(embedded))
+        return self._classifier(hidden).reshape(-1)
+
+    def _train_phase(self, embedded: np.ndarray, labels: np.ndarray,
+                     params: list, epochs: int, seed_offset: int) -> None:
+        optimizer = nn.Adam(params, lr=self.lr)
+        pos_weight = float(np.clip((labels == 0).sum() / max(1, (labels == 1).sum()), 1, 50))
+        order_rng = np.random.default_rng(self.seed + seed_offset)
+        for _ in range(epochs):
+            order = order_rng.permutation(len(embedded))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                logits = self._forward(embedded[index])
+                loss = nn.binary_cross_entropy_with_logits(
+                    logits, labels[index].astype(np.float32), pos_weight=pos_weight
+                )
+                for p in self._lstm.parameters() + self._classifier.parameters():
+                    p.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+
+    def fit(self, sources, target_system, target_train):
+        """Train the detector on the provided experiment data."""
+        self._system = target_system
+        rng = np.random.default_rng(self.seed)
+        self._lstm = nn.LSTM(self.featurizer.dim, self.hidden_size,
+                             num_layers=self.num_layers, rng=rng)
+        self._classifier = nn.Sequential(
+            nn.Linear(self.hidden_size, self.hidden_size, rng=rng),
+            nn.ReLU(),
+            nn.Linear(self.hidden_size, 1, rng=rng),
+        )
+
+        # Stage 1: source systems, full network.
+        blocks, labels = [], []
+        for name, sequences in sources.items():
+            blocks.append(self.featurizer.embed_sequences(name, sequences))
+            labels.append(self._labels(sequences))
+        self._train_phase(
+            np.concatenate(blocks, axis=0), np.concatenate(labels),
+            self._lstm.parameters() + self._classifier.parameters(),
+            self.source_epochs, seed_offset=1,
+        )
+
+        # Stage 2: target slice, shared LSTM frozen, classifier fine-tuned.
+        target_embedded = self.featurizer.embed_sequences(target_system, target_train)
+        self._train_phase(
+            target_embedded, self._labels(target_train),
+            self._classifier.parameters(), self.target_epochs, seed_offset=2,
+        )
+        return self
+
+    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Return binary anomaly predictions for the given sequences."""
+        if self._lstm is None:
+            raise RuntimeError("fit must be called before predict")
+        embedded = self.featurizer.embed_sequences(self._system, sequences)
+        out = np.zeros(len(sequences), dtype=np.int64)
+        with nn.no_grad():
+            for start in range(0, len(embedded), 256):
+                probs = self._forward(embedded[start : start + 256]).sigmoid().data
+                out[start : start + 256] = (probs > 0.5).astype(np.int64)
+        return out

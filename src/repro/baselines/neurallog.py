@@ -1,0 +1,106 @@
+"""NeuralLog (Le & Zhang, ASE 2021): parsing-free transformer classifier.
+
+Supervised, single-system: embeds *raw messages* (no log parsing) with the
+pre-trained encoder and classifies the window with a Transformer encoder.
+Trains on all labeled target training samples; with only a few thousand
+target samples its performance depends heavily on how much of the test
+distribution those samples cover.
+
+``fit_on_sources=True`` trains on the source systems instead — that is the
+"direct application of NeuralLog" used by the paper's transfer-learning
+ablation (§IV-D3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..logs.sequences import LogSequence
+from .base import BaselineDetector, RawSequenceFeaturizer
+
+__all__ = ["NeuralLog"]
+
+
+class NeuralLog(BaselineDetector):
+    name = "NeuralLog"
+    paradigm = "Supervised"
+
+    def __init__(self, d_model: int = 64, num_heads: int = 4, num_layers: int = 1,
+                 d_ff: int = 128, epochs: int = 8, lr: float = 3e-4, batch_size: int = 64,
+                 fit_on_sources: bool = False, seed: int = 0):
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.num_layers = num_layers
+        self.d_ff = d_ff
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.fit_on_sources = fit_on_sources
+        self.seed = seed
+        self.featurizer = RawSequenceFeaturizer(use_parsing=False)
+        self._system = ""
+        self._projection: nn.Linear | None = None
+        self._encoder: nn.TransformerEncoder | None = None
+        self._head: nn.Linear | None = None
+
+    def _forward(self, embedded: np.ndarray) -> nn.Tensor:
+        projected = self._projection(nn.Tensor(embedded))
+        pooled = self._encoder.pooled(projected)
+        return self._head(pooled).reshape(-1)
+
+    def fit(self, sources, target_system, target_train):
+        """Train the detector on the provided experiment data."""
+        self._system = target_system
+        if self.fit_on_sources:
+            blocks, labels = [], []
+            for name, sequences in sources.items():
+                blocks.append(self.featurizer.embed_sequences(name, sequences))
+                labels.append(self._labels(sequences))
+            embedded = np.concatenate(blocks, axis=0)
+            labels = np.concatenate(labels).astype(np.float32)
+        else:
+            embedded = self.featurizer.embed_sequences(target_system, target_train)
+            labels = self._labels(target_train).astype(np.float32)
+
+        rng = np.random.default_rng(self.seed)
+        self._projection = nn.Linear(self.featurizer.dim, self.d_model, rng=rng)
+        self._encoder = nn.TransformerEncoder(
+            d_model=self.d_model, num_heads=self.num_heads, num_layers=self.num_layers,
+            d_ff=self.d_ff, dropout=0.1, rng=rng,
+        )
+        self._head = nn.Linear(self.d_model, 1, rng=rng)
+        params = (
+            self._projection.parameters() + self._encoder.parameters() + self._head.parameters()
+        )
+        optimizer = nn.AdamW(params, lr=self.lr)
+        pos_weight = float(np.clip((labels == 0).sum() / max(1, (labels == 1).sum()), 1, 50))
+
+        order_rng = np.random.default_rng(self.seed + 1)
+        self._encoder.train()
+        for _ in range(self.epochs):
+            order = order_rng.permutation(len(embedded))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                logits = self._forward(embedded[index])
+                loss = nn.binary_cross_entropy_with_logits(
+                    logits, labels[index], pos_weight=pos_weight
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+        self._encoder.eval()
+        return self
+
+    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Return binary anomaly predictions for the given sequences."""
+        if self._encoder is None:
+            raise RuntimeError("fit must be called before predict")
+        embedded = self.featurizer.embed_sequences(self._system, sequences)
+        out = np.zeros(len(sequences), dtype=np.int64)
+        with nn.no_grad():
+            for start in range(0, len(embedded), 256):
+                probs = self._forward(embedded[start : start + 256]).sigmoid().data
+                out[start : start + 256] = (probs > 0.5).astype(np.int64)
+        return out

@@ -1,0 +1,104 @@
+"""PLELog (Yang et al., ICSE 2021): semi-supervised probabilistic label estimation.
+
+Uses 50 % of the *normal* target training samples as labeled and treats
+the rest of the training slice as unlabeled.  Unlabeled windows get
+probabilistic labels from their distance to normal prototypes (the paper
+clusters with HDBSCAN; we use the normal centroid distance, the same
+signal at this scale), then a GRU classifier with attention trains on the
+soft labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..logs.sequences import LogSequence
+from .base import BaselineDetector, RawSequenceFeaturizer
+
+__all__ = ["PLELog"]
+
+
+class PLELog(BaselineDetector):
+    name = "PLELog"
+    paradigm = "Semi-supervised"
+
+    def __init__(self, hidden_size: int = 50, epochs: int = 8, lr: float = 1e-3,
+                 batch_size: int = 64, labeled_fraction: float = 0.5, seed: int = 0):
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.labeled_fraction = labeled_fraction
+        self.seed = seed
+        self.featurizer = RawSequenceFeaturizer()
+        self._system = ""
+        self._gru: nn.GRU | None = None
+        self._head: nn.Linear | None = None
+
+    def _pooled(self, embedded: np.ndarray) -> np.ndarray:
+        return embedded.mean(axis=1)
+
+    def fit(self, sources, target_system, target_train):
+        """Train the detector on the provided experiment data."""
+        del sources
+        self._system = target_system
+        rng = np.random.default_rng(self.seed)
+
+        normal = self._normal_only(target_train)
+        if len(normal) < 2:
+            raise ValueError("PLELog needs at least two normal training sequences")
+        n_labeled = max(1, int(len(normal) * self.labeled_fraction))
+        labeled_normal = normal[:n_labeled]
+        unlabeled = [s for s in target_train if s not in labeled_normal]
+
+        embedded_labeled = self.featurizer.embed_sequences(target_system, labeled_normal)
+        prototype = self._pooled(embedded_labeled).mean(axis=0)
+        spread = np.linalg.norm(self._pooled(embedded_labeled) - prototype, axis=1)
+        scale = float(np.percentile(spread, 95)) + 1e-6
+
+        # Probabilistic label estimation: soft anomaly score grows with
+        # distance from the normal prototype.
+        soft_labels = [0.0] * len(labeled_normal)
+        train_sequences = list(labeled_normal)
+        if unlabeled:
+            embedded_unlabeled = self.featurizer.embed_sequences(target_system, unlabeled)
+            distances = np.linalg.norm(self._pooled(embedded_unlabeled) - prototype, axis=1)
+            soft = np.clip((distances - scale) / (scale + 1e-6), 0.0, 1.0)
+            train_sequences += unlabeled
+            soft_labels += soft.tolist()
+        soft_labels = np.array(soft_labels, dtype=np.float32)
+
+        embedded = self.featurizer.embed_sequences(target_system, train_sequences)
+        self._gru = nn.GRU(self.featurizer.dim, self.hidden_size, num_layers=1, rng=rng)
+        self._head = nn.Linear(self.hidden_size, 1, rng=rng)
+        params = self._gru.parameters() + self._head.parameters()
+        optimizer = nn.Adam(params, lr=self.lr)
+
+        order_rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.epochs):
+            order = order_rng.permutation(len(embedded))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                _, hidden = self._gru(nn.Tensor(embedded[index]))
+                logits = self._head(hidden).reshape(-1)
+                loss = nn.binary_cross_entropy_with_logits(logits, soft_labels[index])
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+        return self
+
+    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Return binary anomaly predictions for the given sequences."""
+        if self._gru is None:
+            raise RuntimeError("fit must be called before predict")
+        embedded = self.featurizer.embed_sequences(self._system, sequences)
+        out = np.zeros(len(sequences), dtype=np.int64)
+        with nn.no_grad():
+            for start in range(0, len(embedded), 256):
+                batch = embedded[start : start + 256]
+                _, hidden = self._gru(nn.Tensor(batch))
+                probs = self._head(hidden).reshape(-1).sigmoid().data
+                out[start : start + 256] = (probs > 0.5).astype(np.int64)
+        return out

@@ -1,0 +1,48 @@
+"""Baseline registry: name -> constructor, for the experiment runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import BaselineDetector
+from .deeplog import DeepLog
+from .loganomaly import LogAnomaly
+from .plelog import PLELog
+from .spikelog import SpikeLog
+from .neurallog import NeuralLog
+from .logrobust import LogRobust
+from .prelog import PreLog
+from .logtad import LogTAD
+from .logtransfer import LogTransfer
+from .metalog import MetaLog
+
+__all__ = ["BASELINES", "make_baseline", "baseline_names"]
+
+BASELINES: dict[str, Callable[..., BaselineDetector]] = {
+    "DeepLog": DeepLog,
+    "LogAnomaly": LogAnomaly,
+    "PLELog": PLELog,
+    "SpikeLog": SpikeLog,
+    "NeuralLog": NeuralLog,
+    "LogRobust": LogRobust,
+    "PreLog": PreLog,
+    "LogTAD": LogTAD,
+    "LogTransfer": LogTransfer,
+    "MetaLog": MetaLog,
+}
+
+
+def baseline_names() -> list[str]:
+    """The nine comparison methods plus NeuralLog, in table order."""
+    return list(BASELINES)
+
+
+def make_baseline(name: str, **kwargs) -> BaselineDetector:
+    """Instantiate a baseline by table name."""
+    try:
+        factory = BASELINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown baseline {name!r}; available: {', '.join(BASELINES)}"
+        ) from None
+    return factory(**kwargs)

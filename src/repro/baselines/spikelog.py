@@ -1,0 +1,89 @@
+"""SpikeLog (Qi et al., TKDE 2023): potential-assisted spiking neural network.
+
+Weakly supervised: uses 98 % of the target training slice's *anomalous*
+samples plus the remaining unlabeled data (treated as normal during
+training, the standard PU simplification).  A leaky integrate-and-fire
+layer processes the embedded window; the classifier reads both the spike
+rates and the final membrane potential ("potential-assisted").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..logs.sequences import LogSequence
+from .base import BaselineDetector, RawSequenceFeaturizer
+
+__all__ = ["SpikeLog"]
+
+
+class SpikeLog(BaselineDetector):
+    name = "SpikeLog"
+    paradigm = "Weakly-supervised"
+
+    def __init__(self, hidden_size: int = 64, epochs: int = 8, lr: float = 1e-3,
+                 batch_size: int = 64, anomaly_fraction: float = 0.98, seed: int = 0):
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.anomaly_fraction = anomaly_fraction
+        self.seed = seed
+        self.featurizer = RawSequenceFeaturizer()
+        self._system = ""
+        self._lif: nn.LIFLayer | None = None
+        self._head: nn.Linear | None = None
+
+    def _forward(self, embedded: np.ndarray) -> nn.Tensor:
+        spikes, membrane = self._lif(nn.Tensor(embedded))
+        rates = spikes.mean(axis=1)
+        readout = nn.concatenate([rates, membrane], axis=1)
+        return self._head(readout).reshape(-1)
+
+    def fit(self, sources, target_system, target_train):
+        """Train the detector on the provided experiment data."""
+        del sources
+        self._system = target_system
+        anomalous = self._anomalous_only(target_train)
+        n_used = max(0, int(len(anomalous) * self.anomaly_fraction))
+        used_anomalies = anomalous[:n_used] if n_used else []
+        unlabeled = [s for s in target_train if s not in used_anomalies]
+
+        sequences = used_anomalies + unlabeled
+        labels = np.array([1.0] * len(used_anomalies) + [0.0] * len(unlabeled), dtype=np.float32)
+        embedded = self.featurizer.embed_sequences(target_system, sequences)
+
+        rng = np.random.default_rng(self.seed)
+        self._lif = nn.LIFLayer(self.featurizer.dim, self.hidden_size, rng=rng)
+        self._head = nn.Linear(2 * self.hidden_size, 1, rng=rng)
+        params = self._lif.parameters() + self._head.parameters()
+        optimizer = nn.Adam(params, lr=self.lr)
+        pos_weight = float(np.clip((labels == 0).sum() / max(1, (labels == 1).sum()), 1, 50))
+
+        order_rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.epochs):
+            order = order_rng.permutation(len(embedded))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                logits = self._forward(embedded[index])
+                loss = nn.binary_cross_entropy_with_logits(
+                    logits, labels[index], pos_weight=pos_weight
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+        return self
+
+    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Return binary anomaly predictions for the given sequences."""
+        if self._lif is None:
+            raise RuntimeError("fit must be called before predict")
+        embedded = self.featurizer.embed_sequences(self._system, sequences)
+        out = np.zeros(len(sequences), dtype=np.int64)
+        with nn.no_grad():
+            for start in range(0, len(embedded), 256):
+                probs = self._forward(embedded[start : start + 256]).sigmoid().data
+                out[start : start + 256] = (probs > 0.5).astype(np.int64)
+        return out

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Four subcommands cover the adoption workflow end to end::
+
+    python -m repro generate --system bgl --lines 20000 --out bgl.jsonl
+    python -m repro train --sources bgl.jsonl spirit.jsonl \
+        --target tbird.jsonl --n-target 100 --model-dir pipeline/
+    python -m repro detect --model-dir pipeline/ --logs new_tbird.jsonl
+    python -m repro evaluate --target thunderbird --sources bgl spirit
+
+``generate`` writes synthetic datasets; ``train`` fits LogSynergy from
+JSONL record files and persists the full pipeline; ``detect`` scores a log
+file with a saved pipeline and prints reports; ``evaluate`` runs a
+cross-system experiment on synthetic data and prints the metric table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .logs import build_dataset, save_records
+    from .logs.generator import LogGenerator
+
+    if args.lines is not None:
+        records = LogGenerator(args.system, seed=args.seed).generate(args.lines)
+    else:
+        records = build_dataset(args.system, scale=args.scale, seed=args.seed).records
+    count = save_records(records, args.out)
+    anomalous = sum(r.is_anomalous for r in records)
+    print(f"wrote {count} records ({anomalous} anomalous lines) to {args.out}")
+    return 0
+
+
+def _load_sequences(path: str, window: int, step: int):
+    from .logs import load_records, sliding_windows
+
+    records = load_records(path)
+    if not records:
+        raise SystemExit(f"{path}: no records")
+    return records[0].system, sliding_windows(records, window=window, step=step)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .config import LogSynergyConfig
+    from .core import LogSynergy
+    from .evaluation import continuous_target_split, source_training_slice
+
+    config = LogSynergyConfig(
+        d_model=args.d_model, num_heads=args.num_heads, num_layers=args.num_layers,
+        d_ff=args.d_ff, feature_dim=args.feature_dim, embedding_dim=args.embedding_dim,
+        epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.lr,
+        seed=args.seed,
+    )
+    sources = {}
+    for path in args.sources:
+        system, sequences = _load_sequences(path, args.window, args.step)
+        sources[system] = source_training_slice(sequences, args.n_source)
+        print(f"source {system}: {len(sources[system])} sequences from {path}")
+    target_system, target_sequences = _load_sequences(args.target, args.window, args.step)
+    split = continuous_target_split(target_sequences, args.n_target)
+    print(f"target {target_system}: {len(split.train)} training sequences")
+
+    model = LogSynergy(config)
+    model.fit(sources, target_system, split.train, verbose=not args.quiet)
+    model.save_pipeline(args.model_dir)
+    print(f"pipeline saved to {args.model_dir}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .core import LogSynergy
+    from .logs import load_records, sliding_windows
+
+    model = LogSynergy.load_pipeline(args.model_dir)
+    records = load_records(args.logs)
+    sequences = sliding_windows(records, window=args.window, step=args.step)
+    if not sequences:
+        raise SystemExit(f"{args.logs}: not enough records for one window")
+    probabilities = model.predict_proba(sequences)
+    flagged = int((probabilities > model.config.threshold).sum())
+    print(f"{len(sequences)} windows scored; {flagged} above threshold "
+          f"{model.config.threshold}")
+    for index in np.argsort(-probabilities)[: args.top]:
+        sequence = sequences[int(index)]
+        report = model.detect_stream(
+            sequence.messages, timestamps=[r.timestamp for r in sequence.records]
+        )
+        marker = "ANOMALY" if report.is_anomalous else "ok     "
+        print(f"  [{marker}] score={report.score:.3f} window@{sequence.start_index}: "
+              f"{report.summary()}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .config import LogSynergyConfig
+    from .evaluation import CrossSystemExperiment, format_results_table
+
+    config = LogSynergyConfig(
+        d_model=args.d_model, num_heads=args.num_heads, num_layers=args.num_layers,
+        d_ff=args.d_ff, feature_dim=args.feature_dim, embedding_dim=args.embedding_dim,
+        epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.lr,
+        seed=args.seed,
+    )
+    experiment = CrossSystemExperiment(
+        args.target, args.sources, scale=args.scale, n_source=args.n_source,
+        n_target=args.n_target, max_test=args.max_test, seed=args.seed,
+    )
+    methods = ["LogSynergy"] + (args.baselines or [])
+    outcome = experiment.run(methods, config=config)
+    print(format_results_table([outcome], methods,
+                               title=f"Cross-system evaluation (target={args.target})"))
+    return 0
+
+
+def _add_model_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--d-model", type=int, default=32)
+    parser.add_argument("--num-heads", type=int, default=4)
+    parser.add_argument("--num-layers", type=int, default=2)
+    parser.add_argument("--d-ff", type=int, default=64)
+    parser.add_argument("--feature-dim", type=int, default=16)
+    parser.add_argument("--embedding-dim", type=int, default=64)
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--lr", type=float, default=5e-4)
+
+
+def _add_window_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--window", type=int, default=10)
+    parser.add_argument("--step", type=int, default=5)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LogSynergy reproduction command line"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--system", required=True,
+                          help="bgl|spirit|thunderbird|system_a|system_b|system_c")
+    generate.add_argument("--lines", type=int, default=None,
+                          help="exact line count (overrides --scale)")
+    generate.add_argument("--scale", type=float, default=0.01,
+                          help="fraction of the Table III line count")
+    generate.add_argument("--out", required=True, help="output JSONL path")
+    generate.set_defaults(func=_cmd_generate)
+
+    train = commands.add_parser("train", help="train LogSynergy from JSONL files")
+    train.add_argument("--sources", nargs="+", required=True,
+                       help="JSONL files of mature-system records")
+    train.add_argument("--target", required=True, help="JSONL file of the new system")
+    train.add_argument("--n-source", type=int, default=1000)
+    train.add_argument("--n-target", type=int, default=100)
+    train.add_argument("--model-dir", required=True)
+    train.add_argument("--quiet", action="store_true")
+    _add_model_flags(train)
+    _add_window_flags(train)
+    train.set_defaults(func=_cmd_train)
+
+    detect = commands.add_parser("detect", help="score a log file with a saved pipeline")
+    detect.add_argument("--model-dir", required=True)
+    detect.add_argument("--logs", required=True, help="JSONL file to score")
+    detect.add_argument("--top", type=int, default=5, help="windows to report")
+    detect.add_argument("--seed", type=int, default=0)
+    _add_window_flags(detect)
+    detect.set_defaults(func=_cmd_detect)
+
+    evaluate = commands.add_parser("evaluate", help="run a synthetic cross-system experiment")
+    evaluate.add_argument("--target", required=True)
+    evaluate.add_argument("--sources", nargs="+", required=True)
+    evaluate.add_argument("--baselines", nargs="*", default=[],
+                          help="baseline method names to include")
+    evaluate.add_argument("--scale", type=float, default=0.006)
+    evaluate.add_argument("--n-source", type=int, default=1000)
+    evaluate.add_argument("--n-target", type=int, default=100)
+    evaluate.add_argument("--max-test", type=int, default=800)
+    _add_model_flags(evaluate)
+    evaluate.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

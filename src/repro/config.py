@@ -1,0 +1,96 @@
+"""Configuration dataclasses for LogSynergy training and experiments.
+
+``LogSynergyConfig.paper()`` reproduces the paper's §IV-A4 settings
+(six-layer encoder, 12 heads, FFN 2048, AdamW lr 1e-4, batch 1024,
+10 epochs, λ_MI = λ_DA = 0.01, n_s = 50 000, n_t = 5 000).
+``LogSynergyConfig.reduced()`` is the CPU-scale default used by the test
+suite and benchmarks; EXPERIMENTS.md records the scale factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["LogSynergyConfig", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class LogSynergyConfig:
+    """Hyperparameters for the LogSynergy model and offline training."""
+
+    # Model architecture (§IV-A4).
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 2
+    d_ff: int = 128
+    dropout: float = 0.1
+    feature_dim: int = 32          # dimension of each of F_u(x) and F_s(x)
+    embedding_dim: int = 64        # event-embedding input dimension
+
+    # Optimization.
+    learning_rate: float = 1e-4
+    batch_size: int = 64
+    epochs: int = 10
+    weight_decay: float = 0.01
+    grad_clip: float = 5.0
+
+    # Loss weights (Eq. 5).
+    lambda_mi: float = 0.01
+    lambda_da: float = 0.01
+
+    # Sample budgets (§IV-A1).
+    n_source: int = 2000
+    n_target: int = 200
+
+    # Misc.
+    window: int = 10
+    step: int = 5
+    threshold: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        if self.feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if self.lambda_mi < 0 or self.lambda_da < 0:
+            raise ValueError("loss weights must be non-negative")
+
+    @classmethod
+    def paper(cls) -> "LogSynergyConfig":
+        """The configuration reported in §IV-A4 (V100-scale)."""
+        return cls(
+            d_model=768, num_heads=12, num_layers=6, d_ff=2048, dropout=0.1,
+            feature_dim=256, embedding_dim=768,
+            learning_rate=1e-4, batch_size=1024, epochs=10,
+            lambda_mi=0.01, lambda_da=0.01,
+            n_source=50_000, n_target=5_000,
+        )
+
+    @classmethod
+    def reduced(cls, **overrides) -> "LogSynergyConfig":
+        """CPU-scale configuration preserving every architectural ratio."""
+        return replace(cls(), **overrides)
+
+    def with_overrides(self, **overrides) -> "LogSynergyConfig":
+        """Return a copy of this config with fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One cross-system experiment: a target and its source systems."""
+
+    target: str
+    sources: tuple[str, ...]
+    scale: float = 0.01
+    seed: int = 0
+    model: LogSynergyConfig = field(default_factory=LogSynergyConfig)
+
+    def __post_init__(self):
+        if self.target in self.sources:
+            raise ValueError(f"target {self.target!r} cannot also be a source")
+        if not self.sources:
+            raise ValueError("at least one source system is required")

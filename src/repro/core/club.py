@@ -1,0 +1,64 @@
+"""CLUB: Contrastive Log-ratio Upper Bound of mutual information (Cheng et al., 2020).
+
+SUFE minimizes the mutual information between system-unified features
+``F_u(x)`` and system-specific features ``F_s(x)`` (Eq. 3).  CLUB bounds
+``MI(u, s)`` from above by
+
+    E_{p(u,s)}[log q(s|u)] - E_{p(u)p(s)}[log q(s|u)]
+
+where ``q(s|u)`` is a variational Gaussian whose mean and log-variance are
+produced by a small MLP.  Training alternates: the estimator maximizes the
+likelihood of true (u, s) pairs; the main model minimizes the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["CLUBEstimator"]
+
+
+class CLUBEstimator(nn.Module):
+    """Variational network estimating an MI upper bound between two features."""
+
+    def __init__(self, u_dim: int, s_dim: int, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.mu_net = nn.Sequential(
+            nn.Linear(u_dim, hidden_dim, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden_dim, s_dim, rng=rng),
+        )
+        self.logvar_net = nn.Sequential(
+            nn.Linear(u_dim, hidden_dim, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden_dim, s_dim, rng=rng),
+            nn.Tanh(),  # bound log-variance for stability
+        )
+
+    def _conditional_log_likelihood(self, u: Tensor, s: Tensor) -> Tensor:
+        """Per-sample ``log q(s|u)`` (up to the constant term)."""
+        mu = self.mu_net(u)
+        logvar = self.logvar_net(u)
+        diff = s - mu
+        return (-(diff * diff) / (logvar.exp() * 2.0) - logvar * 0.5).sum(axis=-1)
+
+    def learning_loss(self, u: Tensor, s: Tensor) -> Tensor:
+        """Estimator's own objective: maximize likelihood of true pairs."""
+        return -self._conditional_log_likelihood(u, s).mean()
+
+    def mi_upper_bound(self, u: Tensor, s: Tensor,
+                       rng: np.random.Generator | None = None) -> Tensor:
+        """CLUB bound used as ``L_MI`` by the main model (Eq. 3).
+
+        Negative samples pair each ``u_i`` with a shuffled ``s_j``.
+        """
+        rng = rng or np.random.default_rng(0)
+        positive = self._conditional_log_likelihood(u, s)
+        permutation = rng.permutation(len(s.data))
+        negative = self._conditional_log_likelihood(u, s[permutation])
+        return (positive - negative).mean()

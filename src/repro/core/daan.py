@@ -1,0 +1,111 @@
+"""DAAN: Dynamic Adversarial Adaptation Network (Yu et al., ICDM 2019).
+
+Aligns the distribution of system-unified features between source and
+target domains (§III-D3).  A global domain discriminator handles the
+marginal distribution; per-class discriminators (normal / anomalous,
+weighted by the anomaly classifier's soft predictions) handle conditional
+distributions.  A dynamic factor ``omega`` balances the two using the
+discriminators' own errors, and a gradient reversal layer turns the
+discriminator losses into an adversarial signal for the feature extractor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["DAANModule"]
+
+
+def _domain_bce(logits: Tensor, domain_labels: np.ndarray) -> Tensor:
+    return nn.binary_cross_entropy_with_logits(
+        logits.reshape(-1), Tensor(domain_labels.astype(np.float32))
+    )
+
+
+class DAANModule(nn.Module):
+    """Adversarial domain-adaptation head over system-unified features.
+
+    Parameters
+    ----------
+    feature_dim:
+        Dimension of ``F_u(x)``.
+    num_classes:
+        Task classes for the conditional discriminators (2 for anomaly
+        detection: normal, anomalous).
+    """
+
+    def __init__(self, feature_dim: int, hidden_dim: int = 64, num_classes: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.grl = nn.GradientReversal(alpha=1.0)
+        self.global_discriminator = nn.Sequential(
+            nn.Linear(feature_dim, hidden_dim, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden_dim, 1, rng=rng),
+        )
+        self.class_discriminators = nn.ModuleList(
+            nn.Sequential(
+                nn.Linear(feature_dim, hidden_dim, rng=rng),
+                nn.ReLU(),
+                nn.Linear(hidden_dim, 1, rng=rng),
+            )
+            for _ in range(num_classes)
+        )
+        self.num_classes = num_classes
+        # Dynamic factor: EMA of marginal-vs-conditional balance.
+        self.omega = 0.5
+        self._omega_momentum = 0.9
+
+    def set_alpha(self, alpha: float) -> None:
+        """Update the GRL strength (scheduled 0 -> 1 over training)."""
+        self.grl.alpha = alpha
+
+    @staticmethod
+    def schedule_alpha(progress: float, gamma: float = 10.0) -> float:
+        """The DANN/DAAN schedule: ``2 / (1 + exp(-gamma p)) - 1``."""
+        progress = min(max(progress, 0.0), 1.0)
+        return 2.0 / (1.0 + np.exp(-gamma * progress)) - 1.0
+
+    def _update_omega(self, marginal_loss: float, conditional_loss: float) -> None:
+        # Proxy A-distances: d = 2 (1 - 2 L).  omega weights the marginal
+        # term; it grows when the global discriminator is *more* confused.
+        d_marginal = abs(2.0 * (1.0 - 2.0 * marginal_loss))
+        d_conditional = abs(2.0 * (1.0 - 2.0 * conditional_loss))
+        denom = d_marginal + d_conditional
+        target = 0.5 if denom == 0 else d_marginal / denom
+        self.omega = self._omega_momentum * self.omega + (1 - self._omega_momentum) * target
+
+    def forward(self, features: Tensor, domain_labels: np.ndarray,
+                class_probabilities: Tensor) -> Tensor:
+        """Compute the DAAN loss ``L_DA`` (Eq. 4 with dynamic weighting).
+
+        Parameters
+        ----------
+        features:
+            ``F_u(x)`` for the combined source+target batch.
+        domain_labels:
+            0 for source samples, 1 for target samples.
+        class_probabilities:
+            ``(batch, num_classes)`` soft task predictions used to weight
+            the conditional discriminators (detached by the caller).
+        """
+        reversed_features = self.grl(features)
+        marginal_loss = _domain_bce(self.global_discriminator(reversed_features), domain_labels)
+
+        probs = class_probabilities.data  # soft weights; no grad through weighting
+        conditional_terms = []
+        for class_index, discriminator in enumerate(self.class_discriminators):
+            weights = probs[:, class_index][:, None].astype(np.float32)
+            weighted = reversed_features * Tensor(weights)
+            conditional_terms.append(_domain_bce(discriminator(weighted), domain_labels))
+        conditional_loss = conditional_terms[0]
+        for term in conditional_terms[1:]:
+            conditional_loss = conditional_loss + term
+        conditional_loss = conditional_loss * (1.0 / self.num_classes)
+
+        self._update_omega(float(marginal_loss.data), float(conditional_loss.data))
+        return marginal_loss * self.omega + conditional_loss * (1.0 - self.omega)

@@ -1,0 +1,122 @@
+"""Explanation of anomaly decisions (the §VI-D case-study workflow).
+
+The paper's case study traces a LogTransfer false positive to misleading
+word-level similarity between a normal System A window and an anomalous
+System C training sample, and shows LogSynergy's interpretations keep the
+two apart.  This module provides the tooling for that analysis:
+
+* :func:`occlusion_attribution` — per-event contribution to a window's
+  anomaly score, measured by replacing each event embedding with the
+  window mean and recording the score drop;
+* :func:`nearest_training_sequences` — retrieve the training windows whose
+  pooled features are closest to a query window (the "closest match in
+  System C" step of the case study);
+* :class:`WindowExplanation` — the assembled operator-facing artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .model import LogSynergyModel
+
+__all__ = ["EventAttribution", "WindowExplanation", "occlusion_attribution",
+           "nearest_training_sequences", "explain_window"]
+
+
+@dataclass(frozen=True)
+class EventAttribution:
+    """One event's contribution to the window's anomaly score."""
+
+    position: int
+    message: str
+    interpretation: str
+    score_drop: float  # base score minus score with this event occluded
+
+
+@dataclass(frozen=True)
+class WindowExplanation:
+    """Full explanation for one scored window."""
+
+    score: float
+    attributions: tuple[EventAttribution, ...]
+    neighbours: tuple[tuple[int, float], ...] = ()  # (train index, cosine sim)
+
+    def top_events(self, k: int = 3) -> list[EventAttribution]:
+        """The k events that pushed the score up the most."""
+        ranked = sorted(self.attributions, key=lambda a: a.score_drop, reverse=True)
+        return ranked[:k]
+
+    def render(self) -> str:
+        """Render the payload as human-readable text."""
+        lines = [f"anomaly score: {self.score:.3f}", "top contributing events:"]
+        for attribution in self.top_events():
+            lines.append(
+                f"  [{attribution.position}] drop={attribution.score_drop:+.3f}  "
+                f"{attribution.interpretation}"
+            )
+        if self.neighbours:
+            lines.append("nearest training windows (index, cosine):")
+            for index, similarity in self.neighbours:
+                lines.append(f"  #{index}  {similarity:.3f}")
+        return "\n".join(lines)
+
+
+def occlusion_attribution(model: LogSynergyModel, window: np.ndarray) -> np.ndarray:
+    """Score drop when each event embedding is replaced by the window mean.
+
+    ``window`` has shape ``(length, embedding_dim)``; returns ``(length,)``
+    of base_score - occluded_score (positive = the event raised the score).
+    """
+    if window.ndim != 2:
+        raise ValueError(f"window must be 2-D (length, dim), got shape {window.shape}")
+    length = len(window)
+    base = float(model.predict_proba(window[None])[0])
+    mean_embedding = window.mean(axis=0)
+    occluded = np.repeat(window[None], length, axis=0)
+    for position in range(length):
+        occluded[position, position] = mean_embedding
+    scores = model.predict_proba(occluded)
+    return base - scores
+
+
+def nearest_training_sequences(model: LogSynergyModel, window: np.ndarray,
+                               training_windows: np.ndarray, k: int = 3
+                               ) -> list[tuple[int, float]]:
+    """Indices of the k training windows closest in unified-feature space."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    with nn.no_grad():
+        query, _ = model.extract_features(window[None])
+        bank, _ = model.extract_features(training_windows)
+    query_vec = query.data[0]
+    bank_mat = bank.data
+    norms = np.linalg.norm(bank_mat, axis=1) * (np.linalg.norm(query_vec) + 1e-12)
+    similarities = bank_mat @ query_vec / np.maximum(norms, 1e-12)
+    order = np.argsort(-similarities)[:k]
+    return [(int(i), float(similarities[i])) for i in order]
+
+
+def explain_window(model: LogSynergyModel, window: np.ndarray,
+                   messages: list[str], interpretations: list[str],
+                   training_windows: np.ndarray | None = None,
+                   k_neighbours: int = 3) -> WindowExplanation:
+    """Assemble a :class:`WindowExplanation` for one embedded window."""
+    if not (len(messages) == len(interpretations) == len(window)):
+        raise ValueError("messages, interpretations and window must align")
+    drops = occlusion_attribution(model, window)
+    attributions = tuple(
+        EventAttribution(position=i, message=messages[i],
+                         interpretation=interpretations[i], score_drop=float(drops[i]))
+        for i in range(len(window))
+    )
+    neighbours: tuple[tuple[int, float], ...] = ()
+    if training_windows is not None and len(training_windows):
+        neighbours = tuple(
+            nearest_training_sequences(model, window, training_windows, k=k_neighbours)
+        )
+    score = float(model.predict_proba(window[None])[0])
+    return WindowExplanation(score=score, attributions=attributions, neighbours=neighbours)

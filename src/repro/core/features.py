@@ -1,0 +1,150 @@
+"""Event representation pipeline: parsing -> LEI -> event embedding (§III-B/C).
+
+For each system, a :class:`SystemFeaturizer` owns a Drain template store,
+interpretations for every mined event (via LEI, or the raw template text
+for the "w/o LEI" ablation), and the event-embedding table.  Unseen events
+arriving online are parsed, interpreted and embedded on the fly, exactly
+as §III-E describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding.encoder import SentenceEncoder
+from ..llm.interface import LLMClient
+from ..llm.interpreter import EventInterpreter
+from ..logs.sequences import LogSequence
+from ..parsing.template_store import TemplateStore
+
+__all__ = ["SystemFeaturizer"]
+
+
+class SystemFeaturizer:
+    """Maps one system's log messages to event embeddings.
+
+    Parameters
+    ----------
+    system:
+        System name (used in LEI prompts for system context).
+    encoder:
+        Sentence encoder shared across systems (the unified feature space).
+    llm:
+        LLM client for LEI; ``None`` disables interpretation and embeds
+        the raw Drain template text instead ("LogSynergy w/o LEI").
+    """
+
+    def __init__(self, system: str, encoder: SentenceEncoder,
+                 llm: LLMClient | None = None):
+        self.system = system
+        self.encoder = encoder
+        self.store = TemplateStore()
+        self.interpreter = EventInterpreter(llm) if llm is not None else None
+        self._interpretations: dict[int, str] = {}
+        self._embeddings: dict[int, np.ndarray] = {}
+
+    @property
+    def embedding_dim(self) -> int:
+        """Dimension of the event embeddings."""
+        return self.encoder.dim
+
+    @property
+    def num_events(self) -> int:
+        """Number of distinct events embedded so far."""
+        return len(self._embeddings)
+
+    def interpretation_of(self, event_id: int) -> str:
+        """Cached interpretation text for an event id."""
+        return self._interpretations[event_id]
+
+    # ------------------------------------------------------------------
+    def _text_for_event(self, event_id: int) -> str:
+        if self.interpreter is None:
+            return self.store.template_text(event_id)
+        text, _ = self.interpreter.interpret_event(
+            self.system, self.store.representative(event_id)
+        )
+        return text
+
+    def _ensure_event(self, event_id: int) -> np.ndarray:
+        embedding = self._embeddings.get(event_id)
+        if embedding is None:
+            text = self._text_for_event(event_id)
+            self._interpretations[event_id] = text
+            embedding = self.encoder.encode(text)
+            self._embeddings[event_id] = embedding
+        return embedding
+
+    def embed_message(self, message: str) -> np.ndarray:
+        """Parse one message and return its event embedding."""
+        parsed = self.store.ingest(message)
+        return self._ensure_event(parsed.event_id)
+
+    def event_id_of(self, message: str) -> int:
+        """Parse one message and return its event id (embedding cached)."""
+        parsed = self.store.ingest(message)
+        self._ensure_event(parsed.event_id)
+        return parsed.event_id
+
+    # ------------------------------------------------------------------
+    def embed_sequences(self, sequences: list[LogSequence]) -> np.ndarray:
+        """Embed sequences into ``(n, window, dim)``.
+
+        Message parsing is streamed in sequence order so Drain sees the
+        same prefix behaviour as the offline pipeline.
+        """
+        if not sequences:
+            return np.zeros((0, 0, self.embedding_dim), dtype=np.float32)
+        window = len(sequences[0])
+        out = np.zeros((len(sequences), window, self.embedding_dim), dtype=np.float32)
+        # Deduplicate shared records across overlapping windows.
+        cache: dict[int, np.ndarray] = {}
+        for row, sequence in enumerate(sequences):
+            if len(sequence) != window:
+                raise ValueError(
+                    f"sequence {row} has length {len(sequence)}, expected {window}"
+                )
+            for col, record in enumerate(sequence.records):
+                key = id(record)
+                vec = cache.get(key)
+                if vec is None:
+                    vec = self.embed_message(record.message)
+                    cache[key] = vec
+                out[row, col] = vec
+        return out
+
+    def embed_messages(self, messages: list[str]) -> np.ndarray:
+        """Embed a flat window of messages into ``(len(messages), dim)``."""
+        return np.stack([self.embed_message(m) for m in messages]) if messages else (
+            np.zeros((0, self.embedding_dim), dtype=np.float32)
+        )
+
+    # ------------------------------------------------------------------
+    def state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Serializable state: (JSON-able metadata, embedding arrays).
+
+        The Drain tree, representatives and interpretations go to JSON;
+        the per-event embeddings go to an npz-style mapping keyed by
+        event id.
+        """
+        meta = {
+            "system": self.system,
+            "store": self.store.to_dict(),
+            "interpretations": {str(k): v for k, v in self._interpretations.items()},
+        }
+        arrays = {str(k): v for k, v in self._embeddings.items()}
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict[str, np.ndarray],
+                   encoder: SentenceEncoder, llm: LLMClient | None) -> "SystemFeaturizer":
+        """Rebuild a featurizer from :meth:`state` output."""
+        featurizer = cls(meta["system"], encoder, llm=llm)
+        featurizer.store = TemplateStore.from_dict(meta["store"])
+        featurizer._interpretations = {
+            int(k): v for k, v in meta["interpretations"].items()
+        }
+        featurizer._embeddings = {
+            int(k): np.asarray(v, dtype=np.float32) for k, v in arrays.items()
+        }
+        return featurizer

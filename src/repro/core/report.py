@@ -1,0 +1,70 @@
+"""Anomaly report generation (§III-E, §VI-A "Report" stage).
+
+When online detection flags a sequence, LogSynergy assembles a report from
+the original messages, their LEI interpretations, the anomaly score and
+metadata, which production deployments route to operators via SMS/email.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+__all__ = ["AnomalyReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """A structured anomaly alert for operators."""
+
+    system: str
+    score: float
+    threshold: float
+    messages: tuple[str, ...]
+    interpretations: tuple[str, ...]
+    first_timestamp: datetime | None
+    last_timestamp: datetime | None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def is_anomalous(self) -> bool:
+        return self.score > self.threshold
+
+    def summary(self) -> str:
+        """One-line alert body (what the SMS channel carries)."""
+        top = self.interpretations[0] if self.interpretations else "unknown event"
+        return (
+            f"[{self.system}] anomaly score {self.score:.3f} "
+            f"(threshold {self.threshold:.2f}): {top}"
+        )
+
+    def render(self) -> str:
+        """Full report body (email channel)."""
+        lines = [self.summary(), ""]
+        lines.append("Log sequence with interpretations:")
+        for message, interpretation in zip(self.messages, self.interpretations):
+            lines.append(f"  raw : {message}")
+            lines.append(f"  LEI : {interpretation}")
+        if self.first_timestamp is not None:
+            lines.append("")
+            lines.append(f"window: {self.first_timestamp} .. {self.last_timestamp}")
+        for key, value in self.metadata.items():
+            lines.append(f"{key}: {value}")
+        return "\n".join(lines)
+
+
+def build_report(system: str, score: float, threshold: float, messages: list[str],
+                 interpretations: list[str], timestamps: list[datetime] | None = None,
+                 **metadata) -> AnomalyReport:
+    """Assemble an :class:`AnomalyReport` from detection outputs."""
+    timestamps = timestamps or []
+    return AnomalyReport(
+        system=system,
+        score=float(score),
+        threshold=float(threshold),
+        messages=tuple(messages),
+        interpretations=tuple(interpretations),
+        first_timestamp=min(timestamps) if timestamps else None,
+        last_timestamp=max(timestamps) if timestamps else None,
+        metadata=dict(metadata),
+    )

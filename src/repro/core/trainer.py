@@ -1,0 +1,198 @@
+"""Offline training loop implementing Eq. 5 (§III-D4).
+
+Per batch the trainer alternates two phases:
+
+1. *Estimator phase* — the CLUB network maximizes the likelihood of the
+   current (F_u, F_s) pairs (features detached).
+2. *Main phase* — the model minimizes
+   ``L = L_anomaly + L_system + λ_MI · L_MI + λ_DA · L_DA``
+   where ``L_MI`` is CLUB's upper bound and ``L_DA`` is the DAAN loss
+   with GRL alpha scheduled over training progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..config import LogSynergyConfig
+from ..nn.tensor import Tensor
+from .club import CLUBEstimator
+from .daan import DAANModule
+from .model import LogSynergyModel
+
+__all__ = ["TrainingBatch", "TrainingHistory", "LogSynergyTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainingBatch:
+    """One mini-batch of training data.
+
+    ``sequences``: (batch, window, embedding_dim) float32,
+    ``anomaly_labels``: (batch,) in {0, 1},
+    ``system_labels``: (batch,) in [0, num_systems),
+    ``domain_labels``: (batch,) in {0 source, 1 target}.
+    """
+
+    sequences: np.ndarray
+    anomaly_labels: np.ndarray
+    system_labels: np.ndarray
+    domain_labels: np.ndarray
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss traces for inspection and tests."""
+
+    total: list[float] = field(default_factory=list)
+    anomaly: list[float] = field(default_factory=list)
+    system: list[float] = field(default_factory=list)
+    mutual_information: list[float] = field(default_factory=list)
+    domain_adaptation: list[float] = field(default_factory=list)
+
+    def last(self) -> dict[str, float]:
+        return {
+            "total": self.total[-1],
+            "anomaly": self.anomaly[-1],
+            "system": self.system[-1],
+            "mi": self.mutual_information[-1],
+            "da": self.domain_adaptation[-1],
+        }
+
+
+class LogSynergyTrainer:
+    """Trains a :class:`LogSynergyModel` with SUFE + DAAN objectives.
+
+    Setting ``use_sufe=False`` reproduces the "LogSynergy w/o SUFE"
+    ablation (no system classifier, no MI minimization); domain adaptation
+    can likewise be disabled for ablations via ``use_da=False``.
+    """
+
+    def __init__(self, model: LogSynergyModel, config: LogSynergyConfig | None = None,
+                 use_sufe: bool = True, use_da: bool = True,
+                 pos_weight: float | None = None):
+        self.model = model
+        self.config = config or model.config
+        self.use_sufe = use_sufe
+        self.use_da = use_da
+        self.pos_weight = pos_weight
+        rng = np.random.default_rng(self.config.seed + 1)
+        self._rng = rng
+        self.club = CLUBEstimator(
+            self.config.feature_dim, self.config.feature_dim, rng=rng
+        )
+        self.daan = DAANModule(self.config.feature_dim, num_classes=2, rng=rng)
+        self.optimizer = nn.AdamW(
+            model.parameters() + self.daan.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.club_optimizer = nn.Adam(self.club.parameters(), lr=1e-3)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    def _auto_pos_weight(self, labels: np.ndarray) -> float:
+        positives = float(labels.sum())
+        negatives = float(len(labels) - positives)
+        if positives == 0:
+            return 1.0
+        return float(np.clip(negatives / positives, 1.0, 50.0))
+
+    def _iterate_batches(self, data: TrainingBatch, batch_size: int):
+        order = self._rng.permutation(len(data.anomaly_labels))
+        for start in range(0, len(order), batch_size):
+            index = order[start : start + batch_size]
+            if len(index) < 2:
+                continue  # CLUB/DAAN need at least two samples
+            yield TrainingBatch(
+                sequences=data.sequences[index],
+                anomaly_labels=data.anomaly_labels[index],
+                system_labels=data.system_labels[index],
+                domain_labels=data.domain_labels[index],
+            )
+
+    def _train_estimator(self, batch: TrainingBatch) -> None:
+        with nn.no_grad():
+            unified, specific = self.model.extract_features(batch.sequences)
+        unified = Tensor(unified.data)
+        specific = Tensor(specific.data)
+        loss = self.club.learning_loss(unified, specific)
+        self.club_optimizer.zero_grad()
+        loss.backward()
+        nn.clip_grad_norm(self.club.parameters(), self.config.grad_clip)
+        self.club_optimizer.step()
+
+    def _train_main(self, batch: TrainingBatch, alpha: float, pos_weight: float) -> dict[str, float]:
+        unified, specific = self.model.extract_features(batch.sequences)
+        anomaly_logits = self.model.anomaly_logits(unified)
+        loss_anomaly = nn.binary_cross_entropy_with_logits(
+            anomaly_logits, batch.anomaly_labels.astype(np.float32), pos_weight=pos_weight
+        )
+        loss = loss_anomaly
+        parts = {"anomaly": float(loss_anomaly.data), "system": 0.0, "mi": 0.0, "da": 0.0}
+
+        if self.use_sufe:
+            system_logits = self.model.system_logits(specific)
+            loss_system = nn.cross_entropy(system_logits, batch.system_labels)
+            loss_mi = self.club.mi_upper_bound(unified, specific, rng=self._rng)
+            loss = loss + loss_system + loss_mi * self.config.lambda_mi
+            parts["system"] = float(loss_system.data)
+            parts["mi"] = float(loss_mi.data)
+
+        if self.use_da and len(np.unique(batch.domain_labels)) > 1:
+            self.daan.set_alpha(alpha)
+            with nn.no_grad():
+                probs = anomaly_logits.sigmoid().data
+            class_probs = Tensor(np.stack([1.0 - probs, probs], axis=1))
+            loss_da = self.daan(unified, batch.domain_labels, class_probs)
+            loss = loss + loss_da * self.config.lambda_da
+            parts["da"] = float(loss_da.data)
+
+        self.optimizer.zero_grad()
+        self.club_optimizer.zero_grad()  # discard MI gradients into the estimator
+        loss.backward()
+        nn.clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+        self.optimizer.step()
+        self.club_optimizer.zero_grad()
+        parts["total"] = float(loss.data)
+        return parts
+
+    # ------------------------------------------------------------------
+    def fit(self, data: TrainingBatch, epochs: int | None = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train on the full (source + target) training set."""
+        epochs = epochs if epochs is not None else self.config.epochs
+        pos_weight = (
+            self.pos_weight if self.pos_weight is not None
+            else self._auto_pos_weight(data.anomaly_labels)
+        )
+        total_steps = max(1, epochs * max(1, len(data.anomaly_labels) // self.config.batch_size))
+        step = 0
+        self.model.train()
+        for epoch in range(epochs):
+            sums = {"total": 0.0, "anomaly": 0.0, "system": 0.0, "mi": 0.0, "da": 0.0}
+            count = 0
+            for batch in self._iterate_batches(data, self.config.batch_size):
+                if self.use_sufe:
+                    self._train_estimator(batch)
+                alpha = DAANModule.schedule_alpha(step / total_steps)
+                parts = self._train_main(batch, alpha, pos_weight)
+                for key in sums:
+                    sums[key] += parts[key]
+                count += 1
+                step += 1
+            if count == 0:
+                raise ValueError("training data produced no usable batches")
+            self.history.total.append(sums["total"] / count)
+            self.history.anomaly.append(sums["anomaly"] / count)
+            self.history.system.append(sums["system"] / count)
+            self.history.mutual_information.append(sums["mi"] / count)
+            self.history.domain_adaptation.append(sums["da"] / count)
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs}: " + ", ".join(
+                    f"{k}={v:.4f}" for k, v in self.history.last().items()
+                ))
+        self.model.eval()
+        return self.history

@@ -1,0 +1,26 @@
+"""Production deployment simulation (§VI).
+
+Wires the collection -> buffering -> formatting -> pattern-gated detection
+-> alerting workflow around a fitted LogSynergy model, plus the
+deployment-efficiency comparison against rule-based methods.
+"""
+
+from .buffer import BoundedBuffer
+from .collector import CollectorStats, LogCollector
+from .formatter import LogFormatter, UnifiedLog
+from .pattern_library import PatternLibrary, PatternStats
+from .alerting import AlertRouter, AlertSink, EmailSink, RecordingSink, SmsSink
+from .online import OnlineService, ServiceStats
+from .labeling import Annotator, LabelingOutcome, dual_annotation
+from .efficiency import LogSynergyTimeline, RuleBasedTimeline, deployment_speedup
+
+__all__ = [
+    "BoundedBuffer",
+    "LogCollector", "CollectorStats",
+    "LogFormatter", "UnifiedLog",
+    "PatternLibrary", "PatternStats",
+    "AlertRouter", "AlertSink", "SmsSink", "EmailSink", "RecordingSink",
+    "OnlineService", "ServiceStats",
+    "RuleBasedTimeline", "LogSynergyTimeline", "deployment_speedup",
+    "Annotator", "LabelingOutcome", "dual_annotation",
+]

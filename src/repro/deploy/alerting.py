@@ -1,0 +1,75 @@
+"""Report stage (§VI-A): alert sinks for anomaly reports.
+
+Production routes alerts to operations engineers via SMS and email; the
+simulation records deliveries so tests and benchmarks can assert on the
+alert flow.  ``AlertRouter`` fans one report out to every registered sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..core.report import AnomalyReport
+
+__all__ = ["AlertSink", "RecordingSink", "SmsSink", "EmailSink", "AlertRouter"]
+
+
+class AlertSink(Protocol):
+    """Anything that can deliver an anomaly report."""
+
+    def deliver(self, report: AnomalyReport) -> None:
+        """Deliver one anomaly report through this channel."""
+        ...
+
+
+@dataclass
+class RecordingSink:
+    """Base sink that records delivered payloads (for tests/benchmarks)."""
+
+    delivered: list[str] = field(default_factory=list)
+
+    def render(self, report: AnomalyReport) -> str:
+        """Render the payload as human-readable text."""
+        raise NotImplementedError
+
+    def deliver(self, report: AnomalyReport) -> None:
+        """Deliver one anomaly report through this channel."""
+        self.delivered.append(self.render(report))
+
+
+class SmsSink(RecordingSink):
+    """SMS channel: one-line summaries, hard length cap."""
+
+    MAX_LENGTH = 160
+
+    def render(self, report: AnomalyReport) -> str:
+        """Render the payload as human-readable text."""
+        return report.summary()[: self.MAX_LENGTH]
+
+
+class EmailSink(RecordingSink):
+    """Email channel: full rendered report."""
+
+    def render(self, report: AnomalyReport) -> str:
+        """Render the payload as human-readable text."""
+        return report.render()
+
+
+class AlertRouter:
+    """Fans anomaly reports out to all registered sinks."""
+
+    def __init__(self, sinks: list[AlertSink] | None = None):
+        self.sinks: list[AlertSink] = list(sinks or [])
+        self.routed = 0
+
+    def add_sink(self, sink: AlertSink) -> None:
+        """Register an additional delivery channel."""
+        self.sinks.append(sink)
+
+    def route(self, report: AnomalyReport) -> int:
+        """Deliver to every sink; returns the number of deliveries."""
+        for sink in self.sinks:
+            sink.deliver(report)
+        self.routed += 1
+        return len(self.sinks)

@@ -1,0 +1,58 @@
+"""Transport buffer (§VI-A): a bounded FIFO standing in for Kafka.
+
+Single-process deployment simulation: producers ``offer`` records, the
+formatter ``poll``s batches.  Capacity bounds model broker backpressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["BoundedBuffer"]
+
+
+class BoundedBuffer(Generic[T]):
+    """Bounded FIFO queue with batch polling."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._queue: deque[T] = deque()
+        self.total_offered = 0
+        self.total_rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer is at capacity."""
+        return len(self._queue) >= self.capacity
+
+    def offer(self, item: T) -> bool:
+        """Enqueue one item; returns ``False`` (rejected) when full."""
+        self.total_offered += 1
+        if self.is_full:
+            self.total_rejected += 1
+            return False
+        self._queue.append(item)
+        return True
+
+    def poll(self, max_items: int = 100) -> list[T]:
+        """Dequeue up to ``max_items`` in FIFO order."""
+        if max_items <= 0:
+            raise ValueError("max_items must be positive")
+        batch: list[T] = []
+        while self._queue and len(batch) < max_items:
+            batch.append(self._queue.popleft())
+        return batch
+
+    def drain(self) -> list[T]:
+        """Dequeue everything."""
+        batch = list(self._queue)
+        self._queue.clear()
+        return batch

@@ -1,0 +1,47 @@
+"""Collection stage (§VI-A): Filebeat-like tailing into a Kafka-like buffer.
+
+`LogCollector` simulates the Filebeat agents deployed on distributed
+systems: it tails record sources and ships raw lines into a
+:class:`~repro.deploy.buffer.BoundedBuffer`, reporting drops when the
+buffer is saturated (real deployments see the same backpressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..logs.generator import LogRecord
+from .buffer import BoundedBuffer
+
+__all__ = ["CollectorStats", "LogCollector"]
+
+
+@dataclass
+class CollectorStats:
+    """Counters for one collection run."""
+
+    shipped: int = 0
+    dropped: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total event count."""
+        return self.shipped + self.dropped
+
+
+class LogCollector:
+    """Ships raw log records from sources into the transport buffer."""
+
+    def __init__(self, buffer: BoundedBuffer):
+        self.buffer = buffer
+        self.stats = CollectorStats()
+
+    def ship(self, records: Iterable[LogRecord]) -> CollectorStats:
+        """Ship all records; drop (and count) what the buffer rejects."""
+        for record in records:
+            if self.buffer.offer(record):
+                self.stats.shipped += 1
+            else:
+                self.stats.dropped += 1
+        return self.stats

@@ -1,0 +1,59 @@
+"""Formatting stage (§VI-A): LogStash-like unification and windowing.
+
+Pulls raw records from the transport buffer, normalizes them into the
+unified structure downstream stages expect, and re-windows the stream
+with the production sliding window (10 logs, 5-step shift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from ..logs.generator import LogRecord
+from .buffer import BoundedBuffer
+
+__all__ = ["UnifiedLog", "LogFormatter"]
+
+
+@dataclass(frozen=True)
+class UnifiedLog:
+    """The unified post-LogStash record structure."""
+
+    timestamp: datetime
+    system: str
+    host: str
+    message: str
+
+
+class LogFormatter:
+    """Drains the buffer, normalizes records and emits complete windows."""
+
+    def __init__(self, buffer: BoundedBuffer, window: int = 10, step: int = 5):
+        if window <= 0 or step <= 0:
+            raise ValueError("window and step must be positive")
+        self.buffer = buffer
+        self.window = window
+        self.step = step
+        self._pending: list[UnifiedLog] = []
+        self.formatted_count = 0
+
+    @staticmethod
+    def _normalize(record: LogRecord) -> UnifiedLog:
+        return UnifiedLog(
+            timestamp=record.timestamp,
+            system=record.system,
+            host=record.host,
+            message=record.message.strip(),
+        )
+
+    def pump(self, max_items: int = 1000) -> list[list[UnifiedLog]]:
+        """Process up to ``max_items`` buffered records; return new windows."""
+        for record in self.buffer.poll(max_items):
+            self._pending.append(self._normalize(record))
+            self.formatted_count += 1
+        windows: list[list[UnifiedLog]] = []
+        while len(self._pending) >= self.window:
+            windows.append(self._pending[: self.window])
+            self._pending = self._pending[self.step:]
+        return windows

@@ -1,0 +1,97 @@
+"""Labeling workflow simulation (§VI-B1).
+
+New-system training labels are produced by two operators annotating each
+sequence independently, with a third adjudicating disagreements.  This
+module models that workflow with per-annotator error rates, so the effect
+of label quality on training (the §IV-E1 threat) can be quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..logs.sequences import LogSequence
+
+__all__ = ["Annotator", "LabelingOutcome", "dual_annotation"]
+
+
+@dataclass(frozen=True)
+class Annotator:
+    """One human labeler with an independent per-sequence error rate."""
+
+    name: str
+    error_rate: float = 0.02
+
+    def __post_init__(self):
+        if not 0.0 <= self.error_rate < 0.5:
+            raise ValueError(
+                f"error_rate must be in [0, 0.5) for a useful annotator, "
+                f"got {self.error_rate}"
+            )
+
+    def label(self, sequence: LogSequence, rng: np.random.Generator) -> int:
+        """Produce this annotator's (possibly erroneous) label."""
+        truth = sequence.label
+        if rng.random() < self.error_rate:
+            return 1 - truth
+        return truth
+
+
+@dataclass
+class LabelingOutcome:
+    """Result of a dual-annotation pass."""
+
+    labels: list[int]
+    disagreements: int
+    adjudicated: int
+    residual_errors: int
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of sequences both annotators agreed on."""
+        if not self.labels:
+            return 1.0
+        return 1.0 - self.disagreements / len(self.labels)
+
+    @property
+    def label_accuracy(self) -> float:
+        """Fraction of final labels matching ground truth."""
+        if not self.labels:
+            return 1.0
+        return 1.0 - self.residual_errors / len(self.labels)
+
+
+def dual_annotation(sequences: list[LogSequence],
+                    first: Annotator, second: Annotator,
+                    adjudicator: Annotator | None = None,
+                    seed: int = 0) -> LabelingOutcome:
+    """Label sequences with two annotators plus adjudication (§VI-B1).
+
+    When the two annotators disagree, the adjudicator's label is final;
+    with no adjudicator, disagreements resolve to "anomalous" (the safe
+    choice operators make in practice).
+    """
+    rng = np.random.default_rng(seed)
+    labels: list[int] = []
+    disagreements = 0
+    adjudicated = 0
+    residual = 0
+    for sequence in sequences:
+        a = first.label(sequence, rng)
+        b = second.label(sequence, rng)
+        if a == b:
+            final = a
+        else:
+            disagreements += 1
+            if adjudicator is not None:
+                final = adjudicator.label(sequence, rng)
+                adjudicated += 1
+            else:
+                final = 1
+        labels.append(final)
+        if final != sequence.label:
+            residual += 1
+    return LabelingOutcome(labels=labels, disagreements=disagreements,
+                           adjudicated=adjudicated, residual_errors=residual)

@@ -1,0 +1,25 @@
+"""Event embedding substrate.
+
+Stands in for the off-the-shelf pre-trained embedding model: PPMI-SVD and
+skip-gram word vectors, SIF sentence encoding, TF-IDF, and a cached
+"pre-trained" domain encoder.
+"""
+
+from .vocab import Vocabulary, tokenize
+from .corpus import build_corpus
+from .cooccurrence import WordVectors, train_word_vectors
+from .word2vec_lite import train_skipgram
+from .tfidf import TfidfVectorizer
+from .encoder import SentenceEncoder
+from .analysis import ClusterPurity, alignment_gap, concept_cluster_purity, isotropy_score
+from .pretrained import DEFAULT_EMBEDDING_DIM, load_pretrained_encoder
+
+__all__ = [
+    "Vocabulary", "tokenize",
+    "build_corpus",
+    "WordVectors", "train_word_vectors", "train_skipgram",
+    "TfidfVectorizer",
+    "SentenceEncoder",
+    "load_pretrained_encoder", "DEFAULT_EMBEDDING_DIM",
+    "ClusterPurity", "concept_cluster_purity", "isotropy_score", "alignment_gap",
+]

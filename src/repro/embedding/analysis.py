@@ -1,0 +1,90 @@
+"""Embedding-space diagnostics.
+
+Tools for verifying the properties LEI depends on: that interpretations of
+the same event concept cluster tightly across systems, that distinct
+concepts stay apart, and that the embedding space is not degenerate
+(anisotropic collapse would make cosine similarities meaningless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .encoder import SentenceEncoder
+
+__all__ = ["ClusterPurity", "concept_cluster_purity", "isotropy_score",
+           "alignment_gap"]
+
+
+@dataclass(frozen=True)
+class ClusterPurity:
+    """Nearest-neighbour purity of labelled embeddings."""
+
+    purity: float          # fraction of points whose nearest neighbour shares the label
+    n_points: int
+    n_labels: int
+
+
+def concept_cluster_purity(embeddings: np.ndarray, labels: list) -> ClusterPurity:
+    """1-NN label purity: do same-concept texts embed adjacently?
+
+    ``embeddings`` is (n, d); ``labels`` any hashable per row.
+    """
+    n = len(embeddings)
+    if n != len(labels):
+        raise ValueError(f"embeddings ({n}) and labels ({len(labels)}) must align")
+    if n < 2:
+        return ClusterPurity(purity=1.0, n_points=n, n_labels=len(set(labels)))
+    normalized = embeddings / np.maximum(
+        np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-12
+    )
+    similarities = normalized @ normalized.T
+    np.fill_diagonal(similarities, -np.inf)
+    nearest = np.argmax(similarities, axis=1)
+    matches = sum(1 for i, j in enumerate(nearest) if labels[i] == labels[int(j)])
+    return ClusterPurity(
+        purity=matches / n, n_points=n, n_labels=len(set(labels))
+    )
+
+
+def isotropy_score(embeddings: np.ndarray) -> float:
+    """Spectral isotropy in (0, 1]: ratio of mean to max eigenvalue
+    of the embedding covariance.  Near 0 means the space collapsed onto
+    one direction; near 1 means variance spreads over all directions."""
+    if len(embeddings) < 2:
+        return 1.0
+    centered = embeddings - embeddings.mean(axis=0, keepdims=True)
+    covariance = centered.T @ centered / max(1, len(embeddings) - 1)
+    eigenvalues = np.linalg.eigvalsh(covariance)
+    top = float(eigenvalues[-1])
+    if top <= 0:
+        return 1.0
+    return float(eigenvalues.mean() / top)
+
+
+def alignment_gap(encoder: SentenceEncoder, grouped_texts: dict[str, list[str]]) -> float:
+    """Mean within-group cosine minus mean across-group cosine.
+
+    ``grouped_texts`` maps a concept label to its renderings (e.g. each
+    system's LEI interpretation).  A large positive gap is the quantitative
+    statement of the paper's Table I claim after LEI; raw dialect text
+    should score near zero.
+    """
+    labels, vectors = [], []
+    for label, texts in grouped_texts.items():
+        for text in texts:
+            labels.append(label)
+            vectors.append(encoder.encode(text))
+    if len(vectors) < 2:
+        return 0.0
+    matrix = np.stack(vectors)
+    within, across = [], []
+    for i in range(len(matrix)):
+        for j in range(i + 1, len(matrix)):
+            similarity = float(matrix[i] @ matrix[j])
+            (within if labels[i] == labels[j] else across).append(similarity)
+    mean_within = float(np.mean(within)) if within else 0.0
+    mean_across = float(np.mean(across)) if across else 0.0
+    return mean_within - mean_across

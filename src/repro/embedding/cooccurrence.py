@@ -1,0 +1,111 @@
+"""PPMI + truncated-SVD word vectors (GloVe-lite).
+
+Builds a symmetric windowed co-occurrence matrix over a corpus, applies
+positive pointwise mutual information, and factorizes with a truncated
+SVD.  Levy & Goldberg (2014) showed this classical pipeline approximates
+skip-gram embeddings; it is fast, deterministic and dependency-free, which
+makes it the right "pre-trained model" substitute here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .vocab import Vocabulary, tokenize
+
+__all__ = ["WordVectors", "train_word_vectors"]
+
+
+class WordVectors:
+    """Dense word vectors with cosine-similarity helpers."""
+
+    def __init__(self, vocabulary: Vocabulary, matrix: np.ndarray):
+        if matrix.shape[0] != len(vocabulary):
+            raise ValueError(
+                f"matrix rows {matrix.shape[0]} != vocabulary size {len(vocabulary)}"
+            )
+        self.vocabulary = vocabulary
+        self.matrix = matrix.astype(np.float32)
+        self.dim = matrix.shape[1]
+
+    def vector(self, token: str) -> np.ndarray:
+        """Dense vector for a token (UNK row if unknown)."""
+        return self.matrix[self.vocabulary.id_of(token)]
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two tokens."""
+        va, vb = self.vector(a), self.vector(b)
+        denom = float(np.linalg.norm(va) * np.linalg.norm(vb))
+        if denom == 0.0:
+            return 0.0
+        return float(va @ vb / denom)
+
+    def most_similar(self, token: str, k: int = 5) -> list[tuple[str, float]]:
+        """k nearest tokens by cosine similarity."""
+        target = self.vector(token)
+        norms = np.linalg.norm(self.matrix, axis=1) * (np.linalg.norm(target) + 1e-12)
+        scores = self.matrix @ target / np.maximum(norms, 1e-12)
+        order = np.argsort(-scores)
+        results = []
+        for idx in order:
+            candidate = self.vocabulary.token_of(int(idx))
+            if candidate == token or candidate == Vocabulary.UNK:
+                continue
+            results.append((candidate, float(scores[idx])))
+            if len(results) == k:
+                break
+        return results
+
+
+def _cooccurrence_matrix(sentences: list[list[str]], vocabulary: Vocabulary,
+                         window: int) -> np.ndarray:
+    size = len(vocabulary)
+    counts = np.zeros((size, size), dtype=np.float64)
+    for tokens in sentences:
+        ids = vocabulary.encode(tokens)
+        for i, center in enumerate(ids):
+            lo = max(0, i - window)
+            hi = min(len(ids), i + window + 1)
+            for j in range(lo, hi):
+                if j == i:
+                    continue
+                counts[center, ids[j]] += 1.0 / abs(j - i)  # distance-weighted, as in GloVe
+    return counts
+
+
+def _ppmi(counts: np.ndarray) -> np.ndarray:
+    total = counts.sum()
+    if total == 0:
+        return counts
+    row = counts.sum(axis=1, keepdims=True)
+    col = counts.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log((counts * total) / (row * col))
+    pmi[~np.isfinite(pmi)] = 0.0
+    return np.maximum(pmi, 0.0)
+
+
+def train_word_vectors(corpus: list[str], dim: int = 64, window: int = 4,
+                       min_count: int = 2) -> WordVectors:
+    """Train PPMI-SVD vectors on raw sentences.
+
+    The returned dimensionality is ``min(dim, rank)``; callers should read
+    :attr:`WordVectors.dim` rather than assume the request was honored
+    exactly (tiny corpora can have lower rank).
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    sentences = [tokenize(s) for s in corpus]
+    vocabulary = Vocabulary(min_count=min_count)
+    for tokens in sentences:
+        vocabulary.add_sentence(tokens)
+    vocabulary.build()
+    counts = _cooccurrence_matrix(sentences, vocabulary, window)
+    ppmi = _ppmi(counts)
+    # Dense SVD is fine at these vocabulary sizes (hundreds to low thousands).
+    u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
+    k = min(dim, len(s))
+    vectors = u[:, :k] * np.sqrt(s[:k])[None, :]
+    if k < dim:
+        vectors = np.pad(vectors, ((0, 0), (0, dim - k)))
+    return WordVectors(vocabulary, vectors.astype(np.float32))

@@ -1,0 +1,82 @@
+"""Built-in ops-domain training corpus for the "pre-trained" encoder.
+
+The paper embeds LLM interpretations with an off-the-shelf pre-trained
+model (DistilBERT) and explicitly notes the model choice is not a
+contribution.  Our substitute trains PPMI-SVD word vectors on a corpus of
+operations/infrastructure English assembled here: the concept catalog's
+canonical sentences and dialect phrases plus paraphrase templates that
+place domain words in shared contexts (so e.g. "connection", "session",
+"link" end up with similar vectors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..logs.events import CONCEPTS
+
+__all__ = ["build_corpus"]
+
+# Paraphrase frames: each group of sentences uses near-synonym slots so the
+# co-occurrence model learns domain synonymy the way a web-scale model would.
+_PARAPHRASE_FRAMES = [
+    "the {noun} to the remote {peer} was {failverb} unexpectedly",
+    "operators observed that the {noun} with the {peer} {failverb} during the incident",
+    "after the fault the {noun} between nodes was {failverb} and traffic stopped",
+]
+
+_NOUNS = ["connection", "session", "link", "channel", "stream", "circuit"]
+_PEERS = ["endpoint", "server", "peer", "host", "node", "replica"]
+_FAILVERBS = ["interrupted", "dropped", "refused", "reset", "broken", "lost"]
+
+_HEALTH_FRAMES = [
+    "the periodic {check} confirmed the {unit} is {state}",
+    "a scheduled {check} reported the {unit} as {state}",
+]
+_CHECKS = ["heartbeat", "probe", "health check", "liveness check", "diagnostic"]
+_UNITS = ["component", "service", "daemon", "process", "node", "broker"]
+_STATES = ["alive", "healthy", "responsive", "nominal", "operational"]
+
+_FAILURE_FRAMES = [
+    "the {device} reported an unrecoverable {error} and was taken offline",
+    "engineers replaced the {device} after repeated {error} events",
+]
+_DEVICES = ["disk", "memory module", "cache unit", "fan", "storage device", "dimm"]
+_ERRORS = ["parity error", "read error", "write error", "hardware fault", "io error", "media error"]
+
+_DB_FRAMES = [
+    "the {op} exceeded its {limit} and was {action}",
+    "monitoring flagged that the {op} went over the {limit} so it was {action}",
+]
+_OPS = ["query", "transaction", "statement", "replication stream", "checkpoint", "batch job"]
+_LIMITS = ["deadline", "timeout", "latency budget", "lag threshold", "quota", "rate limit"]
+_ACTIONS = ["aborted", "cancelled", "terminated", "rejected", "killed"]
+
+
+def _fill(frames: list[str], rng: np.random.Generator, repetitions: int,
+          **slots: list[str]) -> list[str]:
+    sentences = []
+    for _ in range(repetitions):
+        frame = frames[int(rng.integers(len(frames)))]
+        chosen = {key: values[int(rng.integers(len(values)))] for key, values in slots.items()}
+        sentences.append(frame.format(**chosen))
+    return sentences
+
+
+def build_corpus(seed: int = 0, paraphrases_per_family: int = 120) -> list[str]:
+    """Assemble the full training corpus (deterministic for a given seed)."""
+    rng = np.random.default_rng(seed)
+    corpus: list[str] = []
+    for concept in CONCEPTS:
+        corpus.append(concept.canonical)
+        for phrase in concept.phrases.values():
+            corpus.append(phrase.replace("<*>", " "))
+    corpus += _fill(_PARAPHRASE_FRAMES, rng, paraphrases_per_family,
+                    noun=_NOUNS, peer=_PEERS, failverb=_FAILVERBS)
+    corpus += _fill(_HEALTH_FRAMES, rng, paraphrases_per_family,
+                    check=_CHECKS, unit=_UNITS, state=_STATES)
+    corpus += _fill(_FAILURE_FRAMES, rng, paraphrases_per_family,
+                    device=_DEVICES, error=_ERRORS)
+    corpus += _fill(_DB_FRAMES, rng, paraphrases_per_family,
+                    op=_OPS, limit=_LIMITS, action=_ACTIONS)
+    return corpus

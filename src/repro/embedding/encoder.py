@@ -1,0 +1,84 @@
+"""Sentence encoder: SIF-weighted mean of word vectors.
+
+Maps a sentence (an LLM interpretation, or a raw template for the
+"w/o LEI" ablation) to a fixed-dimension vector.  Uses smooth inverse
+frequency weighting (Arora et al., 2017) over the word-vector vocabulary;
+out-of-vocabulary tokens get deterministic hash vectors so unseen system
+jargon still contributes a stable (if uninformed) signal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .cooccurrence import WordVectors
+from .vocab import tokenize
+
+__all__ = ["SentenceEncoder"]
+
+
+def _hash_vector(token: str, dim: int) -> np.ndarray:
+    """Deterministic pseudo-random unit vector for an OOV token."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    vec = rng.standard_normal(dim).astype(np.float32)
+    return vec / (np.linalg.norm(vec) + 1e-12)
+
+
+class SentenceEncoder:
+    """Fixed-dimension sentence embeddings from word vectors.
+
+    Parameters
+    ----------
+    word_vectors:
+        Trained :class:`WordVectors`.
+    sif_a:
+        SIF smoothing constant; weight of token t is ``a / (a + p(t))``.
+    oov_scale:
+        Magnitude of hash vectors for out-of-vocabulary tokens.
+    """
+
+    def __init__(self, word_vectors: WordVectors, sif_a: float = 1e-3, oov_scale: float = 0.3):
+        self.word_vectors = word_vectors
+        self.dim = word_vectors.dim
+        self.sif_a = sif_a
+        self.oov_scale = oov_scale
+        total = sum(word_vectors.vocabulary.counts.values()) or 1
+        self._probabilities = {
+            token: count / total for token, count in word_vectors.vocabulary.counts.items()
+        }
+        self._oov_cache: dict[str, np.ndarray] = {}
+
+    def _token_vector(self, token: str) -> np.ndarray:
+        if token in self.word_vectors.vocabulary:
+            return self.word_vectors.vector(token)
+        cached = self._oov_cache.get(token)
+        if cached is None:
+            cached = _hash_vector(token, self.dim) * self.oov_scale
+            self._oov_cache[token] = cached
+        return cached
+
+    def encode(self, sentence: str) -> np.ndarray:
+        """Encode one sentence to a ``dim``-vector (zero vector if empty)."""
+        tokens = tokenize(sentence)
+        if not tokens:
+            return np.zeros(self.dim, dtype=np.float32)
+        accum = np.zeros(self.dim, dtype=np.float64)
+        for token in tokens:
+            probability = self._probabilities.get(token, 0.0)
+            weight = self.sif_a / (self.sif_a + probability)
+            accum += weight * self._token_vector(token)
+        vec = (accum / len(tokens)).astype(np.float32)
+        norm = np.linalg.norm(vec)
+        if norm > 0:
+            vec = vec / norm
+        return vec
+
+    def encode_batch(self, sentences: list[str]) -> np.ndarray:
+        """Encode many sentences into an ``(n, dim)`` matrix."""
+        if not sentences:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        return np.stack([self.encode(s) for s in sentences])

@@ -1,0 +1,29 @@
+"""The "pre-trained model" used for event embedding (§III-C).
+
+The paper embeds interpretations with DistilBERT; here the equivalent is a
+PPMI-SVD :class:`SentenceEncoder` trained once on the built-in ops-domain
+corpus and cached per (dim, seed).  The paper notes the choice of
+pre-trained model is not a contribution — what matters is that
+semantically similar interpretations land nearby, which this encoder
+provides (validated in the test suite).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .cooccurrence import train_word_vectors
+from .corpus import build_corpus
+from .encoder import SentenceEncoder
+
+__all__ = ["load_pretrained_encoder", "DEFAULT_EMBEDDING_DIM"]
+
+DEFAULT_EMBEDDING_DIM = 64
+
+
+@lru_cache(maxsize=4)
+def load_pretrained_encoder(dim: int = DEFAULT_EMBEDDING_DIM, seed: int = 0) -> SentenceEncoder:
+    """Train (or return the cached) domain sentence encoder."""
+    corpus = build_corpus(seed=seed)
+    vectors = train_word_vectors(corpus, dim=dim, window=4, min_count=2)
+    return SentenceEncoder(vectors)

@@ -1,0 +1,58 @@
+"""TF-IDF vectorizer (used by simpler baselines and as an encoder fallback)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .vocab import Vocabulary, tokenize
+
+__all__ = ["TfidfVectorizer"]
+
+
+class TfidfVectorizer:
+    """Fit/transform TF-IDF with smooth idf and L2 normalization."""
+
+    def __init__(self, min_count: int = 1, max_size: int | None = None):
+        self._vocabulary = Vocabulary(min_count=min_count, max_size=max_size)
+        self._idf: np.ndarray | None = None
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The fitted vocabulary."""
+        return self._vocabulary
+
+    def fit(self, documents: list[str]) -> "TfidfVectorizer":
+        """Train the detector on the provided experiment data."""
+        tokenized = [tokenize(d) for d in documents]
+        for tokens in tokenized:
+            self._vocabulary.add_sentence(tokens)
+        self._vocabulary.build()
+        size = len(self._vocabulary)
+        doc_freq = np.zeros(size, dtype=np.float64)
+        for tokens in tokenized:
+            for token_id in set(self._vocabulary.encode(tokens)):
+                doc_freq[token_id] += 1
+        n_docs = max(1, len(documents))
+        self._idf = np.log((1 + n_docs) / (1 + doc_freq)) + 1.0
+        return self
+
+    def transform(self, documents: list[str]) -> np.ndarray:
+        if self._idf is None:
+            raise RuntimeError("TfidfVectorizer must be fit before transform")
+        size = len(self._vocabulary)
+        out = np.zeros((len(documents), size), dtype=np.float32)
+        for row, document in enumerate(documents):
+            ids = self._vocabulary.encode(tokenize(document))
+            if not ids:
+                continue
+            for token_id in ids:
+                out[row, token_id] += 1.0
+            out[row] /= len(ids)
+            out[row] *= self._idf
+            norm = np.linalg.norm(out[row])
+            if norm > 0:
+                out[row] /= norm
+        return out
+
+    def fit_transform(self, documents: list[str]) -> np.ndarray:
+        return self.fit(documents).transform(documents)

@@ -1,0 +1,70 @@
+"""Skip-gram with negative sampling (word2vec) in numpy.
+
+LogTransfer and LogTAD build their log representations from word2vec/GloVe
+vectors trained on raw log text; this is the trainer those baselines use.
+It is a standard SGNS implementation: for each (center, context) pair draw
+``negatives`` noise words from the unigram^0.75 distribution and take a
+gradient step on the logistic loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cooccurrence import WordVectors
+from .vocab import Vocabulary, tokenize
+
+__all__ = ["train_skipgram"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+def train_skipgram(corpus: list[str], dim: int = 64, window: int = 3,
+                   negatives: int = 5, epochs: int = 3, lr: float = 0.05,
+                   min_count: int = 2, seed: int = 0) -> WordVectors:
+    """Train SGNS vectors over raw sentences; returns :class:`WordVectors`."""
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    rng = np.random.default_rng(seed)
+    sentences = [tokenize(s) for s in corpus]
+    vocabulary = Vocabulary(min_count=min_count)
+    for tokens in sentences:
+        vocabulary.add_sentence(tokens)
+    vocabulary.build()
+    size = len(vocabulary)
+
+    # Noise distribution: unigram^0.75 over the frozen vocabulary.
+    freqs = np.array(
+        [vocabulary.counts.get(vocabulary.token_of(i), 1) for i in range(size)],
+        dtype=np.float64,
+    )
+    noise = freqs**0.75
+    noise /= noise.sum()
+
+    center_vecs = (rng.standard_normal((size, dim)) * 0.1).astype(np.float64)
+    context_vecs = np.zeros((size, dim), dtype=np.float64)
+
+    encoded = [vocabulary.encode(tokens) for tokens in sentences if tokens]
+    for epoch in range(epochs):
+        step_lr = lr * (1.0 - epoch / epochs) + 1e-4
+        for ids in encoded:
+            for i, center in enumerate(ids):
+                lo = max(0, i - window)
+                hi = min(len(ids), i + window + 1)
+                for j in range(lo, hi):
+                    if j == i:
+                        continue
+                    context = ids[j]
+                    sampled = rng.choice(size, size=negatives, p=noise)
+                    targets = np.concatenate(([context], sampled))
+                    labels = np.zeros(len(targets))
+                    labels[0] = 1.0
+                    vecs = context_vecs[targets]  # (1+neg, dim)
+                    scores = _sigmoid(vecs @ center_vecs[center])
+                    gradient = (scores - labels)[:, None]
+                    grad_center = (gradient * vecs).sum(axis=0)
+                    context_vecs[targets] -= step_lr * gradient * center_vecs[center]
+                    center_vecs[center] -= step_lr * grad_center
+    return WordVectors(vocabulary, center_vecs.astype(np.float32))

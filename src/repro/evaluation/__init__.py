@@ -1,0 +1,19 @@
+"""Evaluation harness: metrics, leakage-free splits, experiment runner, tables."""
+
+from .calibration import ThresholdChoice, calibrate_threshold, precision_floor_threshold
+from .metrics import BinaryMetrics, ConfusionCounts, binary_metrics, confusion_counts
+from .splits import TargetSplit, continuous_target_split, random_split, source_training_slice
+from .experiment import CrossSystemExperiment, ExperimentResult, MethodResult
+from .repeated import AggregateResult, repeat_experiment
+from .reporting import MarkdownReport, ReportSection
+from .tables import format_results_table, format_series, format_stats_table
+
+__all__ = [
+    "ThresholdChoice", "calibrate_threshold", "precision_floor_threshold",
+    "BinaryMetrics", "ConfusionCounts", "binary_metrics", "confusion_counts",
+    "TargetSplit", "continuous_target_split", "source_training_slice", "random_split",
+    "CrossSystemExperiment", "ExperimentResult", "MethodResult",
+    "AggregateResult", "repeat_experiment",
+    "format_results_table", "format_series", "format_stats_table",
+    "MarkdownReport", "ReportSection",
+]

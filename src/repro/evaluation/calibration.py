@@ -1,0 +1,74 @@
+"""Threshold calibration utilities.
+
+The paper fixes the decision threshold at 0.5 for all classifier-style
+methods (§IV-A3) but selects baseline hyperparameters "based on the
+optimal F1-Score".  These helpers implement that selection: sweep the
+threshold on a validation set and pick the F1-optimal point, plus a
+precision-floor variant operators use in production (high precision keeps
+alert fatigue down; §VI-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import binary_metrics
+
+__all__ = ["ThresholdChoice", "calibrate_threshold", "precision_floor_threshold"]
+
+
+@dataclass(frozen=True)
+class ThresholdChoice:
+    """A calibrated threshold with the validation metrics it achieved."""
+
+    threshold: float
+    f1: float
+    precision: float
+    recall: float
+
+
+def _sweep(y_true: np.ndarray, scores: np.ndarray) -> list[ThresholdChoice]:
+    candidates = np.unique(np.concatenate([[0.5], scores]))
+    choices = []
+    for threshold in candidates:
+        predictions = (scores > threshold).astype(np.int64)
+        metrics = binary_metrics(y_true, predictions)
+        choices.append(ThresholdChoice(
+            threshold=float(threshold), f1=metrics.f1,
+            precision=metrics.precision, recall=metrics.recall,
+        ))
+    return choices
+
+
+def calibrate_threshold(y_true, scores) -> ThresholdChoice:
+    """Pick the F1-optimal threshold on validation scores.
+
+    Ties break toward the *lower* threshold (higher recall), matching how
+    the paper's baselines were tuned.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {scores.shape}")
+    if len(y_true) == 0:
+        raise ValueError("cannot calibrate on an empty validation set")
+    choices = _sweep(y_true, scores)
+    return max(choices, key=lambda c: (c.f1, -c.threshold))
+
+
+def precision_floor_threshold(y_true, scores, min_precision: float = 0.9) -> ThresholdChoice:
+    """Highest-recall threshold whose validation precision meets the floor.
+
+    Falls back to the F1-optimal choice if no threshold reaches the floor.
+    """
+    if not 0.0 < min_precision <= 1.0:
+        raise ValueError(f"min_precision must be in (0, 1], got {min_precision}")
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    choices = _sweep(y_true, scores)
+    eligible = [c for c in choices if c.precision >= min_precision and c.recall > 0]
+    if not eligible:
+        return calibrate_threshold(y_true, scores)
+    return max(eligible, key=lambda c: (c.recall, c.precision))

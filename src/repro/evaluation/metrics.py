@@ -1,0 +1,69 @@
+"""Evaluation metrics (§IV-A3): precision, recall, F1 on binary labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfusionCounts", "BinaryMetrics", "confusion_counts", "binary_metrics"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Raw confusion-matrix cells."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        """Total event count."""
+        return self.true_positive + self.false_positive + self.true_negative + self.false_negative
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Precision/recall/F1 with the underlying counts attached."""
+
+    precision: float
+    recall: float
+    f1: float
+    counts: ConfusionCounts
+
+    def as_percentages(self) -> dict[str, float]:
+        """Metrics as percentage values keyed like the paper's tables."""
+        return {
+            "P(%)": 100.0 * self.precision,
+            "R(%)": 100.0 * self.recall,
+            "F1(%)": 100.0 * self.f1,
+        }
+
+
+def confusion_counts(y_true, y_pred) -> ConfusionCounts:
+    """Count confusion cells; inputs are arrays of {0, 1}."""
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    invalid = set(np.unique(y_true)) | set(np.unique(y_pred))
+    if invalid - {0, 1}:
+        raise ValueError(f"labels must be binary, got values {sorted(invalid)}")
+    return ConfusionCounts(
+        true_positive=int(((y_true == 1) & (y_pred == 1)).sum()),
+        false_positive=int(((y_true == 0) & (y_pred == 1)).sum()),
+        true_negative=int(((y_true == 0) & (y_pred == 0)).sum()),
+        false_negative=int(((y_true == 1) & (y_pred == 0)).sum()),
+    )
+
+
+def binary_metrics(y_true, y_pred) -> BinaryMetrics:
+    """Precision, recall and F1 (zero when undefined, as in the paper's tables)."""
+    counts = confusion_counts(y_true, y_pred)
+    tp, fp, fn = counts.true_positive, counts.false_positive, counts.false_negative
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = (2 * precision * recall / (precision + recall)) if (precision + recall) else 0.0
+    return BinaryMetrics(precision=precision, recall=recall, f1=f1, counts=counts)

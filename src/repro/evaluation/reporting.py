@@ -1,0 +1,75 @@
+"""Markdown experiment reports.
+
+Renders experiment outcomes as a self-contained markdown document —
+the format EXPERIMENTS.md uses — so downstream users can regenerate
+their own paper-vs-measured records when they change the substrate or
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .experiment import ExperimentResult
+
+__all__ = ["ReportSection", "MarkdownReport"]
+
+
+@dataclass
+class ReportSection:
+    """One experiment's section: commentary plus result blocks."""
+
+    title: str
+    commentary: str = ""
+    tables: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render this section as markdown."""
+        parts = [f"## {self.title}"]
+        if self.commentary:
+            parts.append(self.commentary.strip())
+        for table in self.tables:
+            parts.append("```\n" + table.rstrip() + "\n```")
+        return "\n\n".join(parts)
+
+
+class MarkdownReport:
+    """Assembles sections into a markdown document."""
+
+    def __init__(self, title: str, preamble: str = ""):
+        self.title = title
+        self.preamble = preamble
+        self.sections: list[ReportSection] = []
+
+    def add_section(self, title: str, commentary: str = "",
+                    tables: list[str] | None = None) -> ReportSection:
+        """Append a section and return it for further editing."""
+        section = ReportSection(title=title, commentary=commentary,
+                                tables=list(tables or []))
+        self.sections.append(section)
+        return section
+
+    def add_experiment(self, title: str, experiment: ExperimentResult,
+                       commentary: str = "") -> ReportSection:
+        """Append a section summarizing one :class:`ExperimentResult`."""
+        lines = [f"{'method':<16}{'P%':>8}{'R%':>8}{'F1%':>8}{'train s':>10}"]
+        for result in experiment.results:
+            pct = result.metrics.as_percentages()
+            lines.append(
+                f"{result.method:<16}{pct['P(%)']:>8.2f}{pct['R(%)']:>8.2f}"
+                f"{pct['F1(%)']:>8.2f}{result.train_seconds:>10.1f}"
+            )
+        return self.add_section(title, commentary, tables=["\n".join(lines)])
+
+    def render(self) -> str:
+        """Render the complete document."""
+        parts = [f"# {self.title}"]
+        if self.preamble:
+            parts.append(self.preamble.strip())
+        parts += [section.render() for section in self.sections]
+        return "\n\n".join(parts) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write the rendered document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

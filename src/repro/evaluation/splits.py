@@ -1,0 +1,71 @@
+"""Leakage-free data splits (§IV-A1).
+
+Following Le & Zhang (ICSE '22), random train/test splits leak future
+templates into training; the paper instead takes the *earliest* ``n``
+sequences of the target system for training and tests on the remainder.
+Source systems contribute their earliest ``n_s`` sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..logs.sequences import LogSequence
+
+__all__ = ["TargetSplit", "continuous_target_split", "source_training_slice",
+           "random_split"]
+
+
+@dataclass(frozen=True)
+class TargetSplit:
+    """Target-system train/test partition."""
+
+    train: list[LogSequence]
+    test: list[LogSequence]
+
+    @property
+    def train_labels(self) -> np.ndarray:
+        """Ground-truth labels of the training partition."""
+        return np.array([s.label for s in self.train], dtype=np.int64)
+
+    @property
+    def test_labels(self) -> np.ndarray:
+        """Ground-truth labels of the test partition."""
+        return np.array([s.label for s in self.test], dtype=np.int64)
+
+
+def continuous_target_split(sequences: list[LogSequence], n_train: int) -> TargetSplit:
+    """The paper's continuous sampling: former portion trains, latter tests."""
+    if n_train <= 0:
+        raise ValueError(f"n_train must be positive, got {n_train}")
+    if n_train >= len(sequences):
+        raise ValueError(
+            f"n_train={n_train} leaves no test data (only {len(sequences)} sequences)"
+        )
+    return TargetSplit(train=list(sequences[:n_train]), test=list(sequences[n_train:]))
+
+
+def source_training_slice(sequences: list[LogSequence], n_source: int) -> list[LogSequence]:
+    """Earliest ``n_source`` sequences of a source system (all of them if fewer)."""
+    if n_source <= 0:
+        raise ValueError(f"n_source must be positive, got {n_source}")
+    return list(sequences[:n_source])
+
+
+def random_split(sequences: list[LogSequence], n_train: int, seed: int = 0) -> TargetSplit:
+    """Random split — provided only to reproduce the leakage comparison.
+
+    The repository's experiments use :func:`continuous_target_split`; this
+    exists so the data-leakage ablation can quantify how much random
+    sampling inflates scores.
+    """
+    if n_train >= len(sequences):
+        raise ValueError("n_train leaves no test data")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(sequences))
+    train_index = set(order[:n_train].tolist())
+    train = [s for i, s in enumerate(sequences) if i in train_index]
+    test = [s for i, s in enumerate(sequences) if i not in train_index]
+    return TargetSplit(train=train, test=test)

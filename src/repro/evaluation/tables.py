@@ -1,0 +1,69 @@
+"""Table/figure formatting utilities for the benchmark harness.
+
+Renders MethodResult collections as the paper's Table IV/V layout (one
+P/R/F1 triple per target system) and simple series tables for the Fig 4-6
+sweeps.
+"""
+
+from __future__ import annotations
+
+from .experiment import ExperimentResult
+
+__all__ = ["format_results_table", "format_series", "format_stats_table"]
+
+
+def format_results_table(experiments: list[ExperimentResult], methods: list[str],
+                         title: str = "") -> str:
+    """Render Table IV/V: rows are methods, columns P/R/F1 per target."""
+    targets = [e.target for e in experiments]
+    by_target = {e.target: e.by_method() for e in experiments}
+    header = f"{'Method':<14}" + "".join(
+        f"{t:>24}" for t in targets
+    )
+    sub = f"{'':<14}" + "".join(f"{'P%':>8}{'R%':>8}{'F1%':>8}" for _ in targets)
+    lines = []
+    if title:
+        lines.append(title)
+    lines += [header, sub, "-" * len(sub)]
+    for method in methods:
+        cells = [f"{method:<14}"]
+        for target in targets:
+            result = by_target[target].get(method)
+            if result is None:
+                cells.append(f"{'-':>8}{'-':>8}{'-':>8}")
+                continue
+            pct = result.metrics.as_percentages()
+            cells.append(f"{pct['P(%)']:>8.2f}{pct['R(%)']:>8.2f}{pct['F1(%)']:>8.2f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: list, ys_by_label: dict[str, list[float]],
+                  x_label: str = "x", y_label: str = "F1(%)") -> str:
+    """Render a Fig 4-style sweep: one row per x value, one column per curve."""
+    labels = list(ys_by_label)
+    header = f"{x_label:<12}" + "".join(f"{label:>14}" for label in labels)
+    lines = [name, header, "-" * len(header)]
+    for index, x in enumerate(xs):
+        row = f"{str(x):<12}"
+        for label in labels:
+            value = ys_by_label[label][index]
+            row += f"{value:>14.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_stats_table(rows: list[dict], title: str = "") -> str:
+    """Render Table III-style dataset statistics."""
+    if not rows:
+        return title
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), max(len(str(r[c])) for r in rows)) + 2 for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("".join(f"{c:>{widths[c]}}" for c in columns))
+    lines.append("-" * sum(widths.values()))
+    for row in rows:
+        lines.append("".join(f"{str(row[c]):>{widths[c]}}" for c in columns))
+    return "\n".join(lines)

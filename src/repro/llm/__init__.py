@@ -1,0 +1,20 @@
+"""LLM-based event interpretation (LEI) substrate.
+
+Ships a :class:`SimulatedLLM` stand-in for ChatGPT-4o plus the LEI
+pipeline (prompting, interpretation, operator review/regeneration).
+Any object satisfying :class:`LLMClient` can replace the simulator to run
+against a hosted model.
+"""
+
+from .interface import LLMClient
+from .cache import CachedLLM
+from .prompts import SYSTEM_DESCRIPTIONS, build_interpretation_prompt, extract_log_from_prompt
+from .simulated import SimulatedLLM, normalize_tokens
+from .interpreter import EventInterpreter, InterpretationReport, review_interpretation
+
+__all__ = [
+    "LLMClient", "CachedLLM",
+    "build_interpretation_prompt", "extract_log_from_prompt", "SYSTEM_DESCRIPTIONS",
+    "SimulatedLLM", "normalize_tokens",
+    "EventInterpreter", "InterpretationReport", "review_interpretation",
+]

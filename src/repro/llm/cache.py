@@ -1,0 +1,81 @@
+"""Persistent interpretation cache.
+
+Production deployments interpret each template once and reuse the result
+across retrains and restarts (LLM calls cost money and minutes; §VI-B2).
+``CachedLLM`` wraps any :class:`LLMClient` with a JSON-file-backed cache
+keyed by the prompt, so repeated pipelines hit the LLM only for genuinely
+new templates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .interface import LLMClient
+
+__all__ = ["CachedLLM"]
+
+
+def _key(prompt: str) -> str:
+    return hashlib.sha256(prompt.encode("utf-8")).hexdigest()
+
+
+class CachedLLM:
+    """File-backed memoization wrapper around an LLM client.
+
+    Parameters
+    ----------
+    inner:
+        The real client (simulated or hosted).
+    path:
+        JSON cache file; created on first save, loaded if present.
+    autosave:
+        Persist after every new completion (safe default); set ``False``
+        and call :meth:`save` manually for bulk runs.
+    """
+
+    def __init__(self, inner: LLMClient, path: str | Path, autosave: bool = True):
+        self.inner = inner
+        self.path = Path(path)
+        self.autosave = autosave
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict[str, str] = {}
+        if self.path.exists():
+            try:
+                self._cache = json.loads(self.path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError) as exc:
+                raise ValueError(f"corrupt interpretation cache at {self.path}") from exc
+            if not isinstance(self._cache, dict):
+                raise ValueError(f"corrupt interpretation cache at {self.path}")
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def complete(self, prompt: str) -> str:
+        """Return the completion, from cache when available."""
+        key = _key(prompt)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        completion = self.inner.complete(prompt)
+        self._cache[key] = completion
+        if self.autosave:
+            self.save()
+        return completion
+
+    def invalidate(self, prompt: str) -> bool:
+        """Drop one cached completion (e.g. after a failed operator review)."""
+        removed = self._cache.pop(_key(prompt), None) is not None
+        if removed and self.autosave:
+            self.save()
+        return removed
+
+    def save(self) -> None:
+        """Persist state to disk."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._cache, indent=0), encoding="utf-8")

@@ -1,0 +1,21 @@
+"""LLM client protocol.
+
+LogSynergy's LEI stage talks to an LLM through a narrow text-completion
+interface; production deployments point this at a hosted model (the paper
+uses ChatGPT-4o), while this reproduction ships :class:`SimulatedLLM`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["LLMClient"]
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that maps a prompt string to a completion string."""
+
+    def complete(self, prompt: str) -> str:
+        """Return the model's completion for ``prompt``."""
+        ...

@@ -1,0 +1,45 @@
+"""Prompt construction for LLM-based event interpretation (Fig 2).
+
+The paper's prompts carry (1) a one-sentence description of the source
+system to ground the interpretation, and (2) the representative log
+message for the event, asking for a concise standardized restatement.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SYSTEM_DESCRIPTIONS", "build_interpretation_prompt", "extract_log_from_prompt"]
+
+# Short system-context sentences, in the style of the paper's Fig 2 example
+# ("The following logs come from an HPC system...").
+SYSTEM_DESCRIPTIONS: dict[str, str] = {
+    "bgl": "The following log comes from the BlueGene/L supercomputer (HPC system).",
+    "spirit": "The following log comes from the Spirit supercomputing cluster (HPC system).",
+    "thunderbird": "The following log comes from the Thunderbird supercomputer (HPC system).",
+    "system_a": "The following log comes from a cloud data management system (distributed database).",
+    "system_b": "The following log comes from a cloud data management system (storage middleware).",
+    "system_c": "The following log comes from a cloud data management system (message/database broker).",
+}
+
+_INSTRUCTION = (
+    "Interpret the log event in one concise sentence using standardized syntax. "
+    "Expand abbreviations, keep the essential information common across systems, "
+    "and omit system-specific identifiers."
+)
+
+_LOG_MARKER = "Log: "
+
+
+def build_interpretation_prompt(system: str, log_message: str) -> str:
+    """Assemble the Fig 2-style prompt for one representative log message."""
+    description = SYSTEM_DESCRIPTIONS.get(
+        system, "The following log comes from a software system."
+    )
+    return f"{description}\n{_INSTRUCTION}\n{_LOG_MARKER}{log_message}"
+
+
+def extract_log_from_prompt(prompt: str) -> str:
+    """Recover the log message embedded by :func:`build_interpretation_prompt`."""
+    marker_at = prompt.rfind(_LOG_MARKER)
+    if marker_at < 0:
+        return prompt
+    return prompt[marker_at + len(_LOG_MARKER):].strip()

@@ -1,0 +1,45 @@
+"""Synthetic multi-system log substrate.
+
+Stands in for the BGL/Spirit/Thunderbird LogHub dumps and the proprietary
+ISP System A/B/C datasets: a shared event-concept catalog rendered through
+six divergent per-system syntax dialects, with Table III-matching anomaly
+ratios (scaled).
+"""
+
+from .events import (
+    CONCEPTS,
+    EventConcept,
+    EventKind,
+    SYSTEM_NAMES,
+    anomalous_concepts,
+    concept_by_name,
+    concepts_for_system,
+    normal_concepts,
+)
+from .systems import ISP_SYSTEMS, PROFILES, PUBLIC_SYSTEMS, SystemProfile, get_profile
+from .generator import LogGenerator, LogRecord, generate_logs
+from .sequences import DEFAULT_STEP, DEFAULT_WINDOW, LogSequence, sliding_windows
+from .datasets import (
+    LogDataset,
+    TABLE3_LINE_COUNTS,
+    build_all_datasets,
+    build_dataset,
+    dataset_statistics,
+)
+from .stats import BurstStats, TemplateFrequencyStats, burst_stats, inter_arrival_seconds, template_frequency_stats
+from .drift import DRIFT_SYNONYMS, inject_field, inject_label_noise, reword_records
+from .loader import load_records, read_raw_log_file, save_records
+
+__all__ = [
+    "EventConcept", "EventKind", "CONCEPTS", "SYSTEM_NAMES",
+    "concept_by_name", "concepts_for_system", "anomalous_concepts", "normal_concepts",
+    "SystemProfile", "PROFILES", "get_profile", "PUBLIC_SYSTEMS", "ISP_SYSTEMS",
+    "LogGenerator", "LogRecord", "generate_logs",
+    "LogSequence", "sliding_windows", "DEFAULT_WINDOW", "DEFAULT_STEP",
+    "LogDataset", "build_dataset", "build_all_datasets", "dataset_statistics",
+    "TABLE3_LINE_COUNTS",
+    "save_records", "load_records", "read_raw_log_file",
+    "reword_records", "inject_label_noise", "inject_field", "DRIFT_SYNONYMS",
+    "TemplateFrequencyStats", "BurstStats", "template_frequency_stats",
+    "burst_stats", "inter_arrival_seconds",
+]

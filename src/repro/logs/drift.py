@@ -1,0 +1,101 @@
+"""Log drift injection for robustness/failure testing.
+
+Real systems evolve: templates get reworded, fields are added, components
+renamed (the instability LogRobust was built for, and the external threat
+of §IV-E1).  These transforms perturb generated log records so tests and
+ablations can measure how each method degrades under drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .generator import LogRecord
+
+__all__ = ["reword_records", "inject_label_noise", "inject_field", "DRIFT_SYNONYMS"]
+
+# Conservative operational-English rewordings used by :func:`reword_records`.
+DRIFT_SYNONYMS: dict[str, str] = {
+    "failed": "unsuccessful",
+    "error": "fault",
+    "errors": "faults",
+    "down": "offline",
+    "connection": "link",
+    "session": "channel",
+    "node": "host",
+    "exceeded": "surpassed",
+    "expired": "lapsed",
+    "completed": "finished",
+    "started": "launched",
+}
+
+
+def _reword_message(message: str, rng: np.random.Generator, probability: float) -> str:
+    tokens = message.split(" ")
+    changed = []
+    for token in tokens:
+        key = token.lower().strip(",.:;()")
+        if key in DRIFT_SYNONYMS and rng.random() < probability:
+            replacement = DRIFT_SYNONYMS[key]
+            if token[:1].isupper():
+                replacement = replacement.capitalize()
+            changed.append(token.replace(token.strip(",.:;()"), replacement))
+        else:
+            changed.append(token)
+    return " ".join(changed)
+
+
+def reword_records(records: list[LogRecord], probability: float = 0.5,
+                   seed: int = 0) -> list[LogRecord]:
+    """Synonym-reword a fraction of drift-eligible tokens in each message.
+
+    Labels and concepts are preserved — only the surface syntax drifts,
+    which is exactly the §IV-E1 instability scenario.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    rng = np.random.default_rng(seed)
+    drifted = []
+    for record in records:
+        message = _reword_message(record.message, rng, probability)
+        drifted.append(replace(record, message=message,
+                               raw=record.raw.replace(record.message, message)))
+    return drifted
+
+
+def inject_label_noise(records: list[LogRecord], flip_rate: float = 0.01,
+                       seed: int = 0) -> list[LogRecord]:
+    """Flip a fraction of line labels (the low-quality-labels threat, §IV-E1).
+
+    Flipped records keep their text; only ``is_anomalous`` changes, so the
+    noise is purely in supervision, as with misclassified production logs.
+    """
+    if not 0.0 <= flip_rate <= 1.0:
+        raise ValueError(f"flip_rate must be in [0, 1], got {flip_rate}")
+    rng = np.random.default_rng(seed)
+    noisy = []
+    for record in records:
+        if rng.random() < flip_rate:
+            noisy.append(replace(record, is_anomalous=not record.is_anomalous))
+        else:
+            noisy.append(record)
+    return noisy
+
+
+def inject_field(records: list[LogRecord], field_text: str = "trace_id=<new>",
+                 probability: float = 1.0, seed: int = 0) -> list[LogRecord]:
+    """Append a new structured field to messages (schema-evolution drift)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    rng = np.random.default_rng(seed)
+    out = []
+    for record in records:
+        if rng.random() < probability:
+            message = f"{record.message} {field_text}"
+            out.append(replace(record, message=message,
+                               raw=f"{record.raw} {field_text}"))
+        else:
+            out.append(record)
+    return out

@@ -1,0 +1,559 @@
+"""Event-concept catalog shared by all synthetic system profiles.
+
+The paper's central observation (Table I) is that *the same anomalous event*
+surfaces with radically different syntax in different systems: a network
+interruption is ``Connection refused (111) in open_demux`` on Spirit but
+``Lustre mount FAILED ... on control stream (CioStream)`` on BGL.  This
+module encodes that structure explicitly: a catalog of event *concepts*
+(the shared semantics) each carrying one surface *phrase* per system
+dialect (the divergent syntax) plus the canonical natural-language
+interpretation an ideal LLM would produce.
+
+Dialects are keyed by system name: ``bgl``, ``spirit``, ``thunderbird``
+(supercomputer logs, after Oliner & Stearley 2007) and ``system_a``,
+``system_b``, ``system_c`` (CDMS production logs).  A concept missing a
+dialect entry simply never occurs on that system — this is what creates
+the asymmetric anomaly coverage the paper analyzes in §V (Fig 6).
+
+``<*>`` marks a parameter slot; the generator fills these with values
+drawn from the slot vocabulary in :mod:`repro.logs.parameters`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "EventConcept", "CONCEPTS", "concept_by_name", "concepts_for_system",
+           "anomalous_concepts", "normal_concepts", "SYSTEM_NAMES"]
+
+SYSTEM_NAMES = ("bgl", "spirit", "thunderbird", "system_a", "system_b", "system_c")
+
+
+class EventKind(enum.Enum):
+    """Whether a concept represents normal operation or an anomaly."""
+
+    NORMAL = "normal"
+    ANOMALOUS = "anomalous"
+
+
+@dataclass(frozen=True)
+class EventConcept:
+    """One semantic event with per-system surface phrases.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, e.g. ``"network_interruption"``.
+    kind:
+        Normal vs anomalous semantics.
+    category:
+        Operational category (network, hardware, storage, ...).
+    canonical:
+        The standardized interpretation an ideal LEI run produces; this is
+        what the simulated LLM's knowledge base returns for any dialect.
+    phrases:
+        Mapping system name -> surface phrase with ``<*>`` parameter slots.
+    """
+
+    name: str
+    kind: EventKind
+    category: str
+    canonical: str
+    # compare=False keeps the (frozen) dataclass hashable by its scalar
+    # fields even though phrases is a mutable mapping.
+    phrases: dict[str, str] = field(default_factory=dict, compare=False)
+
+    def supports(self, system: str) -> bool:
+        """Whether this concept can occur on the given system."""
+        return system in self.phrases
+
+
+def _concept(name: str, kind: EventKind, category: str, canonical: str,
+             **phrases: str) -> EventConcept:
+    unknown = set(phrases) - set(SYSTEM_NAMES)
+    if unknown:
+        raise ValueError(f"unknown systems in phrases for {name}: {sorted(unknown)}")
+    return EventConcept(name=name, kind=kind, category=category, canonical=canonical,
+                        phrases=dict(phrases))
+
+
+_A = EventKind.ANOMALOUS
+_N = EventKind.NORMAL
+
+# ----------------------------------------------------------------------
+# Anomalous concepts
+# ----------------------------------------------------------------------
+_ANOMALOUS = [
+    _concept(
+        "network_interruption", _A, "network",
+        "Network connection to a remote endpoint was interrupted.",
+        bgl="Lustre mount FAILED: <*> failed on control stream (CioStream socket to <*>)",
+        spirit="Connection refused (111) in open_demux, open_demux: connect <*>:<*>",
+        thunderbird="kernel: nfs: server <*> not responding, still trying",
+        system_a="rpc_client: broken pipe while calling shard=<*> endpoint=<*>, retry scheduled",
+        system_b="[NETIO] tcp session to peer <*> dropped unexpectedly (errno=<*>)",
+        system_c="Port down reason Interface <*> is down, due to Los",
+    ),
+    _concept(
+        "parity_error", _A, "hardware",
+        "A hardware parity error was detected in a memory or cache unit.",
+        bgl="machine check interrupt (bit=<*>): L2 dcache unit read return parity error",
+        spirit="GM: LANAI[<*>]: PANIC: mcp/gm_parity.c:<*> : parityInt(): firmware",
+        thunderbird="kernel: EDAC MC<*>: CE page <*>, offset <*>, grain 8, syndrome parity",
+    ),
+    _concept(
+        "kernel_panic", _A, "os",
+        "The operating system kernel crashed and halted the node.",
+        bgl="rts panic! - stopping execution, reason code <*>",
+        spirit="kernel panic: Aiee, killing interrupt handler! In interrupt handler - not syncing",
+        thunderbird="kernel: Kernel panic - not syncing: Fatal exception in interrupt cpu <*>",
+    ),
+    _concept(
+        "disk_failure", _A, "storage",
+        "A disk device reported unrecoverable input/output errors.",
+        bgl="ciod: Error reading message prefix on CioStream; disk ioc error <*>",
+        spirit="scsi(<*>): Unrecovered read error on dev sd<*>, sector <*>",
+        thunderbird="kernel: EXT3-fs error (device sd<*>): ext3_get_inode_loc: unable to read inode block <*>",
+        system_a="blockstore: volume vol-<*> write failed: device io error, marking segment dirty",
+        system_c="DISK_ALARM slot=<*> medium error count exceeded threshold, smart status FAILED",
+    ),
+    _concept(
+        "memory_exhaustion", _A, "memory",
+        "A process exhausted available memory and allocation failed.",
+        bgl="total of <*> ddr error(s) detected and corrected over <*> seconds; allocation failure follows",
+        spirit="oom-killer: gfp_mask=<*> order=<*>, killed process <*> (mpirun)",
+        thunderbird="kernel: Out of Memory: Killed process <*> (<*>)",
+        system_a="tablet_server: memstore flush stalled, rss <*>MB over limit, rejecting writes",
+        system_b="[MEM] allocation of <*> bytes failed in arena <*>, pool exhausted",
+    ),
+    _concept(
+        "filesystem_corruption", _A, "storage",
+        "Filesystem metadata corruption was detected during an operation.",
+        bgl="ciod: LOGIN chdir <*> failed: Input/output error, metadata invalid",
+        spirit="ext2_check_page: bad entry in directory #<*>: unaligned directory entry",
+        thunderbird="kernel: journal_bmap: journal block not found at offset <*> on sd<*>",
+        system_c="FS_CHECK inode table mismatch on segment <*>, expected crc <*> got <*>",
+    ),
+    _concept(
+        "service_crash", _A, "service",
+        "A server process terminated unexpectedly with a fatal signal.",
+        bgl="ciod: cpu <*> at treeaddr <*> sent unexpected KILL signal, job terminated",
+        spirit="pbs_mom: task_check, cannot tm_reply to <*> task <*>, daemon aborted",
+        thunderbird="crond[<*>]: CRON service terminated by signal 11 (segfault)",
+        system_a="worker[<*>]: fatal: unhandled exception in request loop, process exiting",
+        system_b="[SUPERVISOR] child proc <*> exited abnormally rc=<*>, respawning",
+        system_c="Process manager daemon <*> crashed unexpectedly, core dumped at <*>",
+    ),
+    _concept(
+        "auth_failure_burst", _A, "security",
+        "Repeated authentication failures indicate a possible intrusion attempt.",
+        spirit="sshd[<*>]: Failed password for illegal user <*> from <*> port <*> ssh2 (repeated)",
+        thunderbird="sshd(pam_unix)[<*>]: authentication failure; rhost=<*> burst count <*>",
+        system_a="authsvc: token validation failed <*> consecutive times for principal <*>, locking",
+        system_b="[AUTH] credential check rejected for uid <*> (<*> attempts within window)",
+    ),
+    _concept(
+        "replication_lag", _A, "database",
+        "Data replication between replicas fell behind beyond the allowed lag.",
+        system_a="replicator: shard=<*> lag=<*>ms exceeds SLA, follower falling behind leader",
+        system_b="[REPL] apply queue depth <*> on group <*> above high watermark",
+        system_c="Replication channel <*> stalled, relay position behind master by <*> events",
+    ),
+    _concept(
+        "query_timeout", _A, "database",
+        "A database query exceeded its execution deadline and was aborted.",
+        system_a="query_engine: stmt id=<*> cancelled after <*>ms, deadline exceeded",
+        system_b="[SQL] execution of plan <*> aborted: timer expired",
+        system_c="Slow query killer terminated connection <*>, runtime <*>s over limit",
+    ),
+    _concept(
+        "lease_expired", _A, "coordination",
+        "A coordination lease expired and leadership was lost.",
+        system_a="raft: node <*> lost leadership for range <*>, lease expired without renewal",
+        system_b="[COORD] session <*> with quorum service timed out, ephemeral state dropped",
+        system_c="Cluster membership lease for broker <*> expired, initiating re-election",
+    ),
+    _concept(
+        "node_unreachable", _A, "network",
+        "A cluster node stopped responding to health probes.",
+        bgl="Node card VPD check: missing <*> node(s), node map invalid",
+        spirit="Ping: node sn<*> not responding to admin heartbeat after <*> attempts",
+        thunderbird="heartbeat: node tbird-admin<*> declared dead, no response in <*>s",
+        system_a="membership: peer <*> missed <*> gossip rounds, marking SUSPECT",
+        system_b="[CLUSTER] node <*> removed from ring after failed probes",
+    ),
+    _concept(
+        "ecc_error", _A, "hardware",
+        "Correctable memory errors exceeded the alarm threshold.",
+        bgl="ddr: excessive soft failures, consider replacing the card at <*>",
+        spirit="EDAC: MC<*> CE count <*> on DIMM_<*> exceeded threshold",
+        thunderbird="kernel: EDAC k8 MC<*>: extended error code: ECC chipkill x4 error",
+    ),
+    _concept(
+        "fan_failure", _A, "hardware",
+        "A cooling fan failed and node temperature is rising.",
+        bgl="MMCS: fan module <*> RPM below minimum, temperature ascending",
+        spirit="envmon: chassis fan <*> failure detected, temp zone <*> at <*>C",
+        thunderbird="hald: fan <*> speed 0 rpm, thermal warning raised",
+    ),
+    _concept(
+        "scheduler_deadlock", _A, "scheduler",
+        "The job scheduler deadlocked and stopped dispatching work.",
+        bgl="ciod: duplicate canonical-rank <*> to <*> mapping; scheduler wedged",
+        spirit="pbs_server: dependency cycle detected among jobs <*>,<*>, queue frozen",
+        thunderbird="slurmctld: agent deadlock detected, retry queue length <*>",
+        system_b="[TASKQ] dispatcher stuck: worker pool <*> idle while queue depth <*>",
+    ),
+    _concept(
+        "cache_thrash", _A, "performance",
+        "Severe cache thrashing degraded request latency.",
+        system_a="cache_mgr: hit ratio fell to <*>% on pool <*>, eviction storm in progress",
+        system_b="[CACHE] thrash alarm: <*> evictions/s sustained on segment <*>",
+        system_c="Buffer pool churn excessive, pages recycled <*> times within interval",
+    ),
+    _concept(
+        "checkpoint_failure", _A, "storage",
+        "A periodic state checkpoint could not be written.",
+        bgl="ciod: failed to write checkpoint core file <*>: No space left on device",
+        spirit="ckpt: checkpoint of job <*> failed, cr_core write error <*>",
+        system_a="snapshotter: checkpoint seq=<*> aborted, staging upload failed",
+        system_c="Checkpoint writer could not persist state file <*>, aborting cycle",
+    ),
+    _concept(
+        "torus_link_error", _A, "network",
+        "An interconnect torus link reported receive errors.",
+        bgl="torus receiver <*> input pipe error(s) (dcr <*>) detected and corrected",
+        spirit="myrinet: lanai link <*> CRC error burst, remapping route",
+    ),
+    _concept(
+        "quota_exceeded", _A, "storage",
+        "A tenant exceeded its storage quota and writes were rejected.",
+        system_a="quota_enforcer: tenant <*> over hard limit by <*>MB, writes rejected",
+        system_b="[QUOTA] namespace <*> usage <*>% of allocation, enforcement active",
+        system_c="Tenant storage budget breached for account <*>, rejecting ingest",
+    ),
+    _concept(
+        "clock_skew", _A, "coordination",
+        "Severe clock skew was detected between cluster nodes.",
+        spirit="ntpd[<*>]: time reset <*> s, clock unsynchronized against stratum <*>",
+        thunderbird="ntpd[<*>]: synchronisation lost, drift file out of tolerance",
+        system_b="[TIME] offset to reference <*>ms beyond skew budget, fencing writes",
+    ),
+    _concept(
+        "watchdog_timeout", _A, "os",
+        "A hardware or software watchdog timer expired and reset the component.",
+        bgl="MMCS: watchdog expiration for node card <*>, forcing reset",
+        spirit="kernel: NMI Watchdog detected LOCKUP on CPU<*>, registers dumped",
+        system_b="[WDT] supervisor watchdog fired for worker <*>, restarting",
+    ),
+    _concept(
+        "pcie_link_degraded", _A, "hardware",
+        "A peripheral interconnect link degraded to reduced speed or width.",
+        bgl="ido: link chip <*> retrained at reduced width, lanes <*> of <*>",
+        thunderbird="kernel: PCI-X bus <*> downshifted, parity watch enabled",
+    ),
+    _concept(
+        "raid_rebuild_stalled", _A, "storage",
+        "A RAID array rebuild stalled and redundancy is not restored.",
+        spirit="md: resync of array md<*> stuck at <*>%, speed 0K/sec",
+        thunderbird="kernel: md<*>: raid array not clean, rebuild halted",
+        system_c="Storage pool resilvering for group <*> made no progress in <*>m",
+    ),
+    _concept(
+        "wal_corruption", _A, "database",
+        "The write-ahead log was found corrupted during recovery.",
+        system_a="txn_mgr: wal segment <*> checksum mismatch at offset <*>, recovery aborted",
+        system_b="[TXN] journal replay error: torn record in segment <*>",
+    ),
+    _concept(
+        "connection_pool_exhausted", _A, "service",
+        "The connection pool was exhausted and new requests are being refused.",
+        system_a="gateway: pool <*> at capacity, <*> waiters, shedding new sessions",
+        system_b="[NETIO] no free slots in acceptor pool <*>, refusing",
+        system_c="Connection broker saturated for listener <*>, clients queued",
+    ),
+    _concept(
+        "hot_partition", _A, "performance",
+        "A single partition is absorbing disproportionate load and throttling.",
+        system_a="balancer: range <*> qps <*>x median, split scheduled, throttling",
+        system_c="Partition <*> load factor critical, rebalancing triggered",
+    ),
+]
+
+# ----------------------------------------------------------------------
+# Normal concepts
+# ----------------------------------------------------------------------
+_NORMAL = [
+    _concept(
+        "heartbeat", _N, "monitoring",
+        "A periodic heartbeat confirmed the component is alive.",
+        bgl="MMCS heartbeat from node <*> acknowledged",
+        spirit="mond: heartbeat ok node sn<*> load <*>",
+        thunderbird="heartbeat: tbird-<*> alive, seq <*>",
+        system_a="healthd: liveness probe ok instance=<*> rtt=<*>ms",
+        system_b="[HB] keepalive round <*> complete, all members responsive",
+        system_c="Heartbeat OK from broker <*> epoch <*>",
+    ),
+    _concept(
+        "job_start", _N, "scheduler",
+        "A batch job began execution.",
+        bgl="ciod: Message code <*> initiating job <*> on block <*>",
+        spirit="pbs_mom: Started job <*> for user <*>",
+        thunderbird="slurmd: launching task <*> of job <*>",
+        system_a="jobsvc: task <*> admitted to pool <*>, executor assigned",
+        system_b="[JOB] run <*> started on worker <*>",
+        system_c="Batch task <*> dispatched to executor <*>",
+    ),
+    _concept(
+        "job_complete", _N, "scheduler",
+        "A batch job finished successfully.",
+        bgl="ciod: Message code <*> job <*> exited normally rc=0",
+        spirit="pbs_mom: job <*> finished, Exit_status=0",
+        thunderbird="slurmd: job <*> completed, elapsed <*>s",
+        system_a="jobsvc: task <*> finished state=SUCCEEDED duration=<*>s",
+        system_b="[JOB] run <*> completed rc=0",
+        system_c="Batch task <*> completed successfully in <*>s",
+    ),
+    _concept(
+        "connection_open", _N, "network",
+        "A client connection was established.",
+        bgl="ciod: opened stream connection to <*> port <*>",
+        spirit="xinetd: START: session from=<*>",
+        thunderbird="sshd[<*>]: Accepted publickey for <*> from <*>",
+        system_a="gateway: session <*> established client=<*> tls=1.3",
+        system_b="[NETIO] inbound channel <*> accepted from <*>",
+        system_c="Client connection <*> opened on listener <*>",
+    ),
+    _concept(
+        "connection_close", _N, "network",
+        "A client connection was closed normally.",
+        bgl="ciod: closed stream connection to <*> cleanly",
+        spirit="xinetd: EXIT: session from=<*> duration=<*>s",
+        thunderbird="sshd[<*>]: Connection closed by <*>",
+        system_a="gateway: session <*> closed gracefully bytes=<*>",
+        system_b="[NETIO] channel <*> shut down by peer",
+        system_c="Client connection <*> closed, reason normal",
+    ),
+    _concept(
+        "config_reload", _N, "service",
+        "Service configuration was reloaded.",
+        spirit="syslogd: configuration reloaded, <*> rules active",
+        thunderbird="crond[<*>]: (CRON) RELOAD (tabs/<*>)",
+        system_a="configd: applied revision <*>, <*> keys changed",
+        system_b="[CONF] hot reload of profile <*> complete",
+        system_c="Configuration snapshot <*> activated",
+    ),
+    _concept(
+        "cache_refresh", _N, "performance",
+        "A cache segment was refreshed from the backing store.",
+        system_a="cache_mgr: pool <*> warmed, <*> entries loaded",
+        system_b="[CACHE] segment <*> repopulated in <*>ms",
+        system_c="Buffer pool region <*> refreshed from storage tier",
+    ),
+    _concept(
+        "gc_cycle", _N, "memory",
+        "A garbage-collection cycle completed.",
+        system_a="runtime: gc cycle <*> done, reclaimed <*>MB pause=<*>ms",
+        system_b="[GC] generation <*> sweep finished, freed <*> objects",
+        system_c="Memory compaction pass <*> finished, heap usage <*>%",
+    ),
+    _concept(
+        "login_success", _N, "security",
+        "A user authenticated successfully.",
+        spirit="sshd[<*>]: Accepted password for <*> from <*> port <*> ssh2",
+        thunderbird="login: LOGIN ON tty<*> BY <*>",
+        system_a="authsvc: principal <*> authenticated via mTLS",
+        system_b="[AUTH] uid <*> granted session token scope=<*>",
+        system_c="User <*> signed in from console <*>",
+    ),
+    _concept(
+        "packet_stats", _N, "network",
+        "Periodic interface packet statistics were recorded.",
+        bgl="torus: <*> packets sent, <*> received on plane <*>",
+        spirit="netstat: eth<*> rx=<*> tx=<*> drop=0",
+        thunderbird="kernel: eth<*>: stats rx_packets <*> tx_packets <*>",
+        system_b="[NETIO] iface <*> counters rx=<*> tx=<*>",
+    ),
+    _concept(
+        "disk_scrub", _N, "storage",
+        "A background disk scrub pass completed without errors.",
+        bgl="ido: chip scrub cycle <*> complete, 0 uncorrectable",
+        spirit="smartd: device sd<*> scrub pass ok, realloc sectors <*>",
+        thunderbird="kernel: md: data-check of RAID array md<*> done",
+        system_c="DISK_SCRUB slot=<*> pass complete, zero media errors",
+    ),
+    _concept(
+        "snapshot_created", _N, "storage",
+        "A storage snapshot was created.",
+        system_a="snapshotter: snapshot seq=<*> persisted, size <*>MB",
+        system_b="[SNAP] point-in-time image <*> committed",
+        system_c="Snapshot <*> created for volume group <*>",
+    ),
+    _concept(
+        "index_rebuilt", _N, "database",
+        "A secondary index finished rebuilding.",
+        system_a="indexer: rebuilt index <*> rows=<*> in <*>s",
+        system_b="[IDX] structure <*> rebuild complete, depth <*>",
+        system_c="Secondary index <*> rebuild finished, <*> entries",
+    ),
+    _concept(
+        "query_served", _N, "database",
+        "A query completed within its latency budget.",
+        system_a="query_engine: stmt id=<*> ok rows=<*> latency=<*>ms",
+        system_b="[SQL] plan <*> executed, fetched <*> tuples",
+        system_c="Query <*> served from node <*>, duration <*>ms",
+    ),
+    _concept(
+        "lease_renewed", _N, "coordination",
+        "A coordination lease was renewed on schedule.",
+        system_a="raft: range <*> lease renewed by node <*>",
+        system_b="[COORD] session <*> lease extended ttl=<*>s",
+        system_c="Broker <*> renewed cluster membership lease",
+    ),
+    _concept(
+        "replica_sync", _N, "database",
+        "A replica caught up with its leader.",
+        system_a="replicator: shard=<*> follower in sync, lag=<*>ms",
+        system_b="[REPL] group <*> apply queue drained",
+        system_c="Replication channel <*> synchronized with master",
+    ),
+    _concept(
+        "health_check", _N, "monitoring",
+        "A scheduled health check passed.",
+        bgl="MMCS: node card <*> VPD check passed",
+        spirit="mond: sensors nominal on sn<*>",
+        thunderbird="hald: periodic device poll ok, <*> devices",
+        system_a="healthd: deep check ok, <*> subsystems green",
+        system_b="[HB] diagnostic sweep <*> passed",
+        system_c="Health probe on service <*> returned OK",
+    ),
+    _concept(
+        "throttle_adjust", _N, "performance",
+        "Request throttling limits were auto-adjusted.",
+        system_a="admission: rate limit for tenant <*> adjusted to <*> rps",
+        system_b="[FLOW] credit pool for class <*> resized to <*>",
+        system_c="Ingest throttle for account <*> tuned to <*> ops",
+    ),
+    _concept(
+        "metrics_flush", _N, "monitoring",
+        "Buffered metrics were flushed to the time-series store.",
+        spirit="mond: flushed <*> samples to collector",
+        thunderbird="collectd: wrote <*> metrics batch <*>",
+        system_a="telemetry: flushed <*> datapoints shard=<*>",
+        system_b="[METRIC] emitted batch <*> (<*> series)",
+        system_c="Metrics buffer <*> flushed downstream",
+    ),
+    _concept(
+        "cron_run", _N, "scheduler",
+        "A scheduled maintenance task ran.",
+        spirit="crond[<*>]: (root) CMD (run-parts /etc/cron.hourly)",
+        thunderbird="crond[<*>]: (<*>) CMD (<*>)",
+        system_c="Scheduled maintenance routine <*> executed",
+    ),
+    _concept(
+        "fs_mount", _N, "storage",
+        "A filesystem was mounted.",
+        bgl="Lustre mount complete for block <*>",
+        spirit="kernel: kjournald starting on sd<*>, commit interval <*> seconds",
+        thunderbird="kernel: EXT3 FS mounted on sd<*> with ordered data mode",
+    ),
+    _concept(
+        "tx_commit", _N, "database",
+        "A transaction committed durably.",
+        system_a="txn_mgr: txn <*> committed at ts=<*>",
+        system_b="[TXN] commit record <*> flushed to wal",
+        system_c="Transaction <*> committed on partition <*>",
+    ),
+    _concept(
+        "backup_completed", _N, "storage",
+        "A scheduled backup completed successfully.",
+        spirit="amanda: backup of /dev/sd<*> done, <*> MB in <*> min",
+        system_a="backupd: incremental run <*> finished, <*> objects uploaded",
+        system_b="[BKUP] archive <*> sealed ok",
+        system_c="Nightly backup cycle <*> completed without warnings",
+    ),
+    _concept(
+        "cert_renewed", _N, "security",
+        "A service certificate was renewed before expiry.",
+        system_a="authsvc: rotated certificate for principal <*>, valid <*> days",
+        system_b="[AUTH] tls cert serial <*> reissued",
+        system_c="Security certificate for endpoint <*> renewed",
+    ),
+    _concept(
+        "load_report", _N, "monitoring",
+        "A periodic load report was recorded.",
+        bgl="MMCS: midplane <*> utilization <*> percent nominal",
+        spirit="mond: load average <*> <*> <*> on sn<*>",
+        thunderbird="kernel: cpu<*> utilisation sample <*>%",
+        system_b="[HB] load snapshot: cpu <*>% mem <*>%",
+    ),
+    _concept(
+        "kernel_module_loaded", _N, "os",
+        "A kernel module was loaded.",
+        spirit="kernel: ip_tables: (C) Netfilter core team, module loaded rev <*>",
+        thunderbird="kernel: module <*> loaded, taint flags clear",
+    ),
+    _concept(
+        "queue_depth_report", _N, "performance",
+        "A work-queue depth sample was recorded.",
+        system_a="admission: queue depth <*> within budget for pool <*>",
+        system_b="[TASKQ] depth gauge <*> for class <*>",
+        system_c="Work queue <*> backlog at <*> entries, nominal",
+    ),
+    _concept(
+        "audit_event", _N, "security",
+        "An administrative action was recorded in the audit trail.",
+        spirit="sudo: <*> : TTY=pts/<*> ; COMMAND=/usr/sbin/<*>",
+        thunderbird="audit(<*>): user <*> acquired role <*>",
+        system_a="auditd: principal <*> changed setting <*>, recorded",
+        system_c="Audit trail entry <*> appended for operator <*>",
+    ),
+    _concept(
+        "compaction_completed", _N, "database",
+        "A background storage compaction finished.",
+        system_a="compactor: level <*> compaction done, reclaimed <*>MB",
+        system_b="[LSM] merge pass <*> complete, <*> tables in",
+        system_c="Segment compaction finished on partition <*>",
+    ),
+    _concept(
+        "dns_lookup", _N, "network",
+        "A name-service lookup completed.",
+        spirit="named[<*>]: lame server resolving <*> (in <*>?)",
+        thunderbird="nscd: <*> cache hit ratio <*>",
+    ),
+]
+
+CONCEPTS: tuple[EventConcept, ...] = tuple(_ANOMALOUS + _NORMAL)
+
+_BY_NAME = {c.name: c for c in CONCEPTS}
+if len(_BY_NAME) != len(CONCEPTS):
+    raise RuntimeError("duplicate concept names in catalog")
+
+
+def concept_by_name(name: str) -> EventConcept:
+    """Look up a concept by its stable identifier."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown event concept: {name!r}") from None
+
+
+def concepts_for_system(system: str, kind: EventKind | None = None) -> list[EventConcept]:
+    """All concepts that can occur on ``system``, optionally filtered by kind."""
+    if system not in SYSTEM_NAMES:
+        raise ValueError(f"unknown system {system!r}; expected one of {SYSTEM_NAMES}")
+    found = [c for c in CONCEPTS if c.supports(system)]
+    if kind is not None:
+        found = [c for c in found if c.kind is kind]
+    return found
+
+
+def anomalous_concepts() -> list[EventConcept]:
+    """Concepts of kind ANOMALOUS available on this system."""
+    return [c for c in CONCEPTS if c.kind is _A]
+
+
+def normal_concepts() -> list[EventConcept]:
+    """Concepts of kind NORMAL available on this system."""
+    return [c for c in CONCEPTS if c.kind is _N]

@@ -1,0 +1,130 @@
+"""Log stream generator.
+
+Produces a labeled stream of :class:`LogRecord` for one system profile.
+Normal traffic is drawn from the profile's normal-concept mix; anomalies
+arrive as short bursts (episodes) as observed in the real datasets, where
+one fault produces several adjacent anomalous lines interleaved with
+normal traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from .events import EventConcept
+from .parameters import ParameterSampler
+from .systems import SystemProfile, get_profile
+
+__all__ = ["LogRecord", "LogGenerator", "generate_logs"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One generated log line with ground-truth metadata.
+
+    ``message`` is the free-text body (what a parser sees after header
+    stripping); ``raw`` is the full line with timestamp/host/severity
+    header; ``concept`` is the generating concept's name (ground truth the
+    models never see).
+    """
+
+    timestamp: datetime
+    system: str
+    host: str
+    severity: str
+    message: str
+    raw: str
+    is_anomalous: bool
+    concept: str
+
+
+class LogGenerator:
+    """Generates a reproducible log stream for one system profile."""
+
+    def __init__(self, profile: SystemProfile | str, seed: int = 0,
+                 start_time: datetime | None = None,
+                 mean_interval_seconds: float = 0.8,
+                 repeat_probability: float = 0.55):
+        if not 0.0 <= repeat_probability < 1.0:
+            raise ValueError(f"repeat_probability must be in [0, 1), got {repeat_probability}")
+        self.profile = profile if isinstance(profile, SystemProfile) else get_profile(profile)
+        self._rng = np.random.default_rng(seed)
+        self._params = ParameterSampler(self._rng)
+        self._clock = start_time or datetime(2023, 3, 1, 0, 0, 0)
+        self._mean_interval = mean_interval_seconds
+        # Real log streams are heavily repetitive: periodic tasks emit runs
+        # of the same template.  With this probability the next normal line
+        # repeats the previous normal concept.
+        self._repeat_probability = repeat_probability
+        self._last_normal: EventConcept | None = None
+        self._normal = self.profile.normal_concepts()
+        self._anomalous = self.profile.anomalous_concepts()
+        if not self._normal:
+            raise ValueError(f"profile {self.profile.name} has no normal concepts")
+        if not self._anomalous:
+            raise ValueError(f"profile {self.profile.name} has no anomalous concepts")
+        # Zipf-ish popularity over normal concepts: a few event types dominate,
+        # as in real logs.
+        ranks = np.arange(1, len(self._normal) + 1, dtype=np.float64)
+        weights = 1.0 / ranks
+        self._normal_weights = weights / weights.sum()
+        self._pending_burst: list[EventConcept] = []
+
+    def _advance_clock(self) -> datetime:
+        delta = float(self._rng.exponential(self._mean_interval))
+        self._clock = self._clock + timedelta(seconds=delta)
+        return self._clock
+
+    def _render(self, concept: EventConcept, anomalous: bool) -> LogRecord:
+        timestamp = self._advance_clock()
+        template = concept.phrases[self.profile.name]
+        message = self._params.fill(template)
+        host = f"{self.profile.host_prefix}{int(self._rng.integers(0, 512)):03d}"
+        severity = self.profile.severity_labels[1 if anomalous else 0]
+        stamp = timestamp.strftime(self.profile.timestamp_format)
+        raw = f"{stamp} {host} {severity} {message}"
+        return LogRecord(
+            timestamp=timestamp,
+            system=self.profile.name,
+            host=host,
+            severity=severity,
+            message=message,
+            raw=raw,
+            is_anomalous=anomalous,
+            concept=concept.name,
+        )
+
+    def _next_concept(self) -> tuple[EventConcept, bool]:
+        if self._pending_burst:
+            return self._pending_burst.pop(), True
+        if self._rng.random() < self.profile.line_anomaly_rate:
+            low, high = self.profile.burst_length
+            burst = int(self._rng.integers(low, high + 1))
+            concept = self._anomalous[int(self._rng.integers(len(self._anomalous)))]
+            # The whole episode uses one fault concept, occasionally mixing in
+            # a second correlated anomaly (cascading failures).
+            episode = [concept] * burst
+            if len(self._anomalous) > 1 and self._rng.random() < 0.3:
+                other = self._anomalous[int(self._rng.integers(len(self._anomalous)))]
+                episode[-1] = other
+            self._pending_burst = episode[1:]
+            return episode[0], True
+        if self._last_normal is not None and self._rng.random() < self._repeat_probability:
+            return self._last_normal, False
+        index = int(self._rng.choice(len(self._normal), p=self._normal_weights))
+        self._last_normal = self._normal[index]
+        return self._last_normal, False
+
+    def generate(self, n: int) -> list[LogRecord]:
+        """Generate ``n`` consecutive log records."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return [self._render(*self._next_concept()) for _ in range(n)]
+
+
+def generate_logs(system: str, n: int, seed: int = 0) -> list[LogRecord]:
+    """Convenience wrapper: generate ``n`` records for ``system``."""
+    return LogGenerator(system, seed=seed).generate(n)

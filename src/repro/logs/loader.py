@@ -1,0 +1,102 @@
+"""Reading and writing log datasets in flat-file form.
+
+Persists generated datasets so experiments can be re-run without
+regeneration, and loads third-party raw log files (one line per record)
+for users who have real BGL/Spirit/Thunderbird dumps available.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from pathlib import Path
+from typing import Iterable
+
+from .generator import LogRecord
+
+__all__ = ["save_records", "load_records", "read_raw_log_file"]
+
+_ISO = "%Y-%m-%dT%H:%M:%S.%f"
+
+
+def save_records(records: Iterable[LogRecord], path: str | Path) -> int:
+    """Write records as JSON lines; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            payload = {
+                "ts": record.timestamp.strftime(_ISO),
+                "system": record.system,
+                "host": record.host,
+                "severity": record.severity,
+                "message": record.message,
+                "raw": record.raw,
+                "anomalous": record.is_anomalous,
+                "concept": record.concept,
+            }
+            handle.write(json.dumps(payload) + "\n")
+            count += 1
+    return count
+
+
+def load_records(path: str | Path) -> list[LogRecord]:
+    """Load records previously written by :func:`save_records`."""
+    records: list[LogRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                record = LogRecord(
+                    timestamp=datetime.strptime(payload["ts"], _ISO),
+                    system=payload["system"],
+                    host=payload["host"],
+                    severity=payload["severity"],
+                    message=payload["message"],
+                    raw=payload["raw"],
+                    is_anomalous=bool(payload["anomalous"]),
+                    concept=payload["concept"],
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSON record") from exc
+            records.append(record)
+    return records
+
+
+def read_raw_log_file(path: str | Path, system: str, label_prefix: str = "-") -> list[LogRecord]:
+    """Read a BGL-style raw log file: lines starting with ``label_prefix`` are normal.
+
+    The LogHub supercomputer dumps mark normal lines with a leading ``-``
+    and anomalous lines with an alert tag; this reader reproduces that
+    convention so real data can be substituted for the synthetic substrate.
+    """
+    records: list[LogRecord] = []
+    epoch = datetime(1970, 1, 1)
+    with Path(path).open("r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            is_anomalous = not line.startswith(label_prefix)
+            if is_anomalous:
+                # Anomalous lines carry an alert tag as the first token.
+                _, _, body = line.partition(" ")
+            else:
+                body = line[len(label_prefix):].lstrip()
+            records.append(
+                LogRecord(
+                    timestamp=epoch,  # raw dumps are read without timestamp parsing
+                    system=system,
+                    host="",
+                    severity="",
+                    message=body,
+                    raw=line,
+                    is_anomalous=is_anomalous,
+                    concept="unknown",
+                )
+            )
+    return records

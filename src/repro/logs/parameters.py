@@ -1,0 +1,70 @@
+"""Parameter-slot value generators for synthetic log rendering.
+
+Each ``<*>`` slot in a template is filled with a value drawn from a mix of
+realistic vocabularies (IP addresses, hex codes, node names, counters).
+The Drain parser must later re-abstract these back into ``<*>``, so the
+values intentionally span the variable shapes Drain's masking handles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ParameterSampler"]
+
+
+class ParameterSampler:
+    """Draws realistic fill-in values for template parameter slots."""
+
+    _KINDS = ("int", "small_int", "hex", "ip", "ip_port", "node", "user", "path", "uuid")
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def sample(self) -> str:
+        kind = self._KINDS[int(self._rng.integers(len(self._KINDS)))]
+        return getattr(self, f"_{kind}")()
+
+    def _int(self) -> str:
+        return str(int(self._rng.integers(0, 1_000_000)))
+
+    def _small_int(self) -> str:
+        return str(int(self._rng.integers(0, 256)))
+
+    def _hex(self) -> str:
+        return f"0x{int(self._rng.integers(0, 2**31)):08x}"
+
+    def _ip(self) -> str:
+        octets = self._rng.integers(1, 255, size=4)
+        return ".".join(str(int(o)) for o in octets)
+
+    def _ip_port(self) -> str:
+        return f"{self._ip()}:{int(self._rng.integers(1024, 65535))}"
+
+    def _node(self) -> str:
+        return f"node-{int(self._rng.integers(0, 4096)):04d}"
+
+    def _user(self) -> str:
+        users = ("root", "admin", "svc_batch", "operator", "jdoe", "mchen")
+        return users[int(self._rng.integers(len(users)))]
+
+    def _path(self) -> str:
+        dirs = ("var", "opt", "data", "scratch", "home")
+        leaf = f"f{int(self._rng.integers(0, 10_000))}"
+        return "/" + "/".join([dirs[int(self._rng.integers(len(dirs)))], leaf])
+
+    def _uuid(self) -> str:
+        raw = self._rng.integers(0, 16, size=32)
+        digits = "".join("0123456789abcdef"[int(d)] for d in raw)
+        return f"{digits[:8]}-{digits[8:12]}-{digits[12:16]}-{digits[16:20]}-{digits[20:]}"
+
+    def fill(self, template: str) -> str:
+        """Replace every ``<*>`` slot in ``template`` with a sampled value."""
+        parts = template.split("<*>")
+        if len(parts) == 1:
+            return template
+        filled = [parts[0]]
+        for tail in parts[1:]:
+            filled.append(self.sample())
+            filled.append(tail)
+        return "".join(filled)

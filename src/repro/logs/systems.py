@@ -1,0 +1,140 @@
+"""System profiles emulating the six evaluation datasets.
+
+Each profile fixes the knobs that distinguish one dataset from another in
+Table III and §V of the paper:
+
+* which event concepts can occur (coverage — drives the Fig 6 asymmetry:
+  the supercomputer logs cover many anomaly types, the CDMS systems few),
+* the *sequence-level* anomaly rate (Table III: BGL 10.7 %, Spirit 0.93 %,
+  Thunderbird 4.2 %, System A 0.20 %, System B 0.17 %, System C 3.77 %),
+* line-format decoration (timestamp style, host field, severity tags), and
+* burst behaviour of anomalous episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import EventKind, concepts_for_system
+
+__all__ = ["SystemProfile", "PROFILES", "get_profile", "PUBLIC_SYSTEMS", "ISP_SYSTEMS"]
+
+PUBLIC_SYSTEMS = ("bgl", "spirit", "thunderbird")
+ISP_SYSTEMS = ("system_a", "system_b", "system_c")
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Static description of one synthetic software system.
+
+    Attributes
+    ----------
+    name:
+        System/dialect key (matches :data:`repro.logs.events.SYSTEM_NAMES`).
+    display_name:
+        Human-readable dataset name as used in the paper's tables.
+    line_anomaly_rate:
+        Probability that a generated log line starts an anomalous episode.
+        Tuned so the *sequence-level* anomaly ratio (window 10 / step 5)
+        approximates Table III.
+    burst_length:
+        (min, max) anomalous lines per episode; anomalies cluster in real
+        logs rather than appearing in isolation.
+    timestamp_format:
+        strftime-style format for the line prefix.
+    host_prefix:
+        Prefix for synthetic host names in the line header.
+    severity_labels:
+        (normal, anomalous) severity tags emitted in the header.
+    """
+
+    name: str
+    display_name: str
+    line_anomaly_rate: float
+    burst_length: tuple[int, int]
+    timestamp_format: str
+    host_prefix: str
+    severity_labels: tuple[str, str] = ("INFO", "ERROR")
+
+    def normal_concepts(self):
+        """Concepts of kind NORMAL available on this system."""
+        return concepts_for_system(self.name, EventKind.NORMAL)
+
+    def anomalous_concepts(self):
+        """Concepts of kind ANOMALOUS available on this system."""
+        return concepts_for_system(self.name, EventKind.ANOMALOUS)
+
+
+# Line anomaly rates are calibrated (tests assert the outcome) so that the
+# windowed sequence anomaly ratios land near Table III:
+#   BGL 10.72%, Spirit 0.93%, Thunderbird 4.25%,
+#   System A 0.20%, System B 0.17%, System C 3.77%.
+# A sequence is anomalous if any of its 10 lines is anomalous, so the line
+# rate is roughly seq_rate / (window * burst_correction).
+PROFILES: dict[str, SystemProfile] = {
+    "bgl": SystemProfile(
+        name="bgl",
+        display_name="BGL",
+        line_anomaly_rate=0.0082,
+        burst_length=(2, 6),
+        timestamp_format="%Y-%m-%d-%H.%M.%S.%f",
+        host_prefix="R",
+        severity_labels=("INFO", "FATAL"),
+    ),
+    "spirit": SystemProfile(
+        name="spirit",
+        display_name="Spirit",
+        line_anomaly_rate=0.00100,
+        burst_length=(2, 5),
+        timestamp_format="%b %d %H:%M:%S",
+        host_prefix="sn",
+        severity_labels=("info", "err"),
+    ),
+    "thunderbird": SystemProfile(
+        name="thunderbird",
+        display_name="Thunderbird",
+        line_anomaly_rate=0.0029,
+        burst_length=(2, 5),
+        timestamp_format="%b %d %H:%M:%S",
+        host_prefix="tbird-",
+        severity_labels=("info", "error"),
+    ),
+    "system_a": SystemProfile(
+        name="system_a",
+        display_name="System A",
+        line_anomaly_rate=0.00012,
+        burst_length=(2, 4),
+        timestamp_format="%Y-%m-%dT%H:%M:%S.%fZ",
+        host_prefix="cdms-a-",
+        severity_labels=("INFO", "ERROR"),
+    ),
+    "system_b": SystemProfile(
+        name="system_b",
+        display_name="System B",
+        line_anomaly_rate=0.00006,
+        burst_length=(2, 4),
+        timestamp_format="%Y/%m/%d %H:%M:%S",
+        host_prefix="cdms-b-",
+        severity_labels=("I", "E"),
+    ),
+    "system_c": SystemProfile(
+        name="system_c",
+        display_name="System C",
+        line_anomaly_rate=0.0052,
+        burst_length=(2, 5),
+        timestamp_format="%d/%m/%Y %H:%M:%S",
+        host_prefix="cdms-c-",
+        severity_labels=("NOTICE", "ALERT"),
+    ),
+}
+
+
+def get_profile(name: str) -> SystemProfile:
+    """Fetch a profile by system key (case-insensitive, accepts display names)."""
+    key = name.strip().lower().replace(" ", "_")
+    if key in PROFILES:
+        return PROFILES[key]
+    for profile in PROFILES.values():
+        if profile.display_name.lower() == name.strip().lower():
+            return profile
+    raise KeyError(f"unknown system profile: {name!r}")

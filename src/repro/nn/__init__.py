@@ -1,0 +1,39 @@
+"""Numpy-based neural-network substrate standing in for PyTorch.
+
+Public surface mirrors the subset of ``torch``/``torch.nn`` the paper's
+models need: an autograd :class:`Tensor`, modules (linear, embedding,
+normalization, attention, transformer encoder, recurrent and spiking
+layers), losses, optimizers, a gradient-reversal layer, and data utilities.
+"""
+
+from .tensor import Tensor, concatenate, no_grad, ones, randn, stack, tensor, where, zeros
+from .module import Module, ModuleList, Parameter, Sequential
+from .layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Sigmoid, Tanh
+from .attention import MultiHeadAttention
+from .transformer import PositionalEncoding, TransformerEncoder, TransformerEncoderLayer
+from .recurrent import BiLSTM, GRU, GRUCell, LSTM, LSTMCell
+from .spiking import LIFLayer, spike_function
+from .grl import GradientReversal, gradient_reversal
+from .loss import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    mse_loss,
+    nll_loss,
+)
+from .optim import SGD, Adam, AdamW, LinearWarmupSchedule, Optimizer, clip_grad_norm
+from .data import ArrayDataset, DataLoader, train_test_split_continuous
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "randn", "concatenate", "stack", "where", "no_grad",
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "Linear", "Embedding", "LayerNorm", "Dropout", "ReLU", "Tanh", "Sigmoid", "GELU",
+    "MultiHeadAttention", "TransformerEncoder", "TransformerEncoderLayer", "PositionalEncoding",
+    "LSTM", "GRU", "BiLSTM", "LSTMCell", "GRUCell",
+    "LIFLayer", "spike_function",
+    "GradientReversal", "gradient_reversal",
+    "binary_cross_entropy", "binary_cross_entropy_with_logits", "cross_entropy",
+    "nll_loss", "mse_loss",
+    "Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "LinearWarmupSchedule",
+    "ArrayDataset", "DataLoader", "train_test_split_continuous",
+]

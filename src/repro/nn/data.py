@@ -1,0 +1,72 @@
+"""Minimal Dataset / DataLoader utilities for mini-batch training."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split_continuous"]
+
+
+class ArrayDataset:
+    """Dataset over parallel numpy arrays (features, labels, extra columns)."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("ArrayDataset needs at least one array")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"all arrays must share length, got {sorted(lengths)}")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index) -> tuple[np.ndarray, ...]:
+        return tuple(a[index] for a in self.arrays)
+
+
+class DataLoader:
+    """Iterates mini-batches over an :class:`ArrayDataset`.
+
+    Shuffling uses the provided generator so experiments stay reproducible.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int, shuffle: bool = True,
+                 drop_last: bool = False, rng: np.random.Generator | None = None):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.dataset[batch]
+
+
+def train_test_split_continuous(items: Sequence, train_count: int) -> tuple[list, list]:
+    """Leakage-free continuous split (§IV-A1): earliest items train, rest test.
+
+    The paper follows Le & Zhang (ICSE '22) in avoiding random splits, which
+    leak future templates into training; we expose the same policy here for
+    both the core method and all baselines.
+    """
+    if train_count < 0:
+        raise ValueError("train_count must be non-negative")
+    items = list(items)
+    return items[:train_count], items[train_count:]

@@ -1,0 +1,44 @@
+"""Gradient reversal layer (Ganin & Lempitsky, 2015) for adversarial domain adaptation.
+
+Forward pass is the identity; backward pass multiplies the gradient by
+``-alpha``.  LogSynergy's DAAN module places this between the system-unified
+features and the domain classifier so that minimizing the domain loss
+*maximizes* domain confusion in the feature extractor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["GradientReversal", "gradient_reversal"]
+
+
+def gradient_reversal(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Identity forward, ``-alpha``-scaled gradient backward."""
+    out = x._make_child(x.data, (x,), "grl")
+
+    def _backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(-alpha * grad)
+
+    out._backward = _backward if out.requires_grad else None
+    return out
+
+
+class GradientReversal(Module):
+    """Module wrapper around :func:`gradient_reversal` with mutable ``alpha``.
+
+    DAAN schedules ``alpha`` from 0 to 1 over training; callers update
+    :attr:`alpha` between steps.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return gradient_reversal(x, self.alpha)

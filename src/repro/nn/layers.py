@@ -1,0 +1,131 @@
+"""Core feed-forward layers: Linear, Embedding, LayerNorm, Dropout, activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "ReLU", "Tanh", "Sigmoid", "GELU"]
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(init.uniform((out_features,), rng, bound))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        out = x.matmul(self.weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            (rng.standard_normal((num_embeddings, embedding_dim)) * 0.02).astype(np.float32)
+        )
+
+    def forward(self, ids) -> Tensor:
+        """Run the module's forward computation."""
+        index = np.asarray(ids.data if isinstance(ids, Tensor) else ids, dtype=np.int64)
+        if index.min() < 0 or index.max() >= self.num_embeddings:
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"got [{index.min()}, {index.max()}]"
+            )
+        return self.weight[index]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learnable affine."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_dim = normalized_dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_dim, dtype=np.float32))
+        self.beta = Parameter(np.zeros(normalized_dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    """ReLU activation module."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return x.relu()
+
+
+class Tanh(Module):
+    """Tanh activation module."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Sigmoid activation module."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return x.sigmoid()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    _COEFF = float(np.sqrt(2.0 / np.pi))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        inner = (x + x * x * x * 0.044715) * self._COEFF
+        return x * (inner.tanh() + 1.0) * 0.5

@@ -1,0 +1,147 @@
+"""Optimizers: SGD (momentum), Adam, AdamW, plus gradient clipping and schedulers.
+
+The paper trains LogSynergy with AdamW at learning rate 1e-4; baselines use
+Adam/SGD per their original papers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "LinearWarmupSchedule"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one optimization/schedule step."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one optimization/schedule step."""
+        for p, velocity in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with L2 regularization coupled into the gradient."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, p: Parameter, m: np.ndarray, v: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad**2
+        m_hat = m / (1 - self.beta1**self._step_count)
+        v_hat = v / (1 - self.beta2**self._step_count)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        """Apply one optimization/schedule step."""
+        self._step_count += 1
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            p.data = p.data - self.lr * self._update(p, m, v, grad)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+    This is the optimizer the paper uses for LogSynergy (lr 1e-4).
+    """
+
+    def __init__(self, parameters, lr: float = 1e-4, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.01):
+        super().__init__(parameters, lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        """Apply one optimization/schedule step."""
+        self._step_count += 1
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            update = self._update(p, m, v, p.grad)
+            p.data = p.data - self.lr * (update + self.decoupled_weight_decay * p.data)
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float((grad.astype(np.float64) ** 2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+class LinearWarmupSchedule:
+    """Linear warmup then constant learning rate."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, base_lr: float | None = None):
+        self.optimizer = optimizer
+        self.warmup_steps = max(1, warmup_steps)
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Apply one optimization/schedule step."""
+        self._step_count += 1
+        factor = min(1.0, self._step_count / self.warmup_steps)
+        self.optimizer.lr = self.base_lr * factor
+        return self.optimizer.lr

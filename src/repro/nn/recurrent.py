@@ -1,0 +1,156 @@
+"""Recurrent layers (LSTM, GRU, bidirectional LSTM) for the baseline models.
+
+DeepLog/LogAnomaly/LogTAD/LogTransfer use LSTMs, MetaLog uses GRUs, and
+LogRobust uses a bidirectional LSTM with attention; all are built on the
+cells here.  Sequences are processed step by step over axis 1 of a
+``(batch, seq, features)`` input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concatenate, stack
+
+__all__ = ["LSTMCell", "GRUCell", "LSTM", "GRU", "BiLSTM"]
+
+
+class LSTMCell(Module):
+    """Single LSTM cell with fused gate projections."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_input = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.w_hidden = Parameter(init.orthogonal((hidden_size, 4 * hidden_size), rng))
+        bias = np.zeros(4 * hidden_size, dtype=np.float32)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """Run the module's forward computation."""
+        h_prev, c_prev = state
+        gates = x.matmul(self.w_input) + h_prev.matmul(self.w_hidden) + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_cand = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f_gate * c_prev + i_gate * g_cand
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+
+class GRUCell(Module):
+    """Single GRU cell (reset/update gates + candidate)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_input = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
+        self.w_hidden = Parameter(init.orthogonal((hidden_size, 3 * hidden_size), rng))
+        self.bias = Parameter(np.zeros(3 * hidden_size, dtype=np.float32))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        hs = self.hidden_size
+        projected_x = x.matmul(self.w_input) + self.bias
+        projected_h = h_prev.matmul(self.w_hidden)
+        r_gate = (projected_x[:, 0:hs] + projected_h[:, 0:hs]).sigmoid()
+        z_gate = (projected_x[:, hs : 2 * hs] + projected_h[:, hs : 2 * hs]).sigmoid()
+        candidate = (projected_x[:, 2 * hs :] + r_gate * projected_h[:, 2 * hs :]).tanh()
+        return (1.0 - z_gate) * candidate + z_gate * h_prev
+
+
+class LSTM(Module):
+    """Multi-layer unidirectional LSTM over ``(batch, seq, features)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        from .module import ModuleList
+
+        self.cells = ModuleList(
+            LSTMCell(input_size if i == 0 else hidden_size, hidden_size, rng=rng)
+            for i in range(num_layers)
+        )
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Return (outputs, last_hidden): outputs is (batch, seq, hidden)."""
+        batch, seq, _ = x.shape
+        layer_input = [x[:, t, :] for t in range(seq)]
+        last_hidden = None
+        for cell in self.cells:
+            h = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+            c = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+            outputs = []
+            for step in layer_input:
+                h, c = cell(step, (h, c))
+                outputs.append(h)
+            layer_input = outputs
+            last_hidden = h
+        return stack(layer_input, axis=1), last_hidden
+
+
+class GRU(Module):
+    """Multi-layer unidirectional GRU over ``(batch, seq, features)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        from .module import ModuleList
+
+        self.cells = ModuleList(
+            GRUCell(input_size if i == 0 else hidden_size, hidden_size, rng=rng)
+            for i in range(num_layers)
+        )
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Run the module's forward computation."""
+        batch, seq, _ = x.shape
+        layer_input = [x[:, t, :] for t in range(seq)]
+        last_hidden = None
+        for cell in self.cells:
+            h = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+            outputs = []
+            for step in layer_input:
+                h = cell(step, h)
+                outputs.append(h)
+            layer_input = outputs
+            last_hidden = h
+        return stack(layer_input, axis=1), last_hidden
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: concatenates forward and backward hidden states."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.forward_lstm = LSTM(input_size, hidden_size, num_layers, rng=rng)
+        self.backward_lstm = LSTM(input_size, hidden_size, num_layers, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return outputs of shape (batch, seq, 2 * hidden)."""
+        seq = x.shape[1]
+        forward_out, _ = self.forward_lstm(x)
+        reversed_in = x[:, ::-1, :]
+        backward_out, _ = self.backward_lstm(reversed_in)
+        backward_out = backward_out[:, ::-1, :]
+        return concatenate([forward_out, backward_out], axis=2)

@@ -1,0 +1,70 @@
+"""Leaky integrate-and-fire spiking layer for the SpikeLog baseline.
+
+SpikeLog (Qi et al., TKDE 2023) detects anomalies with a potential-assisted
+spiking neural network.  We implement a leaky integrate-and-fire (LIF)
+neuron layer with a surrogate gradient for the non-differentiable spike
+function (the standard fast-sigmoid surrogate), which is sufficient to
+train the SpikeLog architecture at the scale used in this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor, stack
+
+__all__ = ["LIFLayer", "spike_function"]
+
+
+def spike_function(membrane: Tensor, threshold: float, surrogate_slope: float = 5.0) -> Tensor:
+    """Heaviside spike with a fast-sigmoid surrogate gradient.
+
+    Forward: ``spike = 1 if membrane >= threshold else 0``.
+    Backward: gradient of ``sigmoid(slope * (membrane - threshold))``.
+    """
+    shifted = membrane.data - threshold
+    spikes = (shifted >= 0).astype(np.float32)
+    out = membrane._make_child(spikes, (membrane,), "spike")
+
+    def _backward(grad: np.ndarray) -> None:
+        if membrane.requires_grad:
+            sig = 1.0 / (1.0 + np.exp(-surrogate_slope * shifted))
+            membrane._accumulate(grad * surrogate_slope * sig * (1.0 - sig))
+
+    out._backward = _backward if out.requires_grad else None
+    return out
+
+
+class LIFLayer(Module):
+    """Leaky integrate-and-fire layer over a ``(batch, seq, features)`` input.
+
+    Each timestep's input current is integrated into a membrane potential
+    with leak factor ``beta``; crossing ``threshold`` emits a spike and
+    soft-resets the membrane.  Returns per-step spike trains and the final
+    membrane potential (the "potential-assisted" readout SpikeLog uses).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, beta: float = 0.9,
+                 threshold: float = 1.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"leak factor beta must be in (0, 1], got {beta}")
+        self.projection = Linear(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.beta = beta
+        self.threshold = threshold
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Run the module's forward computation."""
+        batch, seq, _ = x.shape
+        membrane = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+        spike_train = []
+        for t in range(seq):
+            current = self.projection(x[:, t, :])
+            membrane = membrane * self.beta + current
+            spikes = spike_function(membrane, self.threshold)
+            membrane = membrane - spikes * self.threshold  # soft reset
+            spike_train.append(spikes)
+        return stack(spike_train, axis=1), membrane

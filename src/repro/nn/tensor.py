@@ -1,0 +1,618 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate that stands in
+for PyTorch in this reproduction.  A :class:`Tensor` wraps a ``numpy.ndarray``
+and records the operations applied to it so that :meth:`Tensor.backward` can
+propagate gradients through the resulting computation graph.
+
+Only the operations needed by the models in this repository are implemented,
+but each is implemented with full broadcasting support and is validated
+against finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones", "randn"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Used during evaluation/online detection, where gradients are never
+    needed, to avoid the memory cost of recording the graph.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcast op.
+
+    Numpy broadcasting may have expanded some axes of the original operand;
+    the corresponding gradient contributions must be summed back.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=np.float32) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype:
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float32`` unless already a numpy
+        array of another float dtype.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, _parents: tuple = (), _op: str = ""):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = _parents if _GRAD_ENABLED else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of axes."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Element count."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Element dtype."""
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        """Transposed view (last two axes for 2-D)."""
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    def item(self) -> float:
+        """The single scalar value."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (detached view)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A grad-free tensor sharing this data."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Deep copy of data (grad flag preserved)."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        child = Tensor(data, requires_grad=needs, _parents=tuple(parents) if needs else (), _op=op)
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data + other.data, (self, other), "add")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,), "neg")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Tensor":
+        return (-self) + other
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data * other.data, (self, other), "mul")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data / other.data, (self, other), "div")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out = self._make_child(self.data**exponent, (self,), "pow")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Comparisons (no grad; produce float masks)
+    # ------------------------------------------------------------------
+    def __gt__(self, other) -> "Tensor":
+        other_data = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data > other_data).astype(np.float32))
+
+    def __lt__(self, other) -> "Tensor":
+        other_data = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data < other_data).astype(np.float32))
+
+    # ------------------------------------------------------------------
+    # Nonlinearities and transcendental functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        value = np.exp(self.data)
+        out = self._make_child(value, (self,), "exp")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * value)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def log(self) -> "Tensor":
+        """Elementwise natural log."""
+        out = self._make_child(np.log(self.data), (self,), "log")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        """Elementwise tanh."""
+        value = np.tanh(self.data)
+        out = self._make_child(value, (self,), "tanh")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - value**2))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(value, (self,), "sigmoid")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * value * (1.0 - value))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def relu(self) -> "Tensor":
+        """Elementwise max(x, 0)."""
+        mask = self.data > 0
+        out = self._make_child(np.where(mask, self.data, 0.0), (self,), "relu")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values into [low, high]."""
+        mask = (self.data >= low) & (self.data <= high)
+        out = self._make_child(np.clip(self.data, low, high), (self,), "clip")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value."""
+        sign = np.sign(self.data)
+        out = self._make_child(np.abs(self.data), (self,), "abs")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * sign)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum reduction."""
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+
+        def _backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean reduction."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Variance reduction (biased)."""
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Max reduction (ties share gradient)."""
+        value = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(value, (self,), "max")
+
+        def _backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            v = value
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+                    v = np.expand_dims(v, ax)
+            mask = self.data == v
+            # Distribute gradient evenly among ties.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(np.where(mask, g / counts, 0.0))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear algebra and shape manipulation
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product over the last two axes (batched)."""
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data @ other.data, (self, other), "matmul")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    __matmul__ = matmul
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        """Permute axes (reverse by default)."""
+        out = self._make_child(np.transpose(self.data, axes), (self,), "transpose")
+        inverse = np.argsort(axes) if axes is not None else None
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.transpose(grad, inverse))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        """Swap two axes."""
+        out = self._make_child(np.swapaxes(self.data, a, b), (self,), "swapaxes")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(grad, a, b))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def reshape(self, *shape) -> "Tensor":
+        """Reshape preserving element order."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out = self._make_child(self.data.reshape(shape), (self,), "reshape")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,), "getitem")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Softmax family (fused for numerical stability)
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along an axis."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        value = exp / exp.sum(axis=axis, keepdims=True)
+        out = self._make_child(value, (self,), "softmax")
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                dot = (grad * value).sum(axis=axis, keepdims=True)
+                self._accumulate(value * (grad - dot))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along an axis."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - log_sum
+        out = self._make_child(value, (self,), "log_softmax")
+        softmax = np.exp(value)
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+
+# ----------------------------------------------------------------------
+# Free functions operating on tensors
+# ----------------------------------------------------------------------
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Create a tensor (mirrors ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    """All-zeros tensor of the given shape."""
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    """All-ones tensor of the given shape."""
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
+    """Standard-normal tensor of the given shape."""
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    needs = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=needs, _parents=tuple(tensors) if needs else (), _op="concat")
+    if needs:
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward(grad: np.ndarray) -> None:
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    index = [slice(None)] * grad.ndim
+                    index[axis] = slice(start, stop)
+                    t._accumulate(grad[tuple(index)])
+
+        out._backward = _backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+    needs = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=needs, _parents=tuple(tensors) if needs else (), _op="stack")
+    if needs:
+
+        def _backward(grad: np.ndarray) -> None:
+            slices = np.moveaxis(grad, axis, 0)
+            for t, g in zip(tensors, slices):
+                if t.requires_grad:
+                    t._accumulate(g)
+
+        out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select with gradient support (condition is a raw mask)."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    cond = condition.data.astype(bool) if isinstance(condition, Tensor) else np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+    needs = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    out = Tensor(data, requires_grad=needs, _parents=(a, b) if needs else (), _op="where")
+    if needs:
+
+        def _backward(grad: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(np.where(cond, grad, 0.0), a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(np.where(cond, 0.0, grad), b.shape))
+
+        out._backward = _backward
+    return out

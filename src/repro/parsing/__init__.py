@@ -1,0 +1,11 @@
+"""Log parsing substrate: the Drain fixed-depth-tree parser (§III-B)."""
+
+from .masking import DEFAULT_MASKS, WILDCARD, mask_message
+from .drain import DrainParser, LogTemplate, ParseResult
+from .template_store import ParsedLog, TemplateStore
+
+__all__ = [
+    "mask_message", "DEFAULT_MASKS", "WILDCARD",
+    "DrainParser", "LogTemplate", "ParseResult",
+    "TemplateStore", "ParsedLog",
+]

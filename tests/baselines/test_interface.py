@@ -1,0 +1,71 @@
+"""Uniform interface tests across all ten baselines.
+
+Each baseline must fit on the shared experiment data and emit binary
+predictions of the right shape on the test set.  Expensive, so the data
+comes from the session-scoped fixture and baselines run at tiny scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINES, DeepLog, LogAnomaly, LogRobust, LogTAD, LogTransfer, MetaLog,
+    NeuralLog, PLELog, PreLog, SpikeLog, baseline_names, make_baseline,
+)
+
+_FAST_KWARGS = {
+    "DeepLog": dict(epochs=2, hidden_size=32, num_layers=1),
+    "LogAnomaly": dict(epochs=2, hidden_size=32, num_layers=1),
+    "PLELog": dict(epochs=2, hidden_size=24),
+    "SpikeLog": dict(epochs=2, hidden_size=32),
+    "NeuralLog": dict(epochs=2, d_model=32, num_layers=1, d_ff=64),
+    "LogRobust": dict(epochs=2, hidden_size=24, num_layers=1),
+    "PreLog": dict(pretrain_epochs=2, tune_epochs=2, d_model=32, d_ff=64),
+    "LogTAD": dict(epochs=2, hidden_size=32, num_layers=1),
+    "LogTransfer": dict(source_epochs=2, target_epochs=2, hidden_size=32, num_layers=1),
+    "MetaLog": dict(meta_episodes=4, adapt_steps=4, hidden_size=24, num_layers=1),
+}
+
+
+class TestRegistry:
+    def test_ten_baselines(self):
+        assert len(BASELINES) == 10
+        assert baseline_names() == list(BASELINES)
+
+    def test_make_by_name(self):
+        detector = make_baseline("DeepLog", epochs=1)
+        assert isinstance(detector, DeepLog)
+        assert detector.epochs == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            make_baseline("NotAMethod")
+
+    def test_names_and_paradigms_set(self):
+        for name in baseline_names():
+            detector = make_baseline(name)
+            assert detector.name == name
+            assert detector.paradigm
+
+
+@pytest.mark.parametrize("name", list(BASELINES))
+def test_fit_predict_contract(name, tiny_experiment_data):
+    """Every baseline trains on the shared splits and predicts binary
+    labels over the full test set."""
+    detector = make_baseline(name, **_FAST_KWARGS[name])
+    detector.fit(
+        tiny_experiment_data["sources"],
+        tiny_experiment_data["target"],
+        tiny_experiment_data["target_train"],
+    )
+    test = tiny_experiment_data["target_test"][:120]
+    predictions = detector.predict(test)
+    assert predictions.shape == (len(test),)
+    assert set(np.unique(predictions)) <= {0, 1}
+
+
+@pytest.mark.parametrize("name", list(BASELINES))
+def test_predict_before_fit_raises(name):
+    detector = make_baseline(name, **_FAST_KWARGS[name])
+    with pytest.raises(RuntimeError):
+        detector.predict([])

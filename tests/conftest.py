@@ -1,0 +1,56 @@
+"""Shared fixtures: tiny datasets and a trained LogSynergy model.
+
+Session-scoped so the expensive pieces (generation, LEI, training) run
+once for the whole suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import LogSynergyConfig
+from repro.core import LogSynergy
+from repro.evaluation.splits import continuous_target_split, source_training_slice
+from repro.logs import build_dataset
+
+TINY_CONFIG = LogSynergyConfig(
+    d_model=32, num_heads=4, num_layers=1, d_ff=64, feature_dim=16,
+    embedding_dim=64, epochs=12, batch_size=64, learning_rate=5e-4, seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_datasets():
+    """Three small public-group datasets."""
+    return {
+        name: build_dataset(name, scale=0.006, seed=index)
+        for index, name in enumerate(["bgl", "spirit", "thunderbird"])
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_experiment_data(tiny_datasets):
+    """Sources + target split with thunderbird as the target."""
+    sources = {
+        name: source_training_slice(ds.sequences, 1200)
+        for name, ds in tiny_datasets.items()
+        if name != "thunderbird"
+    }
+    split = continuous_target_split(tiny_datasets["thunderbird"].sequences, 100)
+    return {
+        "sources": sources,
+        "target": "thunderbird",
+        "target_train": split.train,
+        "target_test": split.test[:400],
+    }
+
+
+@pytest.fixture(scope="session")
+def fitted_logsynergy(tiny_experiment_data):
+    """A LogSynergy model trained once for the whole test session."""
+    model = LogSynergy(TINY_CONFIG)
+    model.fit(
+        tiny_experiment_data["sources"],
+        tiny_experiment_data["target"],
+        tiny_experiment_data["target_train"],
+    )
+    return model

@@ -1,0 +1,96 @@
+"""Explanation tooling tests (§VI-D case-study workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.config import LogSynergyConfig
+from repro.core.explain import (
+    explain_window, nearest_training_sequences, occlusion_attribution,
+)
+from repro.core.model import LogSynergyModel
+from repro.core.trainer import LogSynergyTrainer, TrainingBatch
+
+_CONFIG = LogSynergyConfig(
+    d_model=32, num_heads=4, num_layers=1, d_ff=64, feature_dim=16,
+    embedding_dim=16, epochs=6, batch_size=32, learning_rate=1e-3,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A model trained so that events with a shifted first block are anomalous."""
+    rng = np.random.default_rng(0)
+    n = 160
+    x = rng.standard_normal((n, 6, 16)).astype(np.float32)
+    y = rng.integers(0, 2, size=n).astype(np.int64)
+    x[y == 1, 2, :6] += 3.0  # anomaly signal lives at position 2
+    systems = rng.integers(0, 2, size=n).astype(np.int64)
+    data = TrainingBatch(x, y, systems, (systems == 1).astype(np.int64))
+    model = LogSynergyModel(_CONFIG, num_systems=2, rng=np.random.default_rng(1))
+    LogSynergyTrainer(model, _CONFIG).fit(data, epochs=8)
+    return model, x, y
+
+
+class TestOcclusion:
+    def test_shape(self, trained):
+        model, x, _ = trained
+        drops = occlusion_attribution(model, x[0])
+        assert drops.shape == (6,)
+
+    def test_anomalous_position_attributed(self, trained):
+        """For anomalous windows, the planted position (2) must carry the
+        largest average attribution."""
+        model, x, y = trained
+        anomalous = x[y == 1][:20]
+        mean_drops = np.mean([occlusion_attribution(model, w) for w in anomalous], axis=0)
+        assert int(np.argmax(mean_drops)) == 2
+
+    def test_rejects_batched_input(self, trained):
+        model, x, _ = trained
+        with pytest.raises(ValueError):
+            occlusion_attribution(model, x[:2])
+
+
+class TestNeighbours:
+    def test_self_is_nearest(self, trained):
+        model, x, _ = trained
+        neighbours = nearest_training_sequences(model, x[5], x[:50], k=1)
+        assert neighbours[0][0] == 5
+        assert neighbours[0][1] == pytest.approx(1.0, abs=1e-4)
+
+    def test_k_respected(self, trained):
+        model, x, _ = trained
+        assert len(nearest_training_sequences(model, x[0], x[:30], k=4)) == 4
+
+    def test_invalid_k(self, trained):
+        model, x, _ = trained
+        with pytest.raises(ValueError):
+            nearest_training_sequences(model, x[0], x[:10], k=0)
+
+
+class TestExplainWindow:
+    def test_full_explanation(self, trained):
+        model, x, y = trained
+        window = x[y == 1][0]
+        messages = [f"msg {i}" for i in range(6)]
+        interpretations = [f"interp {i}" for i in range(6)]
+        explanation = explain_window(model, window, messages, interpretations,
+                                     training_windows=x[:40], k_neighbours=2)
+        assert len(explanation.attributions) == 6
+        assert len(explanation.neighbours) == 2
+        assert 0.0 <= explanation.score <= 1.0
+        rendered = explanation.render()
+        assert "anomaly score" in rendered
+        assert "nearest training windows" in rendered
+
+    def test_top_events_sorted(self, trained):
+        model, x, _ = trained
+        explanation = explain_window(model, x[0], ["m"] * 6, ["i"] * 6)
+        top = explanation.top_events(k=6)
+        drops = [a.score_drop for a in top]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_alignment_validated(self, trained):
+        model, x, _ = trained
+        with pytest.raises(ValueError):
+            explain_window(model, x[0], ["only one"], ["i"] * 6)

@@ -1,0 +1,82 @@
+"""End-to-end LogSynergy facade tests (uses the session-scoped fitted model)."""
+
+import numpy as np
+import pytest
+
+from repro.config import LogSynergyConfig
+from repro.core import LogSynergy
+from repro.evaluation.metrics import binary_metrics
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogSynergy(LogSynergyConfig()).predict([])
+
+    def test_target_in_sources_rejected(self, tiny_experiment_data):
+        model = LogSynergy(LogSynergyConfig())
+        with pytest.raises(ValueError):
+            model.fit(
+                tiny_experiment_data["sources"],
+                next(iter(tiny_experiment_data["sources"])),
+                tiny_experiment_data["target_train"],
+            )
+
+    def test_empty_target_rejected(self, tiny_experiment_data):
+        model = LogSynergy(LogSynergyConfig())
+        with pytest.raises(ValueError):
+            model.fit(tiny_experiment_data["sources"], "thunderbird", [])
+
+    def test_encoder_dim_mismatch_rejected(self):
+        from repro.embedding.pretrained import load_pretrained_encoder
+        with pytest.raises(ValueError):
+            LogSynergy(
+                LogSynergyConfig(embedding_dim=32),
+                encoder=load_pretrained_encoder(64),
+            )
+
+
+class TestFittedModel:
+    def test_training_history_recorded(self, fitted_logsynergy):
+        assert fitted_logsynergy.history is not None
+        from ..conftest import TINY_CONFIG
+        assert len(fitted_logsynergy.history.total) == TINY_CONFIG.epochs
+
+    def test_predictions_binary(self, fitted_logsynergy, tiny_experiment_data):
+        preds = fitted_logsynergy.predict(tiny_experiment_data["target_test"][:50])
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_probabilities_in_unit_interval(self, fitted_logsynergy, tiny_experiment_data):
+        probs = fitted_logsynergy.predict_proba(tiny_experiment_data["target_test"][:50])
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_detects_anomalies_well(self, fitted_logsynergy, tiny_experiment_data):
+        """The headline property: high F1 on the unseen tail of the target
+        system with only a small labeled slice."""
+        test = tiny_experiment_data["target_test"]
+        preds = fitted_logsynergy.predict(test)
+        metrics = binary_metrics([s.label for s in test], preds)
+        assert metrics.f1 > 0.6
+
+    def test_system_index_contains_all(self, fitted_logsynergy):
+        assert set(fitted_logsynergy._system_index) == {"bgl", "spirit", "thunderbird"}
+
+    def test_detect_stream_report(self, fitted_logsynergy):
+        from repro.logs import generate_logs
+        records = generate_logs("thunderbird", 10, seed=123)
+        report = fitted_logsynergy.detect_stream(
+            [r.message for r in records], timestamps=[r.timestamp for r in records]
+        )
+        assert report.system == "thunderbird"
+        assert 0.0 <= report.score <= 1.0
+        assert len(report.interpretations) == 10
+        assert report.first_timestamp is not None
+
+    def test_detect_stream_flags_anomalous_window(self, fitted_logsynergy):
+        """A window full of a known anomaly concept must score higher than a
+        purely normal window."""
+        anomalous = ["kernel: Kernel panic - not syncing: Fatal exception in interrupt cpu 3"] * 6
+        normal = ["heartbeat: tbird-17 alive, seq 5"] * 6
+        anomaly_score = fitted_logsynergy.detect_stream(anomalous).score
+        normal_score = fitted_logsynergy.detect_stream(normal).score
+        assert anomaly_score > normal_score

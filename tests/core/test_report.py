@@ -1,0 +1,62 @@
+"""Anomaly report tests."""
+
+from datetime import datetime
+
+from repro.core.report import build_report
+
+
+def _report(score=0.9, threshold=0.5):
+    return build_report(
+        system="system_a",
+        score=score,
+        threshold=threshold,
+        messages=["raw log one", "raw log two"],
+        interpretations=["Interpretation one.", "Interpretation two."],
+        timestamps=[datetime(2023, 3, 1, 12, 0), datetime(2023, 3, 1, 12, 5)],
+        trace_id="abc123",
+    )
+
+
+class TestAnomalyReport:
+    def test_is_anomalous_threshold(self):
+        assert _report(0.9).is_anomalous
+        assert not _report(0.4).is_anomalous
+        assert not _report(0.5).is_anomalous  # strictly greater, as in §III-E
+
+    def test_summary_mentions_system_and_score(self):
+        summary = _report().summary()
+        assert "system_a" in summary
+        assert "0.900" in summary
+        assert "Interpretation one." in summary
+
+    def test_render_pairs_raw_with_lei(self):
+        rendered = _report().render()
+        body = rendered[rendered.index("Log sequence"):]
+        assert "raw log one" in body
+        assert "Interpretation one." in body
+        assert body.index("raw log one") < body.index("Interpretation one.")
+
+    def test_render_includes_window_and_metadata(self):
+        rendered = _report().render()
+        assert "2023-03-01 12:00:00" in rendered
+        assert "trace_id: abc123" in rendered
+
+    def test_timestamps_ordered(self):
+        report = build_report(
+            system="x", score=1.0, threshold=0.5, messages=[], interpretations=[],
+            timestamps=[datetime(2023, 1, 2), datetime(2023, 1, 1)],
+        )
+        assert report.first_timestamp == datetime(2023, 1, 1)
+        assert report.last_timestamp == datetime(2023, 1, 2)
+
+    def test_no_timestamps(self):
+        report = build_report(
+            system="x", score=1.0, threshold=0.5, messages=["m"], interpretations=["i"]
+        )
+        assert report.first_timestamp is None
+
+    def test_empty_interpretations_summary(self):
+        report = build_report(
+            system="x", score=1.0, threshold=0.5, messages=[], interpretations=[]
+        )
+        assert "unknown event" in report.summary()

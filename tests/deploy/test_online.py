@@ -1,0 +1,75 @@
+"""Online service tests: the full §VI-A pipeline around a fitted model."""
+
+import pytest
+
+from repro.config import LogSynergyConfig
+from repro.core import LogSynergy
+from repro.deploy import AlertRouter, OnlineService, SmsSink
+from repro.deploy.efficiency import (
+    LogSynergyTimeline, RuleBasedTimeline, deployment_speedup,
+)
+from repro.logs.generator import LogGenerator
+
+
+@pytest.fixture(scope="module")
+def service_factory(fitted_logsynergy):
+    def make(**kwargs):
+        return OnlineService(fitted_logsynergy, **kwargs)
+    return make
+
+
+class TestOnlineService:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError):
+            OnlineService(LogSynergy(LogSynergyConfig()))
+
+    def test_processes_stream(self, service_factory):
+        service = service_factory()
+        stream = LogGenerator("thunderbird", seed=7, repeat_probability=0.85).generate(1500)
+        service.process(stream)
+        assert service.stats.windows_seen > 0
+        assert service.stats.model_invocations <= service.stats.windows_seen
+
+    def test_pattern_library_absorbs_redundancy(self, service_factory):
+        """On a repetitive stream, a meaningful fraction of windows must be
+        answered from the library instead of the model (§VI-A)."""
+        service = service_factory()
+        stream = LogGenerator("thunderbird", seed=8, repeat_probability=0.9).generate(4000)
+        service.process(stream)
+        assert service.stats.model_skip_rate > 0.2
+
+    def test_alerts_routed(self, fitted_logsynergy):
+        sms = SmsSink()
+        service = OnlineService(fitted_logsynergy, router=AlertRouter([sms]))
+        stream = LogGenerator("thunderbird", seed=9).generate(2500)
+        reports = service.process(stream)
+        assert len(sms.delivered) == len(reports) == service.stats.anomalies_raised
+        for report in reports:
+            assert report.is_anomalous
+
+    def test_incremental_batches_equivalent_to_whole(self, service_factory):
+        stream = LogGenerator("thunderbird", seed=10).generate(600)
+        whole = service_factory()
+        whole.process(stream)
+        chunked = service_factory()
+        for start in range(0, len(stream), 100):
+            chunked.process(stream[start : start + 100])
+        assert chunked.stats.windows_seen == whole.stats.windows_seen
+
+
+class TestDeploymentEfficiency:
+    def test_paper_claim_over_90_percent(self):
+        comparison = deployment_speedup()
+        assert comparison["reduction"] > 0.9
+
+    def test_custom_timelines(self):
+        comparison = deployment_speedup(
+            RuleBasedTimeline(rules_needed=1, days_per_rule=1),
+            LogSynergyTimeline(collection_hours=24, labeling_hours=0,
+                               interpretation_minutes=0, training_minutes=0),
+        )
+        assert comparison["reduction"] == pytest.approx(0.0)
+
+    def test_hours_positive(self):
+        comparison = deployment_speedup()
+        assert comparison["rule_based_hours"] > comparison["logsynergy_hours"] > 0

@@ -1,0 +1,26 @@
+"""Online service behaviour under buffer overflow and empty input."""
+
+from repro.deploy import OnlineService
+from repro.logs.generator import LogGenerator
+
+
+class TestOverflow:
+    def test_tiny_buffer_drops_but_survives(self, fitted_logsynergy):
+        service = OnlineService(fitted_logsynergy, buffer_capacity=50)
+        stream = LogGenerator("thunderbird", seed=31).generate(500)
+        service.process(stream)
+        assert service.collector.stats.dropped > 0
+        assert service.collector.stats.shipped <= 500
+        # Whatever got through still forms windows and is judged.
+        assert service.stats.windows_seen >= 1
+
+    def test_empty_batch_is_noop(self, fitted_logsynergy):
+        service = OnlineService(fitted_logsynergy)
+        assert service.process([]) == []
+        assert service.stats.windows_seen == 0
+
+
+class TestEmptyPrediction:
+    def test_pipeline_predict_empty(self, fitted_logsynergy):
+        assert fitted_logsynergy.predict([]).shape == (0,)
+        assert fitted_logsynergy.predict_proba([]).shape == (0,)

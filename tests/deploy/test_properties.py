@@ -1,0 +1,69 @@
+"""Property-based tests for the deployment data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.deploy import BoundedBuffer, PatternLibrary
+
+
+class TestBufferProperties:
+    @given(st.lists(st.integers(), max_size=200), st.integers(1, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_order_preserved(self, items, capacity):
+        buffer = BoundedBuffer(capacity=capacity)
+        accepted = [item for item in items if buffer.offer(item)]
+        drained = buffer.drain()
+        assert drained == accepted[: capacity]
+
+    @given(st.lists(st.integers(), max_size=100), st.integers(1, 20),
+           st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_poll_conserves_items(self, items, capacity, poll_size):
+        buffer = BoundedBuffer(capacity=capacity)
+        accepted = sum(1 for item in items if buffer.offer(item))
+        polled = []
+        while len(buffer):
+            polled.extend(buffer.poll(poll_size))
+        assert len(polled) == accepted
+        assert buffer.total_offered == len(items)
+        assert buffer.total_rejected == len(items) - accepted
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_capacity(self, capacity):
+        buffer = BoundedBuffer(capacity=capacity)
+        for item in range(capacity * 3):
+            buffer.offer(item)
+            assert len(buffer) <= capacity
+
+
+class TestPatternLibraryProperties:
+    @given(st.lists(st.tuples(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                              st.booleans()), max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_returns_last_remembered(self, operations):
+        library = PatternLibrary(max_patterns=1000)
+        expected: dict = {}
+        for pattern, verdict in operations:
+            library.remember(pattern, verdict)
+            expected[pattern] = verdict
+        for pattern, verdict in expected.items():
+            assert library.lookup(pattern) is verdict
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.booleans()),
+                    min_size=1, max_size=200), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_exceeded(self, operations, max_patterns):
+        library = PatternLibrary(max_patterns=max_patterns)
+        for key, verdict in operations:
+            library.remember((key,), verdict)
+            assert len(library) <= max_patterns
+
+    @given(st.lists(st.integers(0, 10), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_hit_rate_bounds(self, keys):
+        library = PatternLibrary()
+        for key in keys:
+            if library.lookup((key,)) is None:
+                library.remember((key,), False)
+        assert 0.0 <= library.stats.hit_rate <= 1.0
+        assert library.stats.total == len(keys)

@@ -1,0 +1,156 @@
+"""Deployment stage tests: buffer, collector, formatter, pattern library, alerts."""
+
+import pytest
+
+from repro.core.report import build_report
+from repro.deploy import (
+    AlertRouter, BoundedBuffer, EmailSink, LogCollector, LogFormatter,
+    PatternLibrary, SmsSink,
+)
+from repro.logs import generate_logs
+
+
+class TestBoundedBuffer:
+    def test_fifo(self):
+        buffer = BoundedBuffer(capacity=10)
+        for i in range(5):
+            assert buffer.offer(i)
+        assert buffer.poll(3) == [0, 1, 2]
+        assert buffer.poll(10) == [3, 4]
+
+    def test_rejects_when_full(self):
+        buffer = BoundedBuffer(capacity=2)
+        assert buffer.offer(1) and buffer.offer(2)
+        assert not buffer.offer(3)
+        assert buffer.total_rejected == 1
+        assert len(buffer) == 2
+
+    def test_drain(self):
+        buffer = BoundedBuffer(capacity=5)
+        for i in range(3):
+            buffer.offer(i)
+        assert buffer.drain() == [0, 1, 2]
+        assert len(buffer) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(capacity=0)
+
+    def test_invalid_poll(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer().poll(0)
+
+
+class TestCollector:
+    def test_ships_and_counts(self):
+        buffer = BoundedBuffer(capacity=100)
+        collector = LogCollector(buffer)
+        records = generate_logs("bgl", 30, seed=0)
+        stats = collector.ship(records)
+        assert stats.shipped == 30
+        assert stats.dropped == 0
+        assert len(buffer) == 30
+
+    def test_drops_on_backpressure(self):
+        buffer = BoundedBuffer(capacity=10)
+        collector = LogCollector(buffer)
+        stats = collector.ship(generate_logs("bgl", 30, seed=0))
+        assert stats.shipped == 10
+        assert stats.dropped == 20
+        assert stats.total == 30
+
+
+class TestFormatter:
+    def test_windows_emitted(self):
+        buffer = BoundedBuffer(capacity=1000)
+        LogCollector(buffer).ship(generate_logs("bgl", 25, seed=0))
+        formatter = LogFormatter(buffer, window=10, step=5)
+        windows = formatter.pump(max_items=100)
+        # 25 records -> windows at offsets 0,5,10 (15 needs records 15..24 ok) => 4? depends:
+        # offsets 0,5,10,15 all complete with 25 records.
+        assert len(windows) == 4
+        assert all(len(w) == 10 for w in windows)
+
+    def test_incremental_pumping(self):
+        buffer = BoundedBuffer(capacity=1000)
+        formatter = LogFormatter(buffer, window=10, step=5)
+        records = generate_logs("bgl", 40, seed=0)
+        LogCollector(buffer).ship(records[:8])
+        assert formatter.pump() == []  # not enough yet
+        LogCollector(buffer).ship(records[8:])
+        windows = formatter.pump()
+        assert len(windows) == 7
+
+    def test_normalization(self):
+        buffer = BoundedBuffer(capacity=100)
+        LogCollector(buffer).ship(generate_logs("spirit", 10, seed=0))
+        formatter = LogFormatter(buffer, window=10, step=5)
+        window = formatter.pump()[0]
+        assert window[0].system == "spirit"
+        assert window[0].message == window[0].message.strip()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogFormatter(BoundedBuffer(), window=0)
+
+
+class TestPatternLibrary:
+    def test_miss_then_hit(self):
+        library = PatternLibrary()
+        pattern = (1, 2, 3)
+        assert library.lookup(pattern) is None
+        library.remember(pattern, True)
+        assert library.lookup(pattern) is True
+        assert library.stats.hits == 1
+        assert library.stats.misses == 1
+        assert library.stats.hit_rate == 0.5
+
+    def test_capacity_cap(self):
+        library = PatternLibrary(max_patterns=2)
+        library.remember((1,), False)
+        library.remember((2,), False)
+        library.remember((3,), True)  # over cap: ignored
+        assert len(library) == 2
+        assert library.lookup((3,)) is None
+
+    def test_update_existing_under_cap(self):
+        library = PatternLibrary(max_patterns=1)
+        library.remember((1,), False)
+        library.remember((1,), True)  # update allowed
+        assert library.lookup((1,)) is True
+
+    def test_known_anomalous_count(self):
+        library = PatternLibrary()
+        library.remember((1,), True)
+        library.remember((2,), False)
+        assert library.known_anomalous_patterns() == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PatternLibrary(max_patterns=0)
+
+
+class TestAlerting:
+    def _report(self):
+        return build_report("system_a", 0.97, 0.5, ["msg one"], ["Interpretation."])
+
+    def test_sms_truncated(self):
+        sink = SmsSink()
+        sink.deliver(self._report())
+        assert len(sink.delivered) == 1
+        assert len(sink.delivered[0]) <= SmsSink.MAX_LENGTH
+
+    def test_email_full_body(self):
+        sink = EmailSink()
+        sink.deliver(self._report())
+        assert "msg one" in sink.delivered[0]
+        assert "Interpretation." in sink.delivered[0]
+
+    def test_router_fans_out(self):
+        sms, email = SmsSink(), EmailSink()
+        router = AlertRouter([sms])
+        router.add_sink(email)
+        delivered = router.route(self._report())
+        assert delivered == 2
+        assert router.routed == 1
+        assert len(sms.delivered) == len(email.delivered) == 1

@@ -1,0 +1,91 @@
+"""Embedding-space diagnostic tests."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import load_pretrained_encoder
+from repro.embedding.analysis import (
+    alignment_gap, concept_cluster_purity, isotropy_score,
+)
+from repro.llm import SimulatedLLM, build_interpretation_prompt
+from repro.logs import anomalous_concepts
+
+
+class TestClusterPurity:
+    def test_separable_clusters_pure(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((20, 8)) + np.array([10.0] + [0] * 7)
+        b = rng.standard_normal((20, 8)) - np.array([10.0] + [0] * 7)
+        embeddings = np.vstack([a, b])
+        labels = ["a"] * 20 + ["b"] * 20
+        result = concept_cluster_purity(embeddings, labels)
+        assert result.purity == 1.0
+        assert result.n_labels == 2
+
+    def test_random_labels_impure(self):
+        rng = np.random.default_rng(1)
+        embeddings = rng.standard_normal((60, 8))
+        labels = list(rng.integers(0, 6, size=60))
+        result = concept_cluster_purity(embeddings, labels)
+        assert result.purity < 0.6
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            concept_cluster_purity(np.zeros((3, 2)), ["a"])
+
+    def test_tiny_input(self):
+        assert concept_cluster_purity(np.zeros((1, 2)), ["a"]).purity == 1.0
+
+
+class TestIsotropy:
+    def test_isotropic_gaussian_high(self):
+        rng = np.random.default_rng(2)
+        score = isotropy_score(rng.standard_normal((500, 16)))
+        assert score > 0.5
+
+    def test_collapsed_space_low(self):
+        rng = np.random.default_rng(3)
+        direction = rng.standard_normal(16)
+        embeddings = np.outer(rng.standard_normal(200), direction)
+        embeddings += 0.01 * rng.standard_normal((200, 16))
+        assert isotropy_score(embeddings) < 0.1
+
+    def test_degenerate_inputs(self):
+        assert isotropy_score(np.zeros((1, 4))) == 1.0
+        assert isotropy_score(np.zeros((10, 4))) == 1.0
+
+    def test_pretrained_encoder_not_collapsed(self):
+        """The LEI embedding space must retain usable rank."""
+        encoder = load_pretrained_encoder(64)
+        from repro.logs import CONCEPTS
+        matrix = encoder.encode_batch([c.canonical for c in CONCEPTS])
+        assert isotropy_score(matrix) > 0.05
+
+
+class TestAlignmentGap:
+    def test_lei_gap_exceeds_raw_gap(self):
+        """The quantitative Table I claim: grouping dialect renderings by
+        concept, LEI interpretations align far better than raw text."""
+        encoder = load_pretrained_encoder(64)
+        llm = SimulatedLLM()
+        concepts = [c for c in anomalous_concepts() if len(c.phrases) >= 3][:6]
+
+        raw_groups = {
+            c.name: [p.replace("<*>", "7") for p in c.phrases.values()] for c in concepts
+        }
+        lei_groups = {
+            c.name: [
+                llm.complete(build_interpretation_prompt(system, phrase.replace("<*>", "7")))
+                for system, phrase in c.phrases.items()
+            ]
+            for c in concepts
+        }
+        raw_gap = alignment_gap(encoder, raw_groups)
+        lei_gap = alignment_gap(encoder, lei_groups)
+        assert lei_gap > raw_gap + 0.3
+        assert lei_gap > 0.8  # identical canonical sentences per group
+
+    def test_empty(self):
+        encoder = load_pretrained_encoder(64)
+        assert alignment_gap(encoder, {}) == 0.0
+        assert alignment_gap(encoder, {"one": ["single text"]}) == 0.0

@@ -1,0 +1,70 @@
+"""PPMI-SVD word vector tests."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.cooccurrence import WordVectors, train_word_vectors
+from repro.embedding.vocab import Vocabulary
+
+_CORPUS = [
+    "the connection to the server was dropped",
+    "the session to the server was dropped",
+    "the connection to the host was refused",
+    "the session to the host was refused",
+    "the disk reported a write error",
+    "the disk reported a read error",
+    "the memory module reported a parity error",
+] * 5
+
+
+class TestTraining:
+    def test_dimensions(self):
+        vectors = train_word_vectors(_CORPUS, dim=16, min_count=1)
+        assert vectors.dim == 16
+        assert vectors.matrix.shape[0] == len(vectors.vocabulary)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            train_word_vectors(_CORPUS, dim=0)
+
+    def test_dim_padded_when_rank_deficient(self):
+        vectors = train_word_vectors(["a b", "b a"], dim=64, min_count=1)
+        assert vectors.matrix.shape[1] == 64
+
+    def test_deterministic(self):
+        a = train_word_vectors(_CORPUS, dim=8, min_count=1)
+        b = train_word_vectors(_CORPUS, dim=8, min_count=1)
+        np.testing.assert_allclose(np.abs(a.matrix), np.abs(b.matrix), atol=1e-5)
+
+
+class TestSemanticGeometry:
+    def test_shared_context_words_similar(self):
+        """'connection' and 'session' appear in identical contexts and must
+        be more similar than 'connection' and 'disk'."""
+        vectors = train_word_vectors(_CORPUS, dim=16, min_count=1)
+        same = vectors.similarity("connection", "session")
+        different = vectors.similarity("connection", "disk")
+        assert same > different
+
+    def test_most_similar_excludes_self_and_unk(self):
+        vectors = train_word_vectors(_CORPUS, dim=16, min_count=1)
+        neighbours = vectors.most_similar("connection", k=3)
+        tokens = [t for t, _ in neighbours]
+        assert "connection" not in tokens
+        assert Vocabulary.UNK not in tokens
+        assert len(neighbours) == 3
+
+    def test_similarity_of_zero_vector_is_zero(self):
+        vocab = Vocabulary()
+        vocab.add_sentence(["a", "b"])
+        vocab.build()
+        matrix = np.zeros((3, 4), dtype=np.float32)
+        vectors = WordVectors(vocab, matrix)
+        assert vectors.similarity("a", "b") == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        vocab = Vocabulary()
+        vocab.add_sentence(["a"])
+        vocab.build()
+        with pytest.raises(ValueError):
+            WordVectors(vocab, np.zeros((10, 4), dtype=np.float32))

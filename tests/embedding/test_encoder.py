@@ -1,0 +1,61 @@
+"""Sentence encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.cooccurrence import train_word_vectors
+from repro.embedding.encoder import SentenceEncoder
+
+_CORPUS = [
+    "network connection interrupted to remote endpoint",
+    "network session dropped to remote peer",
+    "disk write failure on storage device",
+    "disk read error on storage device",
+    "heartbeat confirmed component alive",
+    "health check passed component responsive",
+] * 10
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return SentenceEncoder(train_word_vectors(_CORPUS, dim=16, min_count=1))
+
+
+class TestEncoding:
+    def test_unit_norm(self, encoder):
+        vec = encoder.encode("network connection interrupted")
+        np.testing.assert_allclose(np.linalg.norm(vec), 1.0, atol=1e-5)
+
+    def test_empty_sentence_zero_vector(self, encoder):
+        np.testing.assert_allclose(encoder.encode(""), 0.0)
+
+    def test_deterministic(self, encoder):
+        a = encoder.encode("disk write failure")
+        b = encoder.encode("disk write failure")
+        np.testing.assert_allclose(a, b)
+
+    def test_batch_matches_single(self, encoder):
+        sentences = ["network connection interrupted", "disk write failure"]
+        batch = encoder.encode_batch(sentences)
+        for row, sentence in zip(batch, sentences):
+            np.testing.assert_allclose(row, encoder.encode(sentence))
+
+    def test_empty_batch(self, encoder):
+        assert encoder.encode_batch([]).shape == (0, 16)
+
+    def test_semantic_neighbourhood(self, encoder):
+        net_a = encoder.encode("network connection interrupted")
+        net_b = encoder.encode("network session dropped")
+        disk = encoder.encode("disk write failure")
+        assert float(net_a @ net_b) > float(net_a @ disk)
+
+    def test_oov_tokens_stable(self, encoder):
+        a = encoder.encode("zorblat quux")
+        b = encoder.encode("zorblat quux")
+        np.testing.assert_allclose(a, b)
+        assert np.linalg.norm(a) > 0  # hash vectors, not zeros
+
+    def test_oov_distinct_tokens_distinct_vectors(self, encoder):
+        a = encoder.encode("zorblat")
+        b = encoder.encode("vexmor")
+        assert not np.allclose(a, b)

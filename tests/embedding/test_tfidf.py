@@ -1,0 +1,53 @@
+"""TF-IDF vectorizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.tfidf import TfidfVectorizer
+
+_DOCS = [
+    "disk error on node seven",
+    "disk error on node nine",
+    "network link down on switch",
+    "user login success",
+]
+
+
+class TestTfidf:
+    def test_shapes(self):
+        matrix = TfidfVectorizer().fit_transform(_DOCS)
+        assert matrix.shape[0] == len(_DOCS)
+
+    def test_rows_l2_normalized(self):
+        matrix = TfidfVectorizer().fit_transform(_DOCS)
+        norms = np.linalg.norm(matrix, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-5)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(_DOCS)
+
+    def test_rare_terms_weighted_higher(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(_DOCS)
+        # "login" appears once, "disk" twice: idf(login) > idf(disk).
+        login = vectorizer._idf[vectorizer.vocabulary.id_of("login")]
+        disk = vectorizer._idf[vectorizer.vocabulary.id_of("disk")]
+        assert login > disk
+
+    def test_similar_docs_closer(self):
+        matrix = TfidfVectorizer().fit_transform(_DOCS)
+        disk_sim = float(matrix[0] @ matrix[1])
+        cross_sim = float(matrix[0] @ matrix[3])
+        assert disk_sim > cross_sim
+
+    def test_empty_document_row_is_zero(self):
+        matrix = TfidfVectorizer().fit_transform(["a b", ""])
+        np.testing.assert_allclose(matrix[1], 0.0)
+
+    def test_unseen_tokens_ignored(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(_DOCS)
+        out = vectorizer.transform(["completely novel words"])
+        # All tokens map to UNK (id 0): only that column may be nonzero.
+        assert np.count_nonzero(out[0][1:]) == 0

@@ -1,0 +1,63 @@
+"""Vocabulary and tokenizer tests."""
+
+import pytest
+
+from repro.embedding.vocab import Vocabulary, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_split(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert tokenize("retry 42") == ["retry", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("...") == []
+
+
+class TestVocabulary:
+    def test_build_assigns_frequency_ranked_ids(self):
+        vocab = Vocabulary()
+        vocab.add_sentence(["b", "a", "a", "a", "b", "c"])
+        vocab.build()
+        assert vocab.id_of("a") == 1  # 0 is UNK
+        assert vocab.id_of("b") == 2
+        assert vocab.id_of("c") == 3
+
+    def test_unknown_maps_to_zero(self):
+        vocab = Vocabulary()
+        vocab.add_sentence(["x"])
+        vocab.build()
+        assert vocab.id_of("never_seen") == 0
+        assert vocab.token_of(0) == Vocabulary.UNK
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary(min_count=2)
+        vocab.add_sentence(["a", "a", "b"])
+        vocab.build()
+        assert "a" in vocab and "b" not in vocab
+
+    def test_max_size_truncates(self):
+        vocab = Vocabulary(max_size=2)
+        vocab.add_sentence(["a", "a", "b", "b", "c"])
+        vocab.build()
+        assert len(vocab) == 3  # UNK + 2
+
+    def test_frozen_rejects_additions(self):
+        vocab = Vocabulary()
+        vocab.add_sentence(["a"])
+        vocab.build()
+        with pytest.raises(RuntimeError):
+            vocab.add_sentence(["b"])
+
+    def test_encode(self):
+        vocab = Vocabulary()
+        vocab.add_sentence(["a", "b"])
+        vocab.build()
+        assert vocab.encode(["a", "zz", "b"]) == [vocab.id_of("a"), 0, vocab.id_of("b")]
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)

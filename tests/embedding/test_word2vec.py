@@ -1,0 +1,39 @@
+"""Skip-gram (SGNS) trainer tests."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.word2vec_lite import train_skipgram
+
+_CORPUS = [
+    "connection dropped to remote server",
+    "session dropped to remote server",
+    "connection refused by remote host",
+    "session refused by remote host",
+    "disk failure detected on device",
+    "fan failure detected on chassis",
+] * 8
+
+
+class TestSkipgram:
+    def test_output_shape(self):
+        vectors = train_skipgram(_CORPUS, dim=12, epochs=1, min_count=1, seed=0)
+        assert vectors.dim == 12
+        assert vectors.matrix.shape[0] == len(vectors.vocabulary)
+
+    def test_deterministic_per_seed(self):
+        a = train_skipgram(_CORPUS, dim=8, epochs=1, min_count=1, seed=3)
+        b = train_skipgram(_CORPUS, dim=8, epochs=1, min_count=1, seed=3)
+        np.testing.assert_allclose(a.matrix, b.matrix)
+
+    def test_distributional_similarity(self):
+        """'connection' and 'session' share contexts; they must end up more
+        similar than 'connection' and 'disk'."""
+        vectors = train_skipgram(_CORPUS, dim=16, epochs=4, min_count=1, seed=0)
+        same = vectors.similarity("connection", "session")
+        different = vectors.similarity("connection", "disk")
+        assert same > different
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            train_skipgram(_CORPUS, epochs=0)

@@ -1,0 +1,65 @@
+"""Threshold calibration tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.calibration import calibrate_threshold, precision_floor_threshold
+from repro.evaluation.metrics import binary_metrics
+
+
+class TestCalibrateThreshold:
+    def test_finds_separating_threshold(self):
+        y = np.array([0, 0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+        choice = calibrate_threshold(y, scores)
+        assert choice.f1 == 1.0
+        assert 0.3 <= choice.threshold < 0.8
+
+    def test_beats_default_when_scores_shifted(self):
+        """Scores compressed below 0.5: the default threshold finds nothing,
+        calibration recovers the anomalies."""
+        y = np.array([0] * 8 + [1] * 2)
+        scores = np.concatenate([np.full(8, 0.05), np.full(2, 0.3)])
+        default_f1 = binary_metrics(y, (scores > 0.5).astype(int)).f1
+        choice = calibrate_threshold(y, scores)
+        assert default_f1 == 0.0
+        assert choice.f1 == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold([0, 1], [0.5])
+
+    @given(st.lists(st.tuples(st.integers(0, 1),
+                              st.floats(0, 1, allow_nan=False)), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_default(self, pairs):
+        y = np.array([a for a, _ in pairs])
+        scores = np.array([b for _, b in pairs])
+        choice = calibrate_threshold(y, scores)
+        default_f1 = binary_metrics(y, (scores > 0.5).astype(int)).f1
+        assert choice.f1 >= default_f1 - 1e-9
+
+
+class TestPrecisionFloor:
+    def test_respects_floor(self):
+        y = np.array([0, 0, 1, 1, 1, 0])
+        scores = np.array([0.4, 0.45, 0.5, 0.8, 0.9, 0.85])
+        choice = precision_floor_threshold(y, scores, min_precision=0.66)
+        assert choice.precision >= 0.66
+        assert choice.recall > 0
+
+    def test_falls_back_when_unreachable(self):
+        y = np.array([1, 0])
+        scores = np.array([0.1, 0.9])  # anomaly scored below normal
+        choice = precision_floor_threshold(y, scores, min_precision=0.99)
+        fallback = calibrate_threshold(y, scores)
+        assert choice == fallback
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            precision_floor_threshold([1], [0.5], min_precision=0.0)

@@ -1,0 +1,39 @@
+"""CrossSystemExperiment with injected datasets (avoids regeneration)."""
+
+from repro.config import LogSynergyConfig
+from repro.evaluation import CrossSystemExperiment
+from repro.logs import build_dataset
+
+_FAST = LogSynergyConfig(
+    d_model=32, num_heads=4, num_layers=1, d_ff=64, feature_dim=16,
+    embedding_dim=64, epochs=2, batch_size=64,
+)
+
+
+class TestInjectedDatasets:
+    def test_reuses_provided_datasets(self):
+        shared = {
+            name: build_dataset(name, scale=0.002, seed=index)
+            for index, name in enumerate(["bgl", "spirit", "thunderbird"])
+        }
+        experiment = CrossSystemExperiment(
+            "thunderbird", ["bgl", "spirit"], datasets=shared,
+            n_source=150, n_target=40, max_test=100,
+        )
+        experiment.prepare()
+        # The injected objects are used directly, not regenerated.
+        assert experiment.target_test[0].records[0] in shared["thunderbird"].records
+
+    def test_two_experiments_can_share_generation(self):
+        shared = {
+            name: build_dataset(name, scale=0.002, seed=index)
+            for index, name in enumerate(["bgl", "spirit"])
+        }
+        a = CrossSystemExperiment("bgl", ["spirit"], datasets=dict(shared),
+                                  n_source=100, n_target=40, max_test=100)
+        b = CrossSystemExperiment("spirit", ["bgl"], datasets=dict(shared),
+                                  n_source=100, n_target=40, max_test=100)
+        a.prepare()
+        b.prepare()
+        assert a.source_train["spirit"][0].records[0] in shared["spirit"].records
+        assert b.source_train["bgl"][0].records[0] in shared["bgl"].records

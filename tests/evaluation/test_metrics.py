@@ -1,0 +1,75 @@
+"""Metric tests: precision/recall/F1 definitions from §IV-A3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.metrics import binary_metrics, confusion_counts
+
+
+class TestConfusionCounts:
+    def test_cells(self):
+        counts = confusion_counts([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert counts.true_positive == 2
+        assert counts.false_negative == 1
+        assert counts.false_positive == 1
+        assert counts.true_negative == 1
+        assert counts.total == 5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts([1, 0], [1])
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_counts([0, 2], [0, 1])
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        metrics = binary_metrics([1, 0, 1], [1, 0, 1])
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+
+    def test_paper_definitions(self):
+        # TP=1, FP=1, FN=1 -> P=0.5, R=0.5, F1=0.5
+        metrics = binary_metrics([1, 1, 0, 0], [1, 0, 1, 0])
+        assert metrics.precision == 0.5
+        assert metrics.recall == 0.5
+        assert metrics.f1 == 0.5
+
+    def test_all_negative_predictions_zero_not_nan(self):
+        metrics = binary_metrics([1, 1, 0], [0, 0, 0])
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_no_positives_at_all(self):
+        metrics = binary_metrics([0, 0], [0, 0])
+        assert metrics.f1 == 0.0
+
+    def test_percentages(self):
+        metrics = binary_metrics([1, 1, 0, 0], [1, 0, 1, 0])
+        pct = metrics.as_percentages()
+        assert pct == {"P(%)": 50.0, "R(%)": 50.0, "F1(%)": 50.0}
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_f1_is_harmonic_mean(self, pairs):
+        y_true = [a for a, _ in pairs]
+        y_pred = [b for _, b in pairs]
+        metrics = binary_metrics(y_true, y_pred)
+        assert 0.0 <= metrics.f1 <= 1.0
+        if metrics.precision + metrics.recall > 0:
+            expected = 2 * metrics.precision * metrics.recall / (
+                metrics.precision + metrics.recall
+            )
+            assert metrics.f1 == pytest.approx(expected)
+        assert min(metrics.precision, metrics.recall) <= metrics.f1 + 1e-9
+        assert metrics.f1 <= max(metrics.precision, metrics.recall) + 1e-9
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_self_prediction_perfect_when_positives_exist(self, labels):
+        metrics = binary_metrics(labels, labels)
+        if any(labels):
+            assert metrics.f1 == 1.0

@@ -1,0 +1,37 @@
+"""Multi-seed repetition tests."""
+
+import pytest
+
+from repro.config import LogSynergyConfig
+from repro.evaluation.repeated import repeat_experiment
+
+_FAST = LogSynergyConfig(
+    d_model=32, num_heads=4, num_layers=1, d_ff=64, feature_dim=16,
+    embedding_dim=64, epochs=2, batch_size=64, learning_rate=3e-4,
+)
+
+
+class TestRepeatExperiment:
+    def test_aggregates_over_seeds(self):
+        aggregate = repeat_experiment(
+            "thunderbird", ["bgl", "spirit"], seeds=[0, 1],
+            scale=0.002, n_source=200, n_target=50, max_test=150, config=_FAST,
+        )
+        assert len(aggregate.runs) == 2
+        assert 0.0 <= aggregate.f1_mean <= 1.0
+        assert aggregate.f1_std >= 0.0
+        assert "F1" in aggregate.summary()
+        assert "n=2" in aggregate.summary()
+
+    def test_baseline_repetition(self):
+        aggregate = repeat_experiment(
+            "thunderbird", ["bgl", "spirit"], method="DeepLog", seeds=[0],
+            scale=0.002, n_source=200, n_target=50, max_test=150,
+            baseline_kwargs=dict(epochs=1, hidden_size=16, num_layers=1),
+        )
+        assert aggregate.method == "DeepLog"
+        assert len(aggregate.runs) == 1
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_experiment("bgl", ["spirit"], seeds=[])

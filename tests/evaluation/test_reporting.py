@@ -1,0 +1,46 @@
+"""Markdown report generator tests."""
+
+from repro.evaluation.experiment import ExperimentResult, MethodResult
+from repro.evaluation.metrics import binary_metrics
+from repro.evaluation.reporting import MarkdownReport
+
+
+def _experiment():
+    results = [
+        MethodResult("LogSynergy", "bgl", binary_metrics([1, 0], [1, 0]), 12.0, 0.5),
+        MethodResult("DeepLog", "bgl", binary_metrics([1, 0], [1, 1]), 3.0, 0.2),
+    ]
+    return ExperimentResult("bgl", ("spirit",), results)
+
+
+class TestMarkdownReport:
+    def test_structure(self):
+        report = MarkdownReport("Title", preamble="Intro text.")
+        report.add_section("Section A", commentary="Comment.", tables=["a  b\n1  2"])
+        rendered = report.render()
+        assert rendered.startswith("# Title")
+        assert "Intro text." in rendered
+        assert "## Section A" in rendered
+        assert "```\na  b\n1  2\n```" in rendered
+
+    def test_experiment_section(self):
+        report = MarkdownReport("R")
+        report.add_experiment("Table IV row", _experiment(), commentary="Shape holds.")
+        rendered = report.render()
+        assert "LogSynergy" in rendered and "DeepLog" in rendered
+        assert "100.00" in rendered
+        assert "Shape holds." in rendered
+
+    def test_save(self, tmp_path):
+        report = MarkdownReport("R")
+        report.add_section("S")
+        path = tmp_path / "report.md"
+        report.save(str(path))
+        assert path.read_text().startswith("# R")
+
+    def test_sections_in_order(self):
+        report = MarkdownReport("R")
+        report.add_section("First")
+        report.add_section("Second")
+        rendered = report.render()
+        assert rendered.index("## First") < rendered.index("## Second")

@@ -1,0 +1,71 @@
+"""Split policy tests (§IV-A1)."""
+
+import pytest
+
+from repro.evaluation.splits import (
+    continuous_target_split, random_split, source_training_slice,
+)
+from repro.logs import generate_logs, sliding_windows
+
+
+def _sequences(n_lines=300, seed=0):
+    return sliding_windows(generate_logs("bgl", n_lines, seed=seed))
+
+
+class TestContinuousSplit:
+    def test_temporal_order_preserved(self):
+        sequences = _sequences()
+        split = continuous_target_split(sequences, 20)
+        assert split.train == sequences[:20]
+        assert split.test == sequences[20:]
+        latest_train = max(s.records[-1].timestamp for s in split.train)
+        earliest_test = min(s.records[0].timestamp for s in split.test)
+        # Overlapping windows share records, but no test window may start
+        # before all train windows started.
+        assert split.test[0].start_index > split.train[-1].start_index
+
+    def test_labels_accessors(self):
+        split = continuous_target_split(_sequences(), 10)
+        assert len(split.train_labels) == 10
+        assert set(split.train_labels) <= {0, 1}
+
+    def test_invalid_sizes(self):
+        sequences = _sequences()
+        with pytest.raises(ValueError):
+            continuous_target_split(sequences, 0)
+        with pytest.raises(ValueError):
+            continuous_target_split(sequences, len(sequences))
+
+
+class TestSourceSlice:
+    def test_takes_prefix(self):
+        sequences = _sequences()
+        assert source_training_slice(sequences, 7) == sequences[:7]
+
+    def test_short_source_returns_all(self):
+        sequences = _sequences(100)
+        assert source_training_slice(sequences, 10_000) == sequences
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            source_training_slice(_sequences(100), 0)
+
+
+class TestRandomSplit:
+    def test_partition(self):
+        sequences = _sequences()
+        split = random_split(sequences, 15, seed=0)
+        assert len(split.train) == 15
+        assert len(split.train) + len(split.test) == len(sequences)
+
+    def test_seed_determinism(self):
+        sequences = _sequences()
+        a = random_split(sequences, 15, seed=1)
+        b = random_split(sequences, 15, seed=1)
+        assert a.train == b.train
+
+    def test_differs_from_continuous(self):
+        sequences = _sequences()
+        random = random_split(sequences, 15, seed=2)
+        continuous = continuous_target_split(sequences, 15)
+        assert random.train != continuous.train

@@ -1,0 +1,62 @@
+"""Table formatter tests."""
+
+from repro.evaluation.experiment import ExperimentResult, MethodResult
+from repro.evaluation.metrics import binary_metrics
+from repro.evaluation.tables import format_results_table, format_series, format_stats_table
+
+
+def _result(method, target, y_true, y_pred):
+    return MethodResult(
+        method=method, target=target,
+        metrics=binary_metrics(y_true, y_pred),
+        train_seconds=1.0, predict_seconds=0.1,
+    )
+
+
+class TestResultsTable:
+    def test_layout(self):
+        experiments = [
+            ExperimentResult("bgl", ("spirit",), [
+                _result("LogSynergy", "bgl", [1, 0], [1, 0]),
+                _result("DeepLog", "bgl", [1, 0], [1, 1]),
+            ]),
+            ExperimentResult("spirit", ("bgl",), [
+                _result("LogSynergy", "spirit", [1, 0], [1, 0]),
+            ]),
+        ]
+        table = format_results_table(experiments, ["DeepLog", "LogSynergy"], title="Table IV")
+        assert "Table IV" in table
+        assert "LogSynergy" in table and "DeepLog" in table
+        assert "100.00" in table
+        # Missing method/target cell renders a dash.
+        assert "-" in table
+
+    def test_method_order_respected(self):
+        experiments = [ExperimentResult("bgl", (), [
+            _result("B", "bgl", [1], [1]), _result("A", "bgl", [1], [1]),
+        ])]
+        table = format_results_table(experiments, ["A", "B"])
+        assert table.index("A") < table.index("B")
+
+
+class TestSeries:
+    def test_rows_and_columns(self):
+        text = format_series("Fig 4a", [0.001, 0.01], {"BGL": [80.0, 85.0], "Spirit": [70.0, 75.0]},
+                             x_label="lambda_mi")
+        assert "Fig 4a" in text
+        assert "lambda_mi" in text
+        assert "85.00" in text and "75.00" in text
+
+
+class TestStats:
+    def test_table3_style(self):
+        rows = [
+            {"system": "BGL", "num_logs": 100, "anomaly_ratio": 0.1},
+            {"system": "Spirit", "num_logs": 200, "anomaly_ratio": 0.01},
+        ]
+        text = format_stats_table(rows, title="Table III")
+        assert "Table III" in text
+        assert "BGL" in text and "Spirit" in text
+
+    def test_empty(self):
+        assert format_stats_table([], title="t") == "t"

@@ -1,0 +1,76 @@
+"""CachedLLM tests."""
+
+import json
+
+import pytest
+
+from repro.llm.cache import CachedLLM
+from repro.llm.simulated import SimulatedLLM
+
+
+class _Counting:
+    def __init__(self, answer="the answer"):
+        self.calls = 0
+        self.answer = answer
+
+    def complete(self, prompt: str) -> str:
+        self.calls += 1
+        return f"{self.answer} #{self.calls}"
+
+
+class TestCachedLLM:
+    def test_second_call_hits_cache(self, tmp_path):
+        inner = _Counting()
+        cached = CachedLLM(inner, tmp_path / "cache.json")
+        first = cached.complete("prompt A")
+        second = cached.complete("prompt A")
+        assert first == second
+        assert inner.calls == 1
+        assert cached.hits == 1 and cached.misses == 1
+
+    def test_distinct_prompts_distinct_entries(self, tmp_path):
+        cached = CachedLLM(_Counting(), tmp_path / "cache.json")
+        cached.complete("prompt A")
+        cached.complete("prompt B")
+        assert len(cached) == 2
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = CachedLLM(_Counting(), path)
+        answer = first.complete("stable prompt")
+
+        fresh_inner = _Counting(answer="different")
+        second = CachedLLM(fresh_inner, path)
+        assert second.complete("stable prompt") == answer
+        assert fresh_inner.calls == 0
+
+    def test_manual_save_mode(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cached = CachedLLM(_Counting(), path, autosave=False)
+        cached.complete("prompt")
+        assert not path.exists()
+        cached.save()
+        assert path.exists()
+
+    def test_invalidate(self, tmp_path):
+        inner = _Counting()
+        cached = CachedLLM(inner, tmp_path / "cache.json")
+        cached.complete("prompt")
+        assert cached.invalidate("prompt")
+        assert not cached.invalidate("prompt")
+        cached.complete("prompt")
+        assert inner.calls == 2
+
+    def test_corrupt_cache_raises(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            CachedLLM(_Counting(), path)
+
+    def test_wraps_simulated_llm(self, tmp_path):
+        from repro.llm.prompts import build_interpretation_prompt
+        cached = CachedLLM(SimulatedLLM(), tmp_path / "cache.json")
+        prompt = build_interpretation_prompt("bgl", "rts panic! - stopping execution, reason 1")
+        assert "kernel" in cached.complete(prompt).lower()
+        stored = json.loads((tmp_path / "cache.json").read_text())
+        assert len(stored) == 1

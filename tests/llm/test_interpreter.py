@@ -1,0 +1,85 @@
+"""LEI interpreter pipeline tests (review/regeneration loop)."""
+
+import pytest
+
+from repro.llm.interpreter import EventInterpreter, review_interpretation
+from repro.llm.simulated import SimulatedLLM
+from repro.logs.generator import generate_logs
+from repro.parsing.template_store import TemplateStore
+
+
+class _FlakyLLM:
+    """Returns bad output for the first ``failures`` calls, then good."""
+
+    def __init__(self, failures: int, bad: str = ""):
+        self.failures = failures
+        self.bad = bad
+        self.calls = 0
+
+    def complete(self, prompt: str) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            return self.bad
+        return "A clean one-sentence interpretation."
+
+
+class TestReview:
+    def test_accepts_clean_sentence(self):
+        assert review_interpretation("Network interface down due to loss of signal.") == []
+
+    def test_rejects_empty(self):
+        assert "empty interpretation" in review_interpretation("   ")
+
+    def test_rejects_single_word(self):
+        assert any("short" in p for p in review_interpretation("error"))
+
+    def test_rejects_overlong(self):
+        text = " ".join(["word"] * 60)
+        assert any("long" in p for p in review_interpretation(text))
+
+    def test_rejects_wildcards(self):
+        assert any("wildcard" in p for p in review_interpretation("event <*> occurred here"))
+
+    def test_rejects_multiline(self):
+        assert any("line breaks" in p for p in review_interpretation("line one\nline two"))
+
+
+class TestEventInterpreter:
+    def test_regenerates_on_bad_output(self):
+        llm = _FlakyLLM(failures=1)
+        interpreter = EventInterpreter(llm, max_regenerations=2)
+        text, regenerations = interpreter.interpret_event("bgl", "some log line")
+        assert text == "A clean one-sentence interpretation."
+        assert regenerations == 1
+
+    def test_gives_up_after_max_regenerations(self):
+        llm = _FlakyLLM(failures=100)
+        interpreter = EventInterpreter(llm, max_regenerations=2)
+        _, regenerations = interpreter.interpret_event("bgl", "some log line")
+        assert regenerations == 2
+        assert llm.calls == 3
+
+    def test_negative_max_regenerations_rejected(self):
+        with pytest.raises(ValueError):
+            EventInterpreter(SimulatedLLM(), max_regenerations=-1)
+
+    def test_interpret_store_covers_all_events(self):
+        store = TemplateStore()
+        for record in generate_logs("spirit", 1500, seed=0):
+            store.ingest(record.message)
+        interpreter = EventInterpreter(SimulatedLLM())
+        report = interpreter.interpret_store("spirit", store)
+        assert set(report.interpretations) == set(store.event_ids)
+        assert report.llm_calls >= len(store.event_ids)
+        assert report.failed_review == []
+
+    def test_one_call_per_event_not_per_message(self):
+        """The paper's point: only a few hundred templates need the LLM,
+        not millions of messages."""
+        store = TemplateStore()
+        records = generate_logs("bgl", 2000, seed=1)
+        for record in records:
+            store.ingest(record.message)
+        llm = SimulatedLLM()
+        EventInterpreter(llm).interpret_store("bgl", store)
+        assert llm.call_count < len(records) / 10

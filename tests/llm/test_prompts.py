@@ -1,0 +1,36 @@
+"""Prompt construction tests."""
+
+from repro.llm.prompts import (
+    SYSTEM_DESCRIPTIONS, build_interpretation_prompt, extract_log_from_prompt,
+)
+
+
+class TestPrompts:
+    def test_contains_system_context(self):
+        prompt = build_interpretation_prompt("bgl", "some log")
+        assert "HPC" in prompt or "supercomputer" in prompt
+
+    def test_contains_log(self):
+        prompt = build_interpretation_prompt("spirit", "Connection refused (111)")
+        assert "Connection refused (111)" in prompt
+
+    def test_unknown_system_falls_back(self):
+        prompt = build_interpretation_prompt("mystery", "log body")
+        assert "software system" in prompt
+        assert "log body" in prompt
+
+    def test_roundtrip_extraction(self):
+        message = "GM: LANAI[0]: PANIC: parity"
+        prompt = build_interpretation_prompt("spirit", message)
+        assert extract_log_from_prompt(prompt) == message
+
+    def test_extraction_without_marker_returns_input(self):
+        assert extract_log_from_prompt("raw text") == "raw text"
+
+    def test_all_six_systems_described(self):
+        for system in ("bgl", "spirit", "thunderbird", "system_a", "system_b", "system_c"):
+            assert system in SYSTEM_DESCRIPTIONS
+
+    def test_cdms_systems_described_as_cloud(self):
+        for system in ("system_a", "system_b", "system_c"):
+            assert "cloud" in SYSTEM_DESCRIPTIONS[system].lower()

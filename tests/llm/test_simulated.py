@@ -1,0 +1,101 @@
+"""Simulated LLM tests: syntax unification, fallback, hallucination."""
+
+import numpy as np
+import pytest
+
+from repro.llm.prompts import build_interpretation_prompt
+from repro.llm.simulated import SimulatedLLM, normalize_tokens
+from repro.logs.events import concept_by_name
+from repro.logs.generator import generate_logs
+
+
+def _interpret(llm: SimulatedLLM, system: str, message: str) -> str:
+    return llm.complete(build_interpretation_prompt(system, message))
+
+
+class TestNormalizeTokens:
+    def test_lowercase_and_split(self):
+        assert normalize_tokens("Connection REFUSED (111)") == ["connection", "refused"]
+
+    def test_drops_numbers_and_hex(self):
+        assert normalize_tokens("code 0xdead 42") == ["code"]
+
+    def test_drops_stopwords(self):
+        assert "the" not in normalize_tokens("the disk of the node")
+
+
+class TestSyntaxUnification:
+    """The core LEI property: dialects of one concept -> one sentence."""
+
+    def test_cross_system_unification(self):
+        llm = SimulatedLLM()
+        concept = concept_by_name("network_interruption")
+        interpretations = set()
+        for system, phrase in concept.phrases.items():
+            rendered = phrase.replace("<*>", "77")
+            interpretations.add(_interpret(llm, system, rendered))
+        assert interpretations == {concept.canonical}
+
+    def test_unification_on_generated_streams(self):
+        """Over full generated streams, most messages must map to their
+        ground-truth concept's canonical sentence."""
+        llm = SimulatedLLM()
+        correct = 0
+        records = generate_logs("system_c", 300, seed=0)
+        for record in records:
+            expected = concept_by_name(record.concept).canonical
+            if _interpret(llm, "system_c", record.message) == expected:
+                correct += 1
+        assert correct / len(records) > 0.9
+
+    def test_distinct_concepts_stay_distinct(self):
+        llm = SimulatedLLM()
+        a = _interpret(llm, "bgl", "rts panic! - stopping execution, reason code 7")
+        b = _interpret(llm, "bgl", "MMCS heartbeat from node 12 acknowledged")
+        assert a != b
+
+
+class TestFallback:
+    def test_unknown_message_gets_normalizing_rewrite(self):
+        llm = SimulatedLLM()
+        out = _interpret(llm, "bgl", "zorgon flux capacitor misalignment 77")
+        assert out.startswith("Event:")
+        assert "77" not in out  # numbers dropped
+
+    def test_fallback_expands_abbreviations(self):
+        llm = SimulatedLLM()
+        out = _interpret(llm, "system_c", "gateway los detected on uplink zz9")
+        assert "loss of signal" in out
+
+    def test_empty_message(self):
+        llm = SimulatedLLM()
+        out = _interpret(llm, "bgl", "42 99 0x10")
+        assert "unrecognized" in out
+
+
+class TestHallucination:
+    def test_zero_rate_deterministic_and_correct(self):
+        llm = SimulatedLLM(hallucination_rate=0.0)
+        message = "machine check interrupt (bit=0x10): L2 dcache unit read return parity error"
+        outputs = {_interpret(llm, "bgl", message) for _ in range(5)}
+        assert outputs == {concept_by_name("parity_error").canonical}
+
+    def test_rate_changes_some_outputs(self):
+        clean = SimulatedLLM(hallucination_rate=0.0)
+        noisy = SimulatedLLM(hallucination_rate=0.8, seed=1)
+        message = "machine check interrupt (bit=0x10): L2 dcache unit read return parity error"
+        expected = _interpret(clean, "bgl", message)
+        outputs = [_interpret(noisy, "bgl", message) for _ in range(20)]
+        assert any(o != expected for o in outputs)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedLLM(hallucination_rate=1.0)
+        with pytest.raises(ValueError):
+            SimulatedLLM(hallucination_rate=-0.1)
+
+    def test_call_count_tracked(self):
+        llm = SimulatedLLM()
+        _interpret(llm, "bgl", "anything")
+        _interpret(llm, "bgl", "anything else")
+        assert llm.call_count == 2

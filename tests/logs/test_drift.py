@@ -1,0 +1,106 @@
+"""Drift injection tests (failure-injection substrate)."""
+
+import pytest
+
+from repro.logs import generate_logs
+from repro.logs.drift import (
+    DRIFT_SYNONYMS, inject_field, inject_label_noise, reword_records,
+)
+
+
+def _records(n=300, seed=0):
+    return generate_logs("system_c", n, seed=seed)
+
+
+class TestReword:
+    def test_labels_preserved(self):
+        records = _records()
+        drifted = reword_records(records, probability=1.0, seed=1)
+        assert [r.is_anomalous for r in drifted] == [r.is_anomalous for r in records]
+        assert [r.concept for r in drifted] == [r.concept for r in records]
+
+    def test_full_probability_rewrites_eligible_tokens(self):
+        records = _records()
+        drifted = reword_records(records, probability=1.0, seed=1)
+        changed = sum(1 for a, b in zip(records, drifted) if a.message != b.message)
+        assert changed > 0
+        for record in drifted:
+            for token in record.message.lower().split():
+                assert token.strip(",.:;()") not in DRIFT_SYNONYMS or token == ""
+
+    def test_zero_probability_is_identity(self):
+        records = _records()
+        drifted = reword_records(records, probability=0.0, seed=1)
+        assert [r.message for r in drifted] == [r.message for r in records]
+
+    def test_raw_updated_with_message(self):
+        records = _records()
+        for record in reword_records(records, probability=1.0, seed=2):
+            assert record.message in record.raw
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            reword_records([], probability=1.5)
+
+    def test_deterministic(self):
+        records = _records()
+        a = reword_records(records, probability=0.5, seed=3)
+        b = reword_records(records, probability=0.5, seed=3)
+        assert [r.message for r in a] == [r.message for r in b]
+
+
+class TestLabelNoise:
+    def test_flip_rate_approximate(self):
+        records = _records(2000)
+        noisy = inject_label_noise(records, flip_rate=0.1, seed=4)
+        flips = sum(1 for a, b in zip(records, noisy) if a.is_anomalous != b.is_anomalous)
+        assert 120 < flips < 280  # ~200 expected
+
+    def test_zero_rate_identity(self):
+        records = _records()
+        noisy = inject_label_noise(records, flip_rate=0.0)
+        assert [r.is_anomalous for r in noisy] == [r.is_anomalous for r in records]
+
+    def test_text_unchanged(self):
+        records = _records()
+        noisy = inject_label_noise(records, flip_rate=0.5, seed=5)
+        assert [r.message for r in noisy] == [r.message for r in records]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            inject_label_noise([], flip_rate=-0.1)
+
+
+class TestFieldInjection:
+    def test_field_appended(self):
+        records = _records(50)
+        injected = inject_field(records, field_text="trace=xyz", probability=1.0)
+        assert all(r.message.endswith("trace=xyz") for r in injected)
+
+    def test_partial_probability(self):
+        records = _records(500)
+        injected = inject_field(records, probability=0.5, seed=6)
+        touched = sum(1 for r in injected if r.message.endswith("trace_id=<new>"))
+        assert 180 < touched < 320
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            inject_field([], probability=2.0)
+
+
+class TestDriftEndToEnd:
+    def test_lei_robust_to_rewording(self):
+        """LEI should keep mapping most reworded messages to the right
+        concept — the synonym drift stays inside the LLM's semantic reach."""
+        from repro.llm import SimulatedLLM, build_interpretation_prompt
+        from repro.logs import concept_by_name
+
+        llm = SimulatedLLM()
+        records = _records(150, seed=7)
+        drifted = reword_records(records, probability=1.0, seed=8)
+        correct = 0
+        for record in drifted:
+            prompt = build_interpretation_prompt("system_c", record.message)
+            if llm.complete(prompt) == concept_by_name(record.concept).canonical:
+                correct += 1
+        assert correct / len(drifted) > 0.6

@@ -1,0 +1,89 @@
+"""Event-concept catalog tests."""
+
+import pytest
+
+from repro.logs.events import (
+    CONCEPTS, EventKind, SYSTEM_NAMES, anomalous_concepts, concept_by_name,
+    concepts_for_system, normal_concepts,
+)
+
+
+class TestCatalogStructure:
+    def test_names_unique(self):
+        names = [c.name for c in CONCEPTS]
+        assert len(names) == len(set(names))
+
+    def test_every_concept_has_canonical(self):
+        for concept in CONCEPTS:
+            assert concept.canonical.strip()
+            assert concept.canonical.endswith(".")
+
+    def test_phrases_reference_known_systems(self):
+        for concept in CONCEPTS:
+            assert set(concept.phrases) <= set(SYSTEM_NAMES)
+
+    def test_kinds_partition(self):
+        assert set(anomalous_concepts()) | set(normal_concepts()) == set(CONCEPTS)
+        assert not set(anomalous_concepts()) & set(normal_concepts())
+
+    def test_lookup_by_name(self):
+        concept = concept_by_name("network_interruption")
+        assert concept.kind is EventKind.ANOMALOUS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            concept_by_name("nonexistent_event")
+
+
+class TestSystemCoverage:
+    def test_every_system_has_both_kinds(self):
+        for system in SYSTEM_NAMES:
+            assert concepts_for_system(system, EventKind.NORMAL), system
+            assert concepts_for_system(system, EventKind.ANOMALOUS), system
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(ValueError):
+            concepts_for_system("windows_nt")
+
+    def test_coverage_asymmetry_for_fig6(self):
+        """Supercomputers must cover more anomaly types than System B/C —
+        this asymmetry drives the paper's §V lesson (Fig 6)."""
+        bgl = {c.name for c in concepts_for_system("bgl", EventKind.ANOMALOUS)}
+        spirit = {c.name for c in concepts_for_system("spirit", EventKind.ANOMALOUS)}
+        system_b = {c.name for c in concepts_for_system("system_b", EventKind.ANOMALOUS)}
+        assert len(bgl | spirit) > len(system_b)
+
+    def test_shared_concepts_across_groups_exist(self):
+        """Some anomalies must exist in both HPC and CDMS dialects, or
+        cross-group transfer (Fig 6) would be impossible."""
+        hpc = {c.name for c in concepts_for_system("spirit", EventKind.ANOMALOUS)}
+        cdms = {c.name for c in concepts_for_system("system_c", EventKind.ANOMALOUS)}
+        assert hpc & cdms
+
+
+class TestDialectDivergence:
+    def test_same_concept_different_surface(self):
+        """The Table I phenomenon: shared semantics, divergent syntax."""
+        concept = concept_by_name("network_interruption")
+        phrases = [p.lower() for p in concept.phrases.values()]
+        # No phrase is a duplicate of another.
+        assert len(set(phrases)) == len(phrases)
+
+    def test_dialect_vocabularies_differ(self):
+        """Token overlap between dialect renderings of the same concept must
+        be low — otherwise raw embeddings would transfer and LEI would
+        show no benefit."""
+        concept = concept_by_name("service_crash")
+        token_sets = [
+            frozenset(p.lower().replace("<*>", " ").split())
+            for p in concept.phrases.values()
+        ]
+        for i, a in enumerate(token_sets):
+            for b in token_sets[i + 1:]:
+                jaccard = len(a & b) / len(a | b)
+                assert jaccard < 0.5, (a, b)
+
+    def test_supports(self):
+        concept = concept_by_name("replication_lag")
+        assert concept.supports("system_a")
+        assert not concept.supports("bgl")

@@ -1,0 +1,52 @@
+"""Extended concept-catalog invariants."""
+
+import re
+
+from repro.logs.events import CONCEPTS, SYSTEM_NAMES, EventKind
+
+
+class TestCanonicalQuality:
+    def test_canonicals_unique(self):
+        canonicals = [c.canonical for c in CONCEPTS]
+        assert len(set(canonicals)) == len(canonicals)
+
+    def test_canonicals_have_no_wildcards_or_params(self):
+        for concept in CONCEPTS:
+            assert "<*>" not in concept.canonical
+            assert not re.search(r"\d", concept.canonical), concept.name
+
+    def test_canonicals_are_single_sentences(self):
+        for concept in CONCEPTS:
+            assert concept.canonical.count(".") == 1
+            assert "\n" not in concept.canonical
+
+    def test_categories_nonempty(self):
+        assert all(c.category for c in CONCEPTS)
+
+
+class TestPhraseQuality:
+    def test_phrases_nonempty_strings(self):
+        for concept in CONCEPTS:
+            for system, phrase in concept.phrases.items():
+                assert phrase.strip(), (concept.name, system)
+
+    def test_phrases_unique_within_system(self):
+        """Two concepts on the same system must not share a surface phrase,
+        or Drain and LEI could not distinguish them."""
+        for system in SYSTEM_NAMES:
+            phrases = [
+                c.phrases[system] for c in CONCEPTS if c.supports(system)
+            ]
+            assert len(set(phrases)) == len(phrases), system
+
+    def test_every_concept_on_at_least_two_systems_or_anomalous(self):
+        """Most concepts exist on multiple systems (that is the transfer
+        substrate); single-system concepts are allowed but rare."""
+        multi = sum(1 for c in CONCEPTS if len(c.phrases) >= 2)
+        assert multi / len(CONCEPTS) > 0.9
+
+    def test_catalog_size(self):
+        anomalous = [c for c in CONCEPTS if c.kind is EventKind.ANOMALOUS]
+        normal = [c for c in CONCEPTS if c.kind is EventKind.NORMAL]
+        assert len(anomalous) >= 20
+        assert len(normal) >= 25

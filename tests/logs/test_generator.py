@@ -1,0 +1,113 @@
+"""Log stream generator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logs.events import EventKind, concept_by_name
+from repro.logs.generator import LogGenerator, generate_logs
+from repro.logs.parameters import ParameterSampler
+from repro.logs.systems import PROFILES
+
+
+class TestGeneration:
+    def test_count(self):
+        assert len(generate_logs("bgl", 100, seed=0)) == 100
+
+    def test_zero(self):
+        assert generate_logs("bgl", 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            LogGenerator("bgl").generate(-1)
+
+    def test_deterministic_per_seed(self):
+        a = [r.raw for r in generate_logs("spirit", 50, seed=3)]
+        b = [r.raw for r in generate_logs("spirit", 50, seed=3)]
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = [r.raw for r in generate_logs("spirit", 50, seed=3)]
+        b = [r.raw for r in generate_logs("spirit", 50, seed=4)]
+        assert a != b
+
+    def test_timestamps_monotonic(self):
+        records = generate_logs("system_a", 200, seed=1)
+        stamps = [r.timestamp for r in records]
+        assert stamps == sorted(stamps)
+
+    def test_records_carry_profile_fields(self):
+        record = generate_logs("system_b", 1, seed=0)[0]
+        assert record.system == "system_b"
+        assert record.host.startswith("cdms-b-")
+        assert record.severity in ("I", "E")
+        assert record.message in record.raw
+
+    def test_no_unfilled_wildcards(self):
+        for record in generate_logs("thunderbird", 300, seed=2):
+            assert "<*>" not in record.message
+
+    def test_labels_match_concept_kind(self):
+        for record in generate_logs("bgl", 500, seed=5):
+            concept = concept_by_name(record.concept)
+            assert record.is_anomalous == (concept.kind is EventKind.ANOMALOUS)
+
+    def test_repeat_probability_validated(self):
+        with pytest.raises(ValueError):
+            LogGenerator("bgl", repeat_probability=1.0)
+
+
+class TestAnomalyEpisodes:
+    def test_anomalies_cluster_in_bursts(self):
+        records = generate_logs("bgl", 20_000, seed=7)
+        flags = np.array([r.is_anomalous for r in records])
+        anomalous = int(flags.sum())
+        assert anomalous > 0
+        # Count anomalous lines whose neighbour is also anomalous: with
+        # bursts of >= 2 this is the majority; iid placement would make it
+        # rare at this rate.
+        adjacent = int((flags[1:] & flags[:-1]).sum())
+        assert adjacent > anomalous * 0.3
+
+    def test_only_supported_concepts_emitted(self):
+        for record in generate_logs("system_b", 2000, seed=8):
+            concept = concept_by_name(record.concept)
+            assert concept.supports("system_b")
+
+    def test_repetition_increases_redundancy(self):
+        low = LogGenerator("spirit", seed=9, repeat_probability=0.0).generate(2000)
+        high = LogGenerator("spirit", seed=9, repeat_probability=0.9).generate(2000)
+
+        def distinct_runs(records):
+            runs = 1
+            for a, b in zip(records, records[1:]):
+                if a.concept != b.concept:
+                    runs += 1
+            return runs
+
+        assert distinct_runs(high) < distinct_runs(low)
+
+
+class TestParameterSampler:
+    def test_fill_replaces_all_wildcards(self):
+        sampler = ParameterSampler(np.random.default_rng(0))
+        filled = sampler.fill("a <*> b <*> c")
+        assert "<*>" not in filled
+        assert filled.startswith("a ") and filled.endswith(" c")
+
+    def test_fill_without_wildcards_is_identity(self):
+        sampler = ParameterSampler(np.random.default_rng(0))
+        assert sampler.fill("plain text") == "plain text"
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_samples_are_nonempty_strings(self, seed):
+        sampler = ParameterSampler(np.random.default_rng(seed))
+        value = sampler.sample()
+        assert isinstance(value, str) and value
+
+
+class TestProfiles:
+    def test_all_profiles_generate(self):
+        for name in PROFILES:
+            assert len(generate_logs(name, 20, seed=0)) == 20

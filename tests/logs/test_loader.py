@@ -1,0 +1,68 @@
+"""Log file I/O tests."""
+
+import pytest
+
+from repro.logs.generator import generate_logs
+from repro.logs.loader import load_records, read_raw_log_file, save_records
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        records = generate_logs("bgl", 50, seed=0)
+        path = tmp_path / "bgl.jsonl"
+        assert save_records(records, path) == 50
+        loaded = load_records(path)
+        assert len(loaded) == 50
+        for a, b in zip(records, loaded):
+            assert a.message == b.message
+            assert a.is_anomalous == b.is_anomalous
+            assert a.concept == b.concept
+            assert a.timestamp == b.timestamp
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "file.jsonl"
+        save_records(generate_logs("bgl", 3, seed=0), path)
+        assert path.exists()
+
+    def test_invalid_json_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match=":1:"):
+            load_records(path)
+
+    def test_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text('{"ok": 1}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            load_records(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        records = generate_logs("bgl", 2, seed=0)
+        path = tmp_path / "blank.jsonl"
+        save_records(records, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_records(path)) == 2
+
+
+class TestRawLogReader:
+    def test_loghub_convention(self, tmp_path):
+        path = tmp_path / "raw.log"
+        path.write_text(
+            "- 1117838570 normal line one\n"
+            "KERNDTLB 1117838571 anomalous line\n"
+            "- 1117838572 normal line two\n"
+        )
+        records = read_raw_log_file(path, system="bgl")
+        assert [r.is_anomalous for r in records] == [True, False, True] or \
+               [r.is_anomalous for r in records] == [False, True, False]
+        # Normal lines start with "-": exactly one anomaly here.
+        assert sum(r.is_anomalous for r in records) == 1
+        anomalous = [r for r in records if r.is_anomalous][0]
+        assert anomalous.message.startswith("1117838571")
+
+    def test_normal_prefix_stripped(self, tmp_path):
+        path = tmp_path / "raw.log"
+        path.write_text("- hello world\n")
+        record = read_raw_log_file(path, system="bgl")[0]
+        assert record.message == "hello world"
+        assert not record.is_anomalous

@@ -1,0 +1,56 @@
+"""Sliding-window sequencer tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logs.generator import generate_logs
+from repro.logs.sequences import sliding_windows
+
+
+class TestSlidingWindows:
+    def test_window_and_step(self):
+        records = generate_logs("bgl", 100, seed=0)
+        sequences = sliding_windows(records, window=10, step=5)
+        assert len(sequences) == 19
+        assert all(len(s) == 10 for s in sequences)
+        assert sequences[1].start_index == 5
+
+    def test_short_stream_yields_nothing(self):
+        records = generate_logs("bgl", 5, seed=0)
+        assert sliding_windows(records, window=10, step=5) == []
+
+    def test_exact_window(self):
+        records = generate_logs("bgl", 10, seed=0)
+        assert len(sliding_windows(records, window=10, step=5)) == 1
+
+    def test_label_is_any_anomalous(self):
+        records = generate_logs("bgl", 5000, seed=1)
+        for sequence in sliding_windows(records):
+            expected = int(any(r.is_anomalous for r in sequence.records))
+            assert sequence.label == expected
+
+    def test_system_propagated(self):
+        records = generate_logs("spirit", 30, seed=0)
+        for sequence in sliding_windows(records):
+            assert sequence.system == "spirit"
+
+    def test_messages_accessor(self):
+        records = generate_logs("bgl", 10, seed=0)
+        sequence = sliding_windows(records)[0]
+        assert sequence.messages == [r.message for r in records[:10]]
+        assert sequence.concepts == [r.concept for r in records[:10]]
+
+    def test_invalid_params(self):
+        records = generate_logs("bgl", 20, seed=0)
+        with pytest.raises(ValueError):
+            sliding_windows(records, window=0)
+        with pytest.raises(ValueError):
+            sliding_windows(records, step=0)
+
+    @given(st.integers(10, 60), st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_window_count_formula(self, n, window, step):
+        records = generate_logs("bgl", n, seed=0)
+        sequences = sliding_windows(records, window=window, step=step)
+        expected = max(0, (n - window) // step + 1)
+        assert len(sequences) == expected

@@ -1,0 +1,69 @@
+"""Dataset diagnostics tests."""
+
+import numpy as np
+
+from repro.logs import generate_logs
+from repro.logs.stats import burst_stats, inter_arrival_seconds, template_frequency_stats
+
+
+class TestTemplateFrequency:
+    def test_generated_stream_is_skewed(self):
+        """The Zipf mix plus repetition must produce real-log-like skew."""
+        stats = template_frequency_stats(generate_logs("bgl", 5000, seed=0))
+        assert stats.is_skewed
+        assert stats.top1_share > 0.1
+        assert 0.0 < stats.gini < 1.0
+        assert stats.distinct_concepts > 5
+
+    def test_empty(self):
+        stats = template_frequency_stats([])
+        assert stats.distinct_concepts == 0
+        assert stats.gini == 0.0
+
+    def test_uniform_stream_not_skewed(self):
+        # Construct an artificial stream with one concept per record.
+        records = generate_logs("bgl", 40, seed=1)
+        stats = template_frequency_stats(records[:1])
+        assert stats.top1_share == 1.0
+
+
+class TestBurstStats:
+    def test_episode_counting(self):
+        records = generate_logs("bgl", 30_000, seed=2)
+        stats = burst_stats(records)
+        assert stats.total_lines == 30_000
+        assert stats.episodes > 0
+        assert stats.anomalous_lines >= stats.episodes
+        # Profile bursts are 2-6 lines; cascades may concatenate episodes.
+        assert 1.5 < stats.mean_burst_length < 12
+        assert 0.0 < stats.line_anomaly_rate < 0.2
+
+    def test_no_anomalies(self):
+        records = [r for r in generate_logs("bgl", 500, seed=3) if not r.is_anomalous]
+        stats = burst_stats(records)
+        assert stats.episodes == 0
+        assert stats.mean_burst_length == 0.0
+        assert stats.line_anomaly_rate == 0.0
+
+    def test_trailing_burst_counted(self):
+        records = generate_logs("bgl", 2000, seed=4)
+        # Trim to end inside an anomalous run if one exists near the end.
+        flags = [r.is_anomalous for r in records]
+        if any(flags):
+            last_anomalous = max(i for i, f in enumerate(flags) if f)
+            trimmed = records[: last_anomalous + 1]
+            assert burst_stats(trimmed).episodes >= 1
+
+
+class TestInterArrival:
+    def test_nonnegative_and_exponential_ish(self):
+        records = generate_logs("spirit", 3000, seed=5)
+        gaps = inter_arrival_seconds(records)
+        assert len(gaps) == 2999
+        assert (gaps >= 0).all()
+        # Exponential inter-arrivals: std ~ mean.
+        assert 0.5 < gaps.std() / gaps.mean() < 2.0
+
+    def test_short_streams(self):
+        assert len(inter_arrival_seconds([])) == 0
+        assert len(inter_arrival_seconds(generate_logs("bgl", 1, seed=0))) == 0

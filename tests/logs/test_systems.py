@@ -1,0 +1,41 @@
+"""System profile tests."""
+
+import pytest
+
+from repro.logs.systems import ISP_SYSTEMS, PROFILES, PUBLIC_SYSTEMS, get_profile
+
+
+class TestProfiles:
+    def test_six_systems(self):
+        assert len(PROFILES) == 6
+        assert set(PUBLIC_SYSTEMS) | set(ISP_SYSTEMS) == set(PROFILES)
+
+    def test_get_by_key(self):
+        assert get_profile("bgl").display_name == "BGL"
+
+    def test_get_by_display_name(self):
+        assert get_profile("System A").name == "system_a"
+
+    def test_get_case_insensitive(self):
+        assert get_profile("BGL").name == "bgl"
+        assert get_profile("system a").name == "system_a"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("hdfs")
+
+    def test_rates_reflect_table3_ordering(self):
+        """Line anomaly rates must order like the Table III sequence ratios."""
+        rates = {name: p.line_anomaly_rate for name, p in PROFILES.items()}
+        assert rates["bgl"] == max(rates.values())
+        assert rates["system_b"] == min(rates.values())
+
+    def test_burst_lengths_sane(self):
+        for profile in PROFILES.values():
+            low, high = profile.burst_length
+            assert 1 <= low <= high
+
+    def test_concept_accessors(self):
+        profile = get_profile("spirit")
+        assert profile.normal_concepts()
+        assert profile.anomalous_concepts()

@@ -1,0 +1,67 @@
+"""Multi-head attention tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+from ..helpers import check_gradients
+
+
+def _mha(d_model=8, heads=2, seed=0):
+    return nn.MultiHeadAttention(d_model, heads, rng=np.random.default_rng(seed))
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        mha = _mha()
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5, 8)).astype(np.float32))
+        assert mha(x).shape == (3, 5, 8)
+
+    def test_d_model_divisibility(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_mask_blocks_attention(self):
+        """Masked positions must not influence the outputs at valid positions."""
+        mha = _mha()
+        mha.eval()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        mask = np.array([[True, True, False, False]])
+        base = mha(Tensor(x), mask=mask).data.copy()
+        # Perturb masked positions wildly; valid outputs must be unchanged.
+        x2 = x.copy()
+        x2[0, 2:] += 100.0
+        out = mha(Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(out[0, :2], base[0, :2], atol=1e-4)
+
+    def test_cross_attention_shapes(self):
+        mha = _mha()
+        q = Tensor(np.zeros((2, 3, 8), dtype=np.float32))
+        kv = Tensor(np.zeros((2, 6, 8), dtype=np.float32))
+        assert mha(q, key=kv, value=kv).shape == (2, 3, 8)
+
+    def test_permutation_equivariance_without_mask(self):
+        """Self-attention without positional info is permutation-equivariant."""
+        mha = _mha(seed=3)
+        mha.eval()
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 5, 8)).astype(np.float32)
+        perm = np.array([4, 2, 0, 1, 3])
+        out = mha(Tensor(x)).data
+        out_perm = mha(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-4)
+
+    def test_gradients_flow(self):
+        mha = _mha()
+        mha.eval()
+        check_gradients(lambda x: (mha(x) ** 2.0).sum(), (2, 3, 8), atol=5e-2)
+
+    def test_all_params_receive_grads(self):
+        mha = _mha()
+        x = Tensor(np.random.default_rng(4).standard_normal((2, 4, 8)).astype(np.float32))
+        (mha(x) ** 2.0).sum().backward()
+        for name, p in mha.named_parameters():
+            assert p.grad is not None, f"no grad for {name}"

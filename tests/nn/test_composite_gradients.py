@@ -1,0 +1,99 @@
+"""End-to-end gradient checks through composite architectures.
+
+These are the heaviest correctness tests in the suite: full finite-
+difference validation of the gradient through multi-module compositions
+(the exact paths the LogSynergy trainer differentiates).
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+from ..helpers import check_gradients
+
+
+class TestTransformerBlockGradients:
+    def test_encoder_layer(self):
+        layer = nn.TransformerEncoderLayer(8, 2, 16, dropout=0.0,
+                                           rng=np.random.default_rng(0))
+        layer.eval()
+        check_gradients(lambda x: (layer(x) ** 2.0).sum(), (2, 3, 8), atol=6e-2)
+
+    def test_full_encoder_pooled(self):
+        encoder = nn.TransformerEncoder(8, 2, 1, 16, dropout=0.0, max_len=8,
+                                        rng=np.random.default_rng(1))
+        encoder.eval()
+        check_gradients(lambda x: (encoder.pooled(x) ** 2.0).sum(), (2, 3, 8), atol=6e-2)
+
+
+class TestRecurrentCellGradients:
+    def test_lstm_cell(self):
+        cell = nn.LSTMCell(4, 4, rng=np.random.default_rng(2))
+
+        def loss(x):
+            h = Tensor(np.zeros((2, 4), dtype=np.float32))
+            c = Tensor(np.zeros((2, 4), dtype=np.float32))
+            h, c = cell(x, (h, c))
+            h, c = cell(x * 0.5, (h, c))  # two chained steps
+            return (h * h).sum() + (c * c).sum()
+
+        check_gradients(loss, (2, 4), atol=5e-2)
+
+    def test_gru_cell(self):
+        cell = nn.GRUCell(4, 4, rng=np.random.default_rng(3))
+
+        def loss(x):
+            h = Tensor(np.zeros((2, 4), dtype=np.float32))
+            h = cell(x, h)
+            h = cell(x * 0.3, h)
+            return (h * h).sum()
+
+        check_gradients(loss, (2, 4), atol=5e-2)
+
+
+class TestAdversarialPathGradients:
+    def test_grl_plus_discriminator(self):
+        """The DAAN path: features -> GRL -> MLP -> BCE."""
+        rng = np.random.default_rng(4)
+        discriminator = nn.Sequential(
+            nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 1, rng=rng)
+        )
+        labels = np.array([0.0, 1.0, 0.0, 1.0], dtype=np.float32)
+
+        def loss(x):
+            logits = discriminator(nn.gradient_reversal(x, alpha=0.7)).reshape(-1)
+            return nn.binary_cross_entropy_with_logits(logits, labels)
+
+        # GRL flips the sign; finite differences measure the TRUE derivative
+        # of the loss, so compare against the negated autograd gradient.
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        t = Tensor(x.copy(), requires_grad=True)
+        loss(t).backward()
+        from ..helpers import numeric_gradient
+        numeric = numeric_gradient(
+            lambda arr: float(loss(Tensor(arr.astype(np.float32))).data),
+            x.astype(np.float64),
+        )
+        np.testing.assert_allclose(-t.grad / 0.7, numeric, atol=2e-2, rtol=5e-2)
+
+    def test_club_mi_bound_path(self):
+        from repro.core.club import CLUBEstimator
+        club = CLUBEstimator(3, 3, rng=np.random.default_rng(5))
+        s = Tensor(np.random.default_rng(6).standard_normal((4, 3)).astype(np.float32))
+
+        def loss(x):
+            return club.mi_upper_bound(x, s, rng=np.random.default_rng(7))
+
+        check_gradients(loss, (4, 3), atol=5e-2)
+
+
+class TestSpikingPathGradients:
+    def test_lif_surrogate_path_is_differentiable(self):
+        lif = nn.LIFLayer(3, 4, rng=np.random.default_rng(8))
+        x = Tensor(np.random.default_rng(9).standard_normal((2, 4, 3)).astype(np.float32),
+                   requires_grad=True)
+        spikes, membrane = lif(x)
+        ((spikes.mean(axis=1) ** 2.0).sum() + (membrane ** 2.0).sum()).backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()

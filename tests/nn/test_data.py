@@ -1,0 +1,71 @@
+"""Dataset / DataLoader tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, DataLoader, train_test_split_continuous
+
+
+class TestArrayDataset:
+    def test_parallel_indexing(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) * 2)
+        x, y = ds[np.array([1, 3])]
+        np.testing.assert_allclose(x, [1, 3])
+        np.testing.assert_allclose(y, [2, 6])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(3), np.arange(4))
+
+    def test_empty_args_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+
+class TestDataLoader:
+    def test_covers_all_samples(self):
+        ds = ArrayDataset(np.arange(23))
+        loader = DataLoader(ds, batch_size=5, shuffle=True, rng=np.random.default_rng(0))
+        seen = np.concatenate([batch[0] for batch in loader])
+        assert sorted(seen.tolist()) == list(range(23))
+
+    def test_drop_last(self):
+        ds = ArrayDataset(np.arange(23))
+        loader = DataLoader(ds, batch_size=5, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert all(len(b[0]) == 5 for b in batches)
+        assert len(loader) == 4
+
+    def test_len_without_drop(self):
+        assert len(DataLoader(ArrayDataset(np.arange(23)), batch_size=5)) == 5
+
+    def test_deterministic_with_seed(self):
+        ds = ArrayDataset(np.arange(10))
+        a = [b[0].tolist() for b in DataLoader(ds, 3, rng=np.random.default_rng(7))]
+        b = [b[0].tolist() for b in DataLoader(ds, 3, rng=np.random.default_rng(7))]
+        assert a == b
+
+    def test_no_shuffle_is_ordered(self):
+        ds = ArrayDataset(np.arange(6))
+        batches = [b[0].tolist() for b in DataLoader(ds, 2, shuffle=False)]
+        assert batches == [[0, 1], [2, 3], [4, 5]]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.arange(3)), batch_size=0)
+
+
+class TestContinuousSplit:
+    def test_prefix_suffix(self):
+        train, test = train_test_split_continuous(list(range(10)), 4)
+        assert train == [0, 1, 2, 3]
+        assert test == [4, 5, 6, 7, 8, 9]
+
+    def test_zero_train(self):
+        train, test = train_test_split_continuous([1, 2], 0)
+        assert train == [] and test == [1, 2]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split_continuous([1], -1)

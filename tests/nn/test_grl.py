@@ -1,0 +1,48 @@
+"""Gradient reversal layer tests."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestGradientReversal:
+    def test_forward_identity(self):
+        x = Tensor([1.0, -2.0, 3.0])
+        np.testing.assert_allclose(nn.gradient_reversal(x, 0.7).data, x.data)
+
+    def test_backward_negates_and_scales(self):
+        x = Tensor([2.0], requires_grad=True)
+        (nn.gradient_reversal(x, alpha=0.5) * 3.0).backward()
+        np.testing.assert_allclose(x.grad, [-1.5])  # -(0.5 * 3)
+
+    def test_module_alpha_mutable(self):
+        grl = nn.GradientReversal(alpha=1.0)
+        x = Tensor([1.0], requires_grad=True)
+        grl.alpha = 2.0
+        grl(x).backward()
+        np.testing.assert_allclose(x.grad, [-2.0])
+
+    def test_adversarial_direction(self):
+        """Minimizing a discriminator through GRL must *increase* its loss
+        w.r.t. the upstream features (the adversarial effect)."""
+        rng = np.random.default_rng(0)
+        feature_layer = nn.Linear(4, 4, rng=rng)
+        discriminator = nn.Linear(4, 1, rng=rng)
+        x = Tensor(rng.standard_normal((8, 4)).astype(np.float32))
+        y = np.array([0, 1] * 4, dtype=np.float32)
+
+        features = feature_layer(x)
+        logits = discriminator(nn.gradient_reversal(features, 1.0)).reshape(-1)
+        loss = nn.binary_cross_entropy_with_logits(logits, y)
+        loss.backward()
+        grl_grad = feature_layer.weight.grad.copy()
+
+        feature_layer.zero_grad()
+        discriminator.zero_grad()
+        features = feature_layer(x)
+        logits = discriminator(features).reshape(-1)
+        nn.binary_cross_entropy_with_logits(logits, y).backward()
+        direct_grad = feature_layer.weight.grad
+
+        np.testing.assert_allclose(grl_grad, -direct_grad, atol=1e-6)

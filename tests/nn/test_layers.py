@@ -1,0 +1,124 @@
+"""Layer tests: Linear, Embedding, LayerNorm, Dropout, activations."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+from ..helpers import check_gradients
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((7, 4), dtype=np.float32))).shape == (7, 3)
+
+    def test_batched_3d_input(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((2, 5, 4), dtype=np.float32))).shape == (2, 5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_affine_correct(self):
+        layer = nn.Linear(2, 1, rng=np.random.default_rng(0))
+        layer.weight.data = np.array([[2.0, 3.0]], dtype=np.float32)
+        layer.bias.data = np.array([1.0], dtype=np.float32)
+        out = layer(Tensor([[1.0, 1.0]]))
+        np.testing.assert_allclose(out.data, [[6.0]])
+
+    def test_gradients(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        check_gradients(lambda x: (layer(x) ** 2.0).sum(), (4, 3))
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_for_repeated_ids(self):
+        emb = nn.Embedding(3, 2, rng=np.random.default_rng(0))
+        out = emb(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        ln = nn.LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 8)).astype(np.float32) * 5 + 3)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_params_learnable(self):
+        ln = nn.LayerNorm(4)
+        assert {p.shape for p in ln.parameters()} == {(4,)}
+
+    def test_gradients(self):
+        ln = nn.LayerNorm(5)
+        check_gradients(lambda x: (ln(x) ** 2.0).sum(), (3, 5), atol=3e-2)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_train_scales_kept_units(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out = drop(x).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        # Expectation preserved within sampling noise.
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_zero_p_identity_in_train(self):
+        drop = nn.Dropout(0.0)
+        x = Tensor(np.ones((3, 3), dtype=np.float32))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+
+class TestActivations:
+    def test_relu_module(self):
+        np.testing.assert_allclose(nn.ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        out = nn.Sigmoid()(Tensor(np.linspace(-10, 10, 21).astype(np.float32))).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_tanh_odd(self):
+        x = np.linspace(-3, 3, 7).astype(np.float32)
+        out = nn.Tanh()(Tensor(x)).data
+        np.testing.assert_allclose(out, -out[::-1], atol=1e-6)
+
+    def test_gelu_close_to_identity_for_large_positive(self):
+        out = nn.GELU()(Tensor([5.0])).data
+        np.testing.assert_allclose(out, [5.0], atol=1e-3)
+
+    def test_gelu_gradients(self):
+        gelu = nn.GELU()
+        check_gradients(lambda x: gelu(x).sum(), (6,))

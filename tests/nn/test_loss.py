@@ -1,0 +1,107 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+from ..helpers import check_gradients
+
+
+class TestBCEWithLogits:
+    def test_matches_reference(self):
+        logits = np.array([-2.0, 0.0, 3.0], dtype=np.float32)
+        targets = np.array([0.0, 1.0, 1.0], dtype=np.float32)
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        got = nn.binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+
+    def test_extreme_logits_stable(self):
+        loss = nn.binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), np.array([1.0, 0.0], dtype=np.float32)
+        )
+        assert np.isfinite(loss.item())
+        np.testing.assert_allclose(loss.item(), 0.0, atol=1e-5)
+
+    def test_pos_weight_scales_positive_term(self):
+        logits = Tensor([0.0])
+        one = nn.binary_cross_entropy_with_logits(logits, np.array([1.0], dtype=np.float32))
+        five = nn.binary_cross_entropy_with_logits(
+            logits, np.array([1.0], dtype=np.float32), pos_weight=5.0
+        )
+        np.testing.assert_allclose(five.item(), 5.0 * one.item(), rtol=1e-5)
+
+    def test_pos_weight_leaves_negatives_alone(self):
+        logits = Tensor([0.3])
+        a = nn.binary_cross_entropy_with_logits(logits, np.array([0.0], dtype=np.float32))
+        b = nn.binary_cross_entropy_with_logits(
+            logits, np.array([0.0], dtype=np.float32), pos_weight=7.0
+        )
+        np.testing.assert_allclose(a.item(), b.item())
+
+    def test_gradients(self):
+        targets = np.array([1.0, 0.0, 1.0, 0.0], dtype=np.float32)
+        check_gradients(
+            lambda x: nn.binary_cross_entropy_with_logits(x, targets), (4,)
+        )
+
+    @given(st.floats(-5, 5), st.integers(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative(self, logit, label):
+        loss = nn.binary_cross_entropy_with_logits(
+            Tensor([logit]), np.array([float(label)], dtype=np.float32)
+        )
+        assert loss.item() >= -1e-6
+
+
+class TestBCEOnProbabilities:
+    def test_perfect_prediction_near_zero(self):
+        loss = nn.binary_cross_entropy(Tensor([0.999999]), np.array([1.0], dtype=np.float32))
+        assert loss.item() < 1e-3
+
+    def test_clipping_prevents_infinity(self):
+        loss = nn.binary_cross_entropy(Tensor([0.0]), np.array([1.0], dtype=np.float32))
+        assert np.isfinite(loss.item())
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        logits = Tensor(np.zeros((5, 4), dtype=np.float32))
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2, 3, 0]))
+        np.testing.assert_allclose(loss.item(), np.log(4), rtol=1e-5)
+
+    def test_confident_correct_near_zero(self):
+        logits = np.full((2, 3), -20.0, dtype=np.float32)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = nn.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-4
+
+    def test_gradients(self):
+        labels = np.array([0, 2, 1])
+        check_gradients(lambda x: nn.cross_entropy(x, labels), (3, 4))
+
+    def test_nll_consistent_with_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.standard_normal((4, 5)).astype(np.float32))
+        labels = np.array([0, 1, 2, 3])
+        ce = nn.cross_entropy(logits, labels).item()
+        nll = nn.nll_loss(logits.log_softmax(axis=-1), labels).item()
+        np.testing.assert_allclose(ce, nll, rtol=1e-5)
+
+
+class TestMSE:
+    def test_zero_for_equal(self):
+        x = Tensor([1.0, 2.0])
+        assert nn.mse_loss(x, np.array([1.0, 2.0], dtype=np.float32)).item() == 0.0
+
+    def test_value(self):
+        loss = nn.mse_loss(Tensor([0.0, 2.0]), np.array([1.0, 0.0], dtype=np.float32))
+        np.testing.assert_allclose(loss.item(), 2.5)
+
+    def test_gradients(self):
+        targets = np.array([0.5, -0.5, 1.0], dtype=np.float32)
+        check_gradients(lambda x: nn.mse_loss(x, targets), (3,))

@@ -1,0 +1,106 @@
+"""Module system tests: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class _Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = nn.Parameter(np.ones(2, dtype=np.float32))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        toy = _Toy()
+        names = [n for n, _ in toy.named_parameters()]
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_num_parameters(self):
+        toy = _Toy()
+        assert toy.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_named_modules(self):
+        toy = _Toy()
+        names = [n for n, _ in toy.named_modules()]
+        assert "" in names and "linear" in names
+
+    def test_zero_grad_clears_all(self):
+        toy = _Toy()
+        out = toy(nn.Tensor(np.ones((1, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        seq.eval()
+        assert all(not layer.training for layer in seq)
+        seq.train()
+        assert all(layer.training for layer in seq)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = _Toy(), _Toy()
+        b.linear.weight.data += 1.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.linear.weight.data, b.linear.weight.data)
+
+    def test_strict_missing_raises(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        state["scale"] = np.ones(5, dtype=np.float32)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path):
+        a, b = _Toy(), _Toy()
+        a.scale.data[:] = 7.0
+        path = str(tmp_path / "model.npz")
+        a.save(path)
+        b.load(path)
+        np.testing.assert_allclose(b.scale.data, 7.0)
+
+    def test_state_dict_copies(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        state["scale"][:] = 99.0
+        assert toy.scale.data[0] != 99.0
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        out = seq(nn.Tensor(np.ones((5, 3), dtype=np.float32)))
+        assert out.shape == (5, 2)
+        assert len(seq) == 3
+
+    def test_modulelist_registers(self):
+        layers = nn.ModuleList(nn.Linear(2, 2) for _ in range(3))
+        assert len(layers) == 3
+        assert len(layers.parameters()) == 6
+        assert layers[0] is list(iter(layers))[0]
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)

@@ -1,0 +1,113 @@
+"""Optimizer tests: SGD, Adam, AdamW, clipping, scheduling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start], dtype=np.float32))
+
+
+def _step(param, optimizer, steps=100):
+    for _ in range(steps):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        assert abs(_step(p, nn.SGD([p], lr=0.1))) < 1e-3
+
+    def test_momentum_accelerates(self):
+        plain = _quadratic_param()
+        momentum = _quadratic_param()
+        _step(plain, nn.SGD([plain], lr=0.01), steps=20)
+        _step(momentum, nn.SGD([momentum], lr=0.01, momentum=0.9), steps=20)
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        # Zero-gradient loss: decay alone must shrink the weight.
+        loss = (p * 0.0).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_none_grads(self):
+        p1, p2 = _quadratic_param(), _quadratic_param()
+        optimizer = nn.SGD([p1, p2], lr=0.1)
+        (p1 * p1).sum().backward()
+        optimizer.step()  # p2 has no grad; must not crash
+        assert p2.data[0] == 5.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        assert abs(_step(p, nn.Adam([p], lr=0.1), steps=200)) < 1e-2
+
+    def test_bias_correction_first_step(self):
+        p = _quadratic_param(1.0)
+        optimizer = nn.Adam([p], lr=0.1)
+        (p * p).sum().backward()
+        optimizer.step()
+        # With bias correction the first step has magnitude ~lr.
+        np.testing.assert_allclose(p.data[0], 1.0 - 0.1, atol=1e-3)
+
+
+class TestAdamW:
+    def test_decay_decoupled_from_gradient(self):
+        p = Parameter(np.array([2.0], dtype=np.float32))
+        optimizer = nn.AdamW([p], lr=0.1, weight_decay=0.5)
+        (p * 0.0).sum().backward()
+        optimizer.step()
+        # Decay applies even with a zero gradient: 2 - 0.1*0.5*2 = 1.9.
+        np.testing.assert_allclose(p.data[0], 1.9, atol=1e-4)
+
+    def test_converges(self):
+        p = _quadratic_param()
+        assert abs(_step(p, nn.AdamW([p], lr=0.1, weight_decay=0.0), steps=200)) < 1e-2
+
+
+class TestValidation:
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([_quadratic_param()], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        before = nn.clip_grad_norm([p], max_norm=1.0)
+        assert before == pytest.approx(20.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-5)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.array([0.3, 0.4], dtype=np.float32)
+        nn.clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+
+class TestSchedule:
+    def test_linear_warmup(self):
+        p = _quadratic_param()
+        optimizer = nn.SGD([p], lr=1.0)
+        schedule = nn.LinearWarmupSchedule(optimizer, warmup_steps=4)
+        lrs = [schedule.step() for _ in range(6)]
+        np.testing.assert_allclose(lrs, [0.25, 0.5, 0.75, 1.0, 1.0, 1.0])

@@ -1,0 +1,82 @@
+"""Recurrent layer tests: LSTM, GRU, BiLSTM."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+from ..helpers import check_gradients
+
+
+def _input(batch=3, seq=5, dim=4, seed=0):
+    return np.random.default_rng(seed).standard_normal((batch, seq, dim)).astype(np.float32)
+
+
+class TestLSTM:
+    def test_shapes(self):
+        lstm = nn.LSTM(4, 6, num_layers=2, rng=np.random.default_rng(0))
+        outputs, hidden = lstm(Tensor(_input()))
+        assert outputs.shape == (3, 5, 6)
+        assert hidden.shape == (3, 6)
+
+    def test_last_output_equals_hidden(self):
+        lstm = nn.LSTM(4, 6, rng=np.random.default_rng(0))
+        outputs, hidden = lstm(Tensor(_input()))
+        np.testing.assert_allclose(outputs.data[:, -1, :], hidden.data)
+
+    def test_state_depends_on_history(self):
+        lstm = nn.LSTM(4, 6, rng=np.random.default_rng(1))
+        x = _input(seed=2)
+        x2 = x.copy()
+        x2[:, 0, :] += 5.0  # perturb first step; final state must change
+        _, h1 = lstm(Tensor(x))
+        _, h2 = lstm(Tensor(x2))
+        assert not np.allclose(h1.data, h2.data, atol=1e-4)
+
+    def test_gradients(self):
+        lstm = nn.LSTM(3, 4, rng=np.random.default_rng(3))
+        check_gradients(lambda x: (lstm(x)[1] ** 2.0).sum(), (2, 3, 3), atol=5e-2)
+
+    def test_forget_bias_initialized_to_one(self):
+        lstm = nn.LSTM(3, 4, rng=np.random.default_rng(0))
+        cell = lstm.cells[0]
+        np.testing.assert_allclose(cell.bias.data[4:8], 1.0)
+
+
+class TestGRU:
+    def test_shapes(self):
+        gru = nn.GRU(4, 6, num_layers=2, rng=np.random.default_rng(0))
+        outputs, hidden = gru(Tensor(_input()))
+        assert outputs.shape == (3, 5, 6)
+        assert hidden.shape == (3, 6)
+
+    def test_bounded_activations(self):
+        gru = nn.GRU(4, 6, rng=np.random.default_rng(0))
+        outputs, _ = gru(Tensor(_input(seed=4) * 10))
+        assert np.all(np.abs(outputs.data) <= 1.0 + 1e-5)
+
+    def test_gradients(self):
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(5))
+        check_gradients(lambda x: (gru(x)[1] ** 2.0).sum(), (2, 3, 3), atol=5e-2)
+
+
+class TestBiLSTM:
+    def test_output_concatenates_directions(self):
+        bilstm = nn.BiLSTM(4, 6, rng=np.random.default_rng(0))
+        out = bilstm(Tensor(_input()))
+        assert out.shape == (3, 5, 12)
+
+    def test_backward_direction_sees_future(self):
+        bilstm = nn.BiLSTM(4, 6, rng=np.random.default_rng(1))
+        x = _input(seed=6)
+        x2 = x.copy()
+        x2[:, -1, :] += 5.0  # perturb the last step
+        out1 = bilstm(Tensor(x)).data
+        out2 = bilstm(Tensor(x2)).data
+        # Forward half at t=0 unaffected; backward half at t=0 must change.
+        np.testing.assert_allclose(out1[:, 0, :6], out2[:, 0, :6], atol=1e-5)
+        assert not np.allclose(out1[:, 0, 6:], out2[:, 0, 6:], atol=1e-4)
+
+    def test_gradients(self):
+        bilstm = nn.BiLSTM(3, 3, rng=np.random.default_rng(7))
+        check_gradients(lambda x: (bilstm(x) ** 2.0).sum(), (2, 3, 3), atol=5e-2)

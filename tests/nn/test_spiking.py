@@ -1,0 +1,83 @@
+"""Spiking (LIF) layer tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.spiking import spike_function
+from repro.nn.tensor import Tensor
+
+
+class TestSpikeFunction:
+    def test_forward_is_heaviside(self):
+        m = Tensor([0.5, 1.0, 1.5])
+        out = spike_function(m, threshold=1.0)
+        np.testing.assert_allclose(out.data, [0.0, 1.0, 1.0])
+
+    def test_surrogate_gradient_nonzero_near_threshold(self):
+        m = Tensor([0.99], requires_grad=True)
+        spike_function(m, threshold=1.0).sum().backward()
+        assert m.grad is not None and m.grad[0] > 0.1
+
+    def test_surrogate_gradient_small_far_from_threshold(self):
+        m = Tensor([-5.0], requires_grad=True)
+        spike_function(m, threshold=1.0).sum().backward()
+        assert abs(m.grad[0]) < 1e-3
+
+
+class TestLIFLayer:
+    def _x(self, batch=2, seq=6, dim=4, scale=1.0, seed=0):
+        rng = np.random.default_rng(seed)
+        return Tensor((rng.standard_normal((batch, seq, dim)) * scale).astype(np.float32))
+
+    def test_shapes(self):
+        lif = nn.LIFLayer(4, 8, rng=np.random.default_rng(0))
+        spikes, membrane = lif(self._x())
+        assert spikes.shape == (2, 6, 8)
+        assert membrane.shape == (2, 8)
+
+    def test_spikes_are_binary(self):
+        lif = nn.LIFLayer(4, 8, rng=np.random.default_rng(0))
+        spikes, _ = lif(self._x(scale=3.0))
+        assert set(np.unique(spikes.data)) <= {0.0, 1.0}
+
+    def test_no_input_no_spikes(self):
+        lif = nn.LIFLayer(4, 8, rng=np.random.default_rng(0))
+        lif.projection.bias.data[:] = 0.0
+        spikes, membrane = lif(Tensor(np.zeros((1, 5, 4), dtype=np.float32)))
+        np.testing.assert_allclose(spikes.data, 0.0)
+        np.testing.assert_allclose(membrane.data, 0.0)
+
+    def test_strong_input_spikes(self):
+        lif = nn.LIFLayer(4, 8, rng=np.random.default_rng(1))
+        spikes, _ = lif(self._x(scale=10.0, seed=1))
+        assert spikes.data.sum() > 0
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            nn.LIFLayer(4, 8, beta=0.0)
+        with pytest.raises(ValueError):
+            nn.LIFLayer(4, 8, beta=1.5)
+
+    def test_trainable_end_to_end(self):
+        """LIF + surrogate gradient must be able to fit a toy separation."""
+        rng = np.random.default_rng(2)
+        lif = nn.LIFLayer(4, 16, rng=rng)
+        head = nn.Linear(32, 1, rng=rng)
+        params = lif.parameters() + head.parameters()
+        optimizer = nn.Adam(params, lr=1e-2)
+        x = rng.standard_normal((24, 5, 4)).astype(np.float32)
+        y = (x.mean(axis=(1, 2)) > 0).astype(np.float32)
+
+        def forward():
+            spikes, membrane = lif(Tensor(x))
+            readout = nn.concatenate([spikes.mean(axis=1), membrane], axis=1)
+            return nn.binary_cross_entropy_with_logits(head(readout).reshape(-1), y)
+
+        initial = float(forward().data)
+        for _ in range(40):
+            loss = forward()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert float(forward().data) < initial * 0.8

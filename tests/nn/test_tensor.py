@@ -1,0 +1,275 @@
+"""Autograd engine tests: op correctness, broadcasting, graph mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import (
+    Tensor, concatenate, is_grad_enabled, no_grad, stack, tensor, where, zeros,
+)
+
+from ..helpers import check_gradients
+
+
+# ----------------------------------------------------------------------
+# Forward correctness
+# ----------------------------------------------------------------------
+class TestForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_scalar_broadcast(self):
+        out = Tensor([[1.0, 2.0]]) + 1.0
+        np.testing.assert_allclose(out.data, [[2.0, 3.0]])
+
+    def test_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((a * 3).data, [6.0, 12.0])
+        np.testing.assert_allclose((a / 2).data, [1.0, 2.0])
+
+    def test_rsub_rdiv(self):
+        a = Tensor([2.0])
+        np.testing.assert_allclose((10 - a).data, [8.0])
+        np.testing.assert_allclose((10 / a).data, [5.0])
+
+    def test_matmul(self):
+        a = Tensor(np.eye(2, dtype=np.float32) * 2)
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a @ b).data, [[2.0, 4.0], [6.0, 8.0]])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 7)).astype(np.float32))
+        s = x.softmax(axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(4), atol=1e-6)
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.random.default_rng(1).standard_normal((3, 5)).astype(np.float32)
+        a = Tensor(x).softmax().data
+        b = Tensor(x + 100.0).softmax().data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 5)).astype(np.float32))
+        np.testing.assert_allclose(
+            x.log_softmax().data, np.log(x.softmax().data), atol=1e-5
+        )
+
+    def test_reductions(self):
+        x = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert x.sum().item() == 10.0
+        assert x.mean().item() == 2.5
+        np.testing.assert_allclose(x.sum(axis=0).data, [4.0, 6.0])
+        np.testing.assert_allclose(x.mean(axis=1, keepdims=True).data, [[1.5], [3.5]])
+        assert x.max().item() == 4.0
+
+    def test_var(self):
+        x = np.random.default_rng(3).standard_normal((4, 6)).astype(np.float32)
+        np.testing.assert_allclose(Tensor(x).var(axis=1).data, x.var(axis=1), atol=1e-5)
+
+    def test_getitem_and_slice(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose(x[1].data, [4, 5, 6, 7])
+        np.testing.assert_allclose(x[:, ::-1].data[:, 0], [3, 7, 11])
+
+    def test_transpose_reshape(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+        assert x.reshape(3, 2).shape == (3, 2)
+        assert x.reshape((6,)).shape == (6,)
+
+    def test_clip(self):
+        x = Tensor([-2.0, 0.5, 3.0])
+        np.testing.assert_allclose(x.clip(-1, 1).data, [-1.0, 0.5, 1.0])
+
+    def test_comparison_produces_mask(self):
+        mask = Tensor([1.0, -1.0]) > 0
+        np.testing.assert_allclose(mask.data, [1.0, 0.0])
+        assert not mask.requires_grad
+
+    def test_concatenate_and_stack(self):
+        a, b = Tensor([[1.0]]), Tensor([[2.0]])
+        assert concatenate([a, b], axis=0).shape == (2, 1)
+        assert stack([a, b], axis=0).shape == (2, 1, 1)
+
+    def test_where(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_factories(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert tensor([1.0]).data.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# Gradient checks (finite differences)
+# ----------------------------------------------------------------------
+class TestGradients:
+    def test_add_broadcast(self):
+        bias = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        check_gradients(lambda x: ((x + bias) * (x + bias)).sum(), (3, 4))
+
+    def test_mul(self):
+        check_gradients(lambda x: (x * x * 0.5).sum(), (5,))
+
+    def test_div(self):
+        check_gradients(lambda x: (1.0 / (x * x + 2.0)).sum(), (4,))
+
+    def test_pow(self):
+        check_gradients(lambda x: ((x * x + 1.0) ** 1.5).sum(), (3,))
+
+    def test_exp_log(self):
+        check_gradients(lambda x: ((x * x + 1.0).log() + x.exp()).sum(), (4,))
+
+    def test_tanh_sigmoid_relu(self):
+        check_gradients(lambda x: (x.tanh() + x.sigmoid() + (x + 0.3).relu()).sum(), (6,))
+
+    def test_abs(self):
+        check_gradients(lambda x: (x + 0.31).abs().sum(), (5,))
+
+    def test_matmul(self):
+        w = Tensor(np.random.default_rng(7).standard_normal((4, 3)).astype(np.float32),
+                   requires_grad=True)
+        check_gradients(lambda x: (x @ w).sum(), (2, 4))
+
+    def test_batched_matmul(self):
+        w = Tensor(np.random.default_rng(8).standard_normal((2, 4, 3)).astype(np.float32))
+        check_gradients(lambda x: ((x @ w) * (x @ w)).sum(), (2, 5, 4))
+
+    def test_softmax(self):
+        coefficients = Tensor(np.random.default_rng(9).standard_normal((3, 5)).astype(np.float32))
+        check_gradients(lambda x: (x.softmax(axis=-1) * coefficients).sum(), (3, 5))
+
+    def test_log_softmax(self):
+        check_gradients(lambda x: x.log_softmax(axis=-1)[:, 0].sum(), (3, 5))
+
+    def test_mean_axis(self):
+        check_gradients(lambda x: (x.mean(axis=1) ** 2.0).sum(), (3, 4))
+
+    def test_var(self):
+        check_gradients(lambda x: x.var(axis=-1).sum(), (2, 6))
+
+    def test_max(self):
+        # Avoid ties: add a deterministic ramp.
+        ramp = Tensor(np.linspace(0, 0.1, 12, dtype=np.float32).reshape(3, 4))
+        check_gradients(lambda x: (x + ramp).max(axis=1).sum(), (3, 4))
+
+    def test_getitem(self):
+        check_gradients(lambda x: (x[1:] * x[1:]).sum(), (4, 3))
+
+    def test_transpose(self):
+        w = Tensor(np.random.default_rng(10).standard_normal((3, 2)).astype(np.float32))
+        check_gradients(lambda x: (x.transpose() * w).sum(), (2, 3))
+
+    def test_concatenate(self):
+        other = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        check_gradients(
+            lambda x: (concatenate([x, other], axis=1) ** 2.0).sum(), (2, 3)
+        )
+
+    def test_stack(self):
+        check_gradients(lambda x: (stack([x[0], x[1]], axis=0) ** 2.0).sum(), (2, 3))
+
+    def test_where(self):
+        mask = np.array([[True, False, True]])
+        check_gradients(lambda x: (where(mask, x * 2.0, x * 3.0)).sum(), (2, 3))
+
+
+# ----------------------------------------------------------------------
+# Graph mechanics
+# ----------------------------------------------------------------------
+class TestGraph:
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).backward()  # d/dx 6x^2 = 12x
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert is_grad_enabled()
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        np.testing.assert_allclose(d.data, x.data)
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * x).backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_explicit_grad_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 10.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+_float_arrays = st.integers(1, 5).flatmap(
+    lambda n: st.lists(
+        st.floats(-10, 10, allow_nan=False, width=32), min_size=n, max_size=n
+    )
+)
+
+
+class TestProperties:
+    @given(_float_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, values):
+        a = Tensor(values)
+        b = Tensor(list(reversed(values)))
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @given(_float_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, values):
+        s = Tensor([values]).softmax(axis=-1).data
+        assert np.all(s >= 0)
+        np.testing.assert_allclose(s.sum(), 1.0, atol=1e-4)
+
+    @given(_float_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_relu_nonnegative(self, values):
+        assert np.all(Tensor(values).relu().data >= 0)
+
+    @given(_float_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_sum_linearity_of_gradient(self, values):
+        x = Tensor(values, requires_grad=True)
+        (x.sum() * 3.0).backward()
+        np.testing.assert_allclose(x.grad, np.full(len(values), 3.0), atol=1e-5)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_shape(self, n, m):
+        a = Tensor(np.ones((n, 3), dtype=np.float32))
+        b = Tensor(np.ones((3, m), dtype=np.float32))
+        assert (a @ b).shape == (n, m)
+        np.testing.assert_allclose((a @ b).data, np.full((n, m), 3.0))

@@ -1,0 +1,102 @@
+"""Tensor edge cases: broadcasting corners, axes handling, dtype discipline."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concatenate, stack
+
+from ..helpers import check_gradients
+
+
+class TestBroadcastingCorners:
+    def test_scalar_times_matrix_gradient(self):
+        scale = Tensor([2.0], requires_grad=True)
+        x = Tensor(np.ones((3, 4), dtype=np.float32))
+        (scale * x).sum().backward()
+        np.testing.assert_allclose(scale.grad, [12.0])
+
+    def test_row_and_column_broadcast(self):
+        row = Tensor(np.ones((1, 4), dtype=np.float32), requires_grad=True)
+        col = Tensor(np.ones((3, 1), dtype=np.float32), requires_grad=True)
+        (row + col).sum().backward()
+        np.testing.assert_allclose(row.grad, np.full((1, 4), 3.0))
+        np.testing.assert_allclose(col.grad, np.full((3, 1), 4.0))
+
+    def test_leading_axis_broadcast(self):
+        bias = Tensor(np.ones(5, dtype=np.float32), requires_grad=True)
+        x = Tensor(np.ones((2, 3, 5), dtype=np.float32))
+        (x * bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(5, 6.0))
+
+    def test_division_broadcast_gradcheck(self):
+        denom = Tensor(np.array([2.0, 4.0], dtype=np.float32), requires_grad=True)
+        check_gradients(lambda x: (x / denom).sum(), (3, 2))
+
+
+class TestAxesHandling:
+    def test_negative_axis_sum(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        x.sum(axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_tuple_axis_sum(self):
+        x = Tensor(np.ones((2, 3, 4), dtype=np.float32))
+        assert x.sum(axis=(0, 2)).shape == (3,)
+        np.testing.assert_allclose(x.sum(axis=(0, 2)).data, np.full(3, 8.0))
+
+    def test_keepdims_gradient(self):
+        check_gradients(lambda x: (x - x.mean(axis=1, keepdims=True)).abs().sum(),
+                        (3, 4), atol=5e-2)
+
+    def test_swapaxes_gradient(self):
+        coefficients = Tensor(np.random.default_rng(0).standard_normal((3, 2, 4)).astype(np.float32))
+        check_gradients(lambda x: (x.swapaxes(0, 1) * coefficients).sum(), (2, 3, 4))
+
+
+class TestDtypeDiscipline:
+    def test_float64_input_cast_to_float32(self):
+        t = Tensor(np.ones(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_list_input(self):
+        assert Tensor([[1, 2], [3, 4]]).dtype == np.float32
+
+    def test_grad_matches_data_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad.dtype == np.float32
+
+
+class TestContainers:
+    def test_concat_gradient_partition(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        (out * Tensor(np.arange(10, dtype=np.float32).reshape(2, 5))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [5, 6]])
+        np.testing.assert_allclose(b.grad, [[2, 3, 4], [7, 8, 9]])
+
+    def test_stack_axis1(self):
+        a = Tensor(np.zeros(3, dtype=np.float32))
+        b = Tensor(np.ones(3, dtype=np.float32))
+        out = stack([a, b], axis=1)
+        assert out.shape == (3, 2)
+        np.testing.assert_allclose(out.data[:, 1], 1.0)
+
+    def test_len_and_item(self):
+        assert len(Tensor(np.zeros((4, 2), dtype=np.float32))) == 4
+        assert Tensor([7.5]).item() == 7.5
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestErrorPaths:
+    def test_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_shape_mismatch_matmul(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones((2, 3), dtype=np.float32)) @ Tensor(np.ones((2, 3), dtype=np.float32))

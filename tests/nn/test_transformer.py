@@ -1,0 +1,97 @@
+"""Transformer encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import PositionalEncoding
+
+
+def _encoder(d_model=16, heads=4, layers=2, d_ff=32, seed=0, max_len=64):
+    return nn.TransformerEncoder(d_model, heads, layers, d_ff, dropout=0.0,
+                                 max_len=max_len, rng=np.random.default_rng(seed))
+
+
+class TestPositionalEncoding:
+    def test_adds_position_signal(self):
+        pe = PositionalEncoding(8, max_len=16)
+        x = Tensor(np.zeros((1, 4, 8), dtype=np.float32))
+        out = pe(x).data
+        assert not np.allclose(out[0, 0], out[0, 1])
+
+    def test_deterministic(self):
+        pe = PositionalEncoding(8, max_len=16)
+        x = Tensor(np.zeros((1, 4, 8), dtype=np.float32))
+        np.testing.assert_allclose(pe(x).data, pe(x).data)
+
+    def test_too_long_raises(self):
+        pe = PositionalEncoding(8, max_len=4)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 5, 8), dtype=np.float32)))
+
+    def test_odd_d_model(self):
+        pe = PositionalEncoding(7, max_len=8)
+        assert pe(Tensor(np.zeros((1, 3, 7), dtype=np.float32))).shape == (1, 3, 7)
+
+
+class TestTransformerEncoder:
+    def test_output_shape(self):
+        enc = _encoder()
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 6, 16)).astype(np.float32))
+        assert enc(x).shape == (3, 6, 16)
+
+    def test_pooled_shape(self):
+        enc = _encoder()
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 6, 16)).astype(np.float32))
+        assert enc.pooled(x).shape == (3, 16)
+
+    def test_pooled_with_mask_ignores_invalid(self):
+        enc = _encoder(seed=2)
+        enc.eval()
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 4, 16)).astype(np.float32)
+        mask = np.array([[True, True, False, False]])
+        base = enc.pooled(Tensor(x), mask=mask).data
+        x2 = x.copy()
+        x2[0, 2:] += 50.0
+        out = enc.pooled(Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(out, base, atol=1e-3)
+
+    def test_order_sensitivity(self):
+        """With positional encoding the encoder must distinguish order."""
+        enc = _encoder(seed=4)
+        enc.eval()
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((1, 5, 16)).astype(np.float32)
+        out_fwd = enc.pooled(Tensor(x)).data
+        out_rev = enc.pooled(Tensor(x[:, ::-1].copy())).data
+        assert not np.allclose(out_fwd, out_rev, atol=1e-3)
+
+    def test_training_reduces_loss(self):
+        """A tiny classification task must be learnable end-to-end."""
+        rng = np.random.default_rng(6)
+        enc = _encoder(seed=6)
+        head = nn.Linear(16, 1, rng=rng)
+        params = enc.parameters() + head.parameters()
+        optimizer = nn.Adam(params, lr=1e-3)
+        x = rng.standard_normal((32, 4, 16)).astype(np.float32)
+        y = (x[:, 0, 0] > 0).astype(np.float32)
+
+        def loss_value():
+            logits = head(enc.pooled(Tensor(x))).reshape(-1)
+            return nn.binary_cross_entropy_with_logits(logits, y)
+
+        initial = float(loss_value().data)
+        for _ in range(30):
+            loss = loss_value()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        final = float(loss_value().data)
+        assert final < initial * 0.7
+
+    def test_num_layers_reflected_in_params(self):
+        one = _encoder(layers=1).num_parameters()
+        two = _encoder(layers=2).num_parameters()
+        assert two > one

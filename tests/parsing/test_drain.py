@@ -1,0 +1,122 @@
+"""Drain parser tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logs.generator import generate_logs
+from repro.parsing.drain import DrainParser
+from repro.parsing.masking import WILDCARD
+
+
+class TestBasicParsing:
+    def test_same_template_same_id(self):
+        parser = DrainParser()
+        a = parser.parse("connection from 10.0.0.1 refused")
+        b = parser.parse("connection from 10.0.0.2 refused")
+        assert a.template.template_id == b.template.template_id
+
+    def test_different_structure_different_id(self):
+        parser = DrainParser()
+        a = parser.parse("user root logged in")
+        b = parser.parse("disk sda1 write failure on block 17")
+        assert a.template.template_id != b.template.template_id
+
+    def test_template_generalizes_varying_positions(self):
+        # Variance must sit beyond the tree-key prefix (first depth-2
+        # tokens); varying the prefix creates separate groups — that is
+        # Drain's actual behaviour and why masking exists.
+        parser = DrainParser()
+        parser.parse("job started alpha on node west")
+        result = parser.parse("job started beta on node east")
+        tokens = result.template.tokens
+        assert tokens[2] == WILDCARD
+        assert tokens[-1] == WILDCARD
+        assert "started" in tokens
+
+    def test_parameters_extracted(self):
+        parser = DrainParser()
+        parser.parse("job started for user alpha")
+        result = parser.parse("job started for user beta")
+        assert "beta" in result.parameters
+
+    def test_count_increments(self):
+        parser = DrainParser()
+        for _ in range(3):
+            result = parser.parse("heartbeat from host 10.0.0.1")
+        assert result.template.count == 3
+
+    def test_length_partitioning(self):
+        parser = DrainParser()
+        a = parser.parse("one two three")
+        b = parser.parse("one two three four")
+        assert a.template.template_id != b.template.template_id
+
+    def test_empty_message(self):
+        parser = DrainParser()
+        result = parser.parse("")
+        assert result.template.tokens == ["<EMPTY>"]
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DrainParser(depth=2)
+        with pytest.raises(ValueError):
+            DrainParser(similarity_threshold=0.0)
+
+
+class TestTreeBehaviour:
+    def test_digit_tokens_routed_to_wildcard(self):
+        parser = DrainParser(mask=False)
+        a = parser.parse("retry 17 scheduled now ok")
+        b = parser.parse("retry 42 scheduled now ok")
+        assert a.template.template_id == b.template.template_id
+
+    def test_max_children_overflow(self):
+        parser = DrainParser(max_children=2, mask=False)
+        # Many distinct first tokens: overflow must route to wildcard, not crash.
+        for word in ("alpha", "beta", "gamma", "delta", "epsilon"):
+            parser.parse(f"{word} service event occurred")
+        assert parser.num_templates() >= 1
+
+    def test_get_template(self):
+        parser = DrainParser()
+        result = parser.parse("some stable message here")
+        assert parser.get_template(result.template.template_id) is result.template
+
+    def test_templates_ordered(self):
+        parser = DrainParser()
+        parser.parse_all(["aaa bbb ccc", "ddd eee fff", "ggg hhh iii"])
+        ids = [t.template_id for t in parser.templates]
+        assert ids == sorted(ids)
+
+
+class TestOnGeneratedLogs:
+    def test_template_count_near_concept_count(self):
+        """Drain must recover approximately one template per concept."""
+        records = generate_logs("bgl", 4000, seed=0)
+        parser = DrainParser()
+        for record in records:
+            parser.parse(record.message)
+        distinct_concepts = len({r.concept for r in records})
+        assert distinct_concepts <= parser.num_templates() <= distinct_concepts * 3
+
+    def test_concept_purity(self):
+        """Messages of one template should overwhelmingly share a concept."""
+        records = generate_logs("spirit", 4000, seed=1)
+        parser = DrainParser()
+        assignments = {}
+        for record in records:
+            tid = parser.parse(record.message).template.template_id
+            assignments.setdefault(tid, []).append(record.concept)
+        impure = 0
+        for concepts in assignments.values():
+            if len(set(concepts)) > 1:
+                impure += 1
+        assert impure <= max(1, parser.num_templates() // 10)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_parse_never_crashes_on_generated(self, seed):
+        parser = DrainParser()
+        for record in generate_logs("system_c", 50, seed=seed):
+            result = parser.parse(record.message)
+            assert result.template.template_id >= 0

@@ -1,0 +1,72 @@
+"""Drain / TemplateStore serialization tests."""
+
+import json
+
+from repro.logs import generate_logs
+from repro.parsing import DrainParser, TemplateStore
+
+
+class TestDrainSerialization:
+    def test_roundtrip_preserves_templates(self):
+        parser = DrainParser()
+        records = generate_logs("bgl", 800, seed=0)
+        for record in records:
+            parser.parse(record.message)
+
+        clone = DrainParser.from_dict(parser.to_dict())
+        assert clone.num_templates() == parser.num_templates()
+        for original, restored in zip(parser.templates, clone.templates):
+            assert restored.template_id == original.template_id
+            assert restored.tokens == original.tokens
+            assert restored.count == original.count
+
+    def test_roundtrip_preserves_event_id_assignment(self):
+        """After restore, the same messages must map to the same ids —
+        the property production persistence exists for."""
+        parser = DrainParser()
+        train = generate_logs("spirit", 600, seed=1)
+        for record in train:
+            parser.parse(record.message)
+        clone = DrainParser.from_dict(parser.to_dict())
+
+        fresh = generate_logs("spirit", 300, seed=2)
+        for record in fresh:
+            a = parser.parse(record.message).template.template_id
+            b = clone.parse(record.message).template.template_id
+            assert a == b
+
+    def test_payload_is_json_safe(self):
+        parser = DrainParser()
+        parser.parse("hello world message 42")
+        payload = json.loads(json.dumps(parser.to_dict()))
+        clone = DrainParser.from_dict(payload)
+        assert clone.num_templates() == 1
+
+    def test_config_preserved(self):
+        parser = DrainParser(depth=5, similarity_threshold=0.7, max_children=10, mask=False)
+        clone = DrainParser.from_dict(parser.to_dict())
+        assert clone.depth == parser.depth
+        assert clone.similarity_threshold == 0.7
+        assert clone.max_children == 10
+        assert clone.mask is False
+
+
+class TestTemplateStoreSerialization:
+    def test_roundtrip(self):
+        store = TemplateStore()
+        for record in generate_logs("system_c", 500, seed=3):
+            store.ingest(record.message)
+        clone = TemplateStore.from_dict(store.to_dict())
+        assert clone.event_ids == store.event_ids
+        for event_id in store.event_ids:
+            assert clone.representative(event_id) == store.representative(event_id)
+            assert clone.template_text(event_id) == store.template_text(event_id)
+
+    def test_restored_store_keeps_ingesting(self):
+        store = TemplateStore()
+        store.ingest("alpha beta gamma 1")
+        clone = TemplateStore.from_dict(store.to_dict())
+        parsed = clone.ingest("alpha beta gamma 2")
+        assert parsed.event_id == store.event_ids[0]
+        novel = clone.ingest("completely different structure with many tokens")
+        assert novel.event_id not in store.event_ids

@@ -1,0 +1,96 @@
+"""CLI workflow tests (generate -> train -> detect, and evaluate)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--system", "bgl", "--out", "x.jsonl", "--lines", "50"]
+        )
+        assert args.system == "bgl"
+        assert args.lines == 50
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "bgl.jsonl"
+        code = main(["generate", "--system", "bgl", "--lines", "120", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "120 records" in capsys.readouterr().out
+
+    def test_scale_mode(self, tmp_path):
+        out = tmp_path / "c.jsonl"
+        assert main(["generate", "--system", "system_c", "--scale", "0.001",
+                     "--out", str(out)]) == 0
+        assert out.stat().st_size > 0
+
+
+class TestTrainDetect:
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli")
+        files = {}
+        for system, lines in (("bgl", 2500), ("spirit", 2500), ("thunderbird", 1500)):
+            path = root / f"{system}.jsonl"
+            assert main(["generate", "--system", system, "--lines", str(lines),
+                         "--out", str(path)]) == 0
+            files[system] = str(path)
+        return root, files
+
+    def test_full_workflow(self, workspace, capsys):
+        root, files = workspace
+        model_dir = str(root / "pipeline")
+        code = main([
+            "train",
+            "--sources", files["bgl"], files["spirit"],
+            "--target", files["thunderbird"],
+            "--n-source", "300", "--n-target", "60",
+            "--epochs", "2", "--num-layers", "1",
+            "--model-dir", model_dir, "--quiet",
+        ])
+        assert code == 0
+        assert "pipeline saved" in capsys.readouterr().out
+
+        fresh = root / "fresh.jsonl"
+        assert main(["generate", "--system", "thunderbird", "--lines", "300",
+                     "--out", str(fresh), "--seed", "9"]) == 0
+        code = main(["detect", "--model-dir", model_dir, "--logs", str(fresh),
+                     "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windows scored" in out
+        assert "score=" in out
+
+    def test_detect_too_few_records(self, workspace, tmp_path):
+        root, files = workspace
+        model_dir = str(root / "pipeline")
+        short = tmp_path / "short.jsonl"
+        assert main(["generate", "--system", "thunderbird", "--lines", "3",
+                     "--out", str(short)]) == 0
+        with pytest.raises(SystemExit):
+            main(["detect", "--model-dir", model_dir, "--logs", str(short)])
+
+
+class TestEvaluate:
+    def test_prints_table(self, capsys):
+        code = main([
+            "evaluate", "--target", "thunderbird", "--sources", "bgl", "spirit",
+            "--scale", "0.002", "--n-source", "200", "--n-target", "50",
+            "--max-test", "150", "--epochs", "2", "--num-layers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LogSynergy" in out
+        assert "F1%" in out

@@ -1,0 +1,62 @@
+"""Configuration tests."""
+
+import pytest
+
+from repro.config import ExperimentConfig, LogSynergyConfig
+
+
+class TestLogSynergyConfig:
+    def test_defaults_valid(self):
+        config = LogSynergyConfig()
+        assert config.d_model % config.num_heads == 0
+
+    def test_paper_settings(self):
+        """§IV-A4: six layers, 12 heads, FFN 2048, lr 1e-4, batch 1024,
+        10 epochs, lambda_MI = lambda_DA = 0.01, n_s 50k, n_t 5k."""
+        paper = LogSynergyConfig.paper()
+        assert paper.num_layers == 6
+        assert paper.num_heads == 12
+        assert paper.d_ff == 2048
+        assert paper.learning_rate == 1e-4
+        assert paper.batch_size == 1024
+        assert paper.epochs == 10
+        assert paper.lambda_mi == 0.01
+        assert paper.lambda_da == 0.01
+        assert paper.n_source == 50_000
+        assert paper.n_target == 5_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogSynergyConfig(d_model=30, num_heads=4)
+        with pytest.raises(ValueError):
+            LogSynergyConfig(threshold=1.5)
+        with pytest.raises(ValueError):
+            LogSynergyConfig(lambda_mi=-0.1)
+        with pytest.raises(ValueError):
+            LogSynergyConfig(feature_dim=0)
+
+    def test_with_overrides(self):
+        config = LogSynergyConfig().with_overrides(epochs=3)
+        assert config.epochs == 3
+        assert config.d_model == LogSynergyConfig().d_model
+
+    def test_reduced_accepts_overrides(self):
+        assert LogSynergyConfig.reduced(batch_size=8).batch_size == 8
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            LogSynergyConfig().epochs = 99
+
+
+class TestExperimentConfig:
+    def test_valid(self):
+        config = ExperimentConfig(target="bgl", sources=("spirit", "thunderbird"))
+        assert config.target == "bgl"
+
+    def test_target_not_in_sources(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(target="bgl", sources=("bgl",))
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(target="bgl", sources=())
