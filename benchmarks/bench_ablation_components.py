@@ -24,9 +24,10 @@ def test_component_grid(benchmark):
     def run_grid():
         return [
             100.0 * experiment.run_logsynergy(
-                FAST_CONFIG, method_name=f"LogSynergy {name}", **kwargs
+                FAST_CONFIG.with_overrides(**overrides),
+                method_name=f"LogSynergy {name}",
             ).metrics.f1
-            for name, kwargs in VARIANTS
+            for name, overrides in VARIANTS
         ]
 
     f1s = benchmark.pedantic(run_grid, rounds=1, iterations=1)

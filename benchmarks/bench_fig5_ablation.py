@@ -36,10 +36,10 @@ def test_fig5_ablation(benchmark, target, group):
         scores = {}
         scores["LogSynergy"] = experiment.run_logsynergy(FAST_CONFIG).metrics.f1
         scores["w/o LEI"] = experiment.run_logsynergy(
-            FAST_CONFIG, method_name="LogSynergy w/o LEI", use_lei=False
+            FAST_CONFIG.with_overrides(use_lei=False), method_name="LogSynergy w/o LEI"
         ).metrics.f1
         scores["w/o SUFE"] = experiment.run_logsynergy(
-            FAST_CONFIG, method_name="LogSynergy w/o SUFE", use_sufe=False
+            FAST_CONFIG.with_overrides(use_sufe=False), method_name="LogSynergy w/o SUFE"
         ).metrics.f1
         scores["direct NeuralLog"] = experiment.run_baseline(
             "NeuralLog", fit_on_sources=True, **BASELINE_KWARGS["NeuralLog"]

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 smoke check: byte-compile everything, then run the test suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src benchmarks examples
+PYTHONPATH=src python -m pytest -x -q "$@"

@@ -1,27 +1,50 @@
 """Command-line interface.
 
-Four subcommands cover the adoption workflow end to end::
+Five subcommands cover the adoption workflow end to end::
 
     python -m repro generate --system bgl --lines 20000 --out bgl.jsonl
     python -m repro train --sources bgl.jsonl spirit.jsonl \
         --target tbird.jsonl --n-target 100 --model-dir pipeline/
     python -m repro detect --model-dir pipeline/ --logs new_tbird.jsonl
     python -m repro evaluate --target thunderbird --sources bgl spirit
+    python -m repro stats metrics.jsonl
 
 ``generate`` writes synthetic datasets; ``train`` fits LogSynergy from
 JSONL record files and persists the full pipeline; ``detect`` scores a log
 file with a saved pipeline and prints reports; ``evaluate`` runs a
 cross-system experiment on synthetic data and prints the metric table.
+
+``train``/``detect``/``evaluate`` accept ``--metrics-out PATH``: the run
+executes under a live ``repro.obs`` registry and exports every counter,
+histogram and span to ``PATH`` as JSONL; ``stats`` pretty-prints such a
+file.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace):
+    """Install a live metrics registry when ``--metrics-out`` was given."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        yield None
+        return
+    from .obs import MetricsRegistry, use_registry, write_jsonl
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield registry
+    count = write_jsonl(registry, path)
+    print(f"wrote {count} metric events to {path}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -51,6 +74,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from .config import LogSynergyConfig
     from .core import LogSynergy
     from .evaluation import continuous_target_split, source_training_slice
+    from .llm import SimulatedLLM
 
     config = LogSynergyConfig(
         d_model=args.d_model, num_heads=args.num_heads, num_layers=args.num_layers,
@@ -67,9 +91,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
     split = continuous_target_split(target_sequences, args.n_target)
     print(f"target {target_system}: {len(split.train)} training sequences")
 
-    model = LogSynergy(config)
-    model.fit(sources, target_system, split.train, verbose=not args.quiet)
-    model.save_pipeline(args.model_dir)
+    with _observability(args), contextlib.ExitStack() as stack:
+        llm = None
+        if args.llm_cache:
+            from .llm.cache import CachedLLM
+
+            llm = stack.enter_context(
+                CachedLLM(SimulatedLLM(seed=config.seed), args.llm_cache, autosave=False)
+            )
+        model = LogSynergy(config, llm=llm)
+        model.fit(sources, target_system, split.train, verbose=not args.quiet)
+        model.save_pipeline(args.model_dir)
+        if llm is not None:
+            print(f"LLM cache: {llm.hits} hits, {llm.misses} misses -> {args.llm_cache}")
     print(f"pipeline saved to {args.model_dir}")
     return 0
 
@@ -78,23 +112,27 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     from .core import LogSynergy
     from .logs import load_records, sliding_windows
 
-    model = LogSynergy.load_pipeline(args.model_dir)
     records = load_records(args.logs)
     sequences = sliding_windows(records, window=args.window, step=args.step)
     if not sequences:
         raise SystemExit(f"{args.logs}: not enough records for one window")
-    probabilities = model.predict_proba(sequences)
-    flagged = int((probabilities > model.config.threshold).sum())
-    print(f"{len(sequences)} windows scored; {flagged} above threshold "
-          f"{model.config.threshold}")
-    for index in np.argsort(-probabilities)[: args.top]:
-        sequence = sequences[int(index)]
-        report = model.detect_stream(
-            sequence.messages, timestamps=[r.timestamp for r in sequence.records]
+    with _observability(args):
+        # Load inside the scope so Drain/featurizer handles bind to the
+        # live registry.
+        model = LogSynergy.load_pipeline(args.model_dir)
+        probabilities = model.predict_proba(sequences)
+        flagged = int((probabilities > model.config.threshold).sum())
+        print(f"{len(sequences)} windows scored; {flagged} above threshold "
+              f"{model.config.threshold}")
+        top = [sequences[int(i)] for i in np.argsort(-probabilities)[: args.top]]
+        reports = model.detect_stream_batch(
+            [s.messages for s in top],
+            [[r.timestamp for r in s.records] for s in top],
         )
-        marker = "ANOMALY" if report.is_anomalous else "ok     "
-        print(f"  [{marker}] score={report.score:.3f} window@{sequence.start_index}: "
-              f"{report.summary()}")
+        for sequence, report in zip(top, reports):
+            marker = "ANOMALY" if report.is_anomalous else "ok     "
+            print(f"  [{marker}] score={report.score:.3f} window@{sequence.start_index}: "
+                  f"{report.summary()}")
     return 0
 
 
@@ -113,9 +151,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         n_target=args.n_target, max_test=args.max_test, seed=args.seed,
     )
     methods = ["LogSynergy"] + (args.baselines or [])
-    outcome = experiment.run(methods, config=config)
+    with _observability(args):
+        outcome = experiment.run(methods, config=config)
     print(format_results_table([outcome], methods,
                                title=f"Cross-system evaluation (target={args.target})"))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import read_jsonl, summarize_events
+
+    try:
+        events = read_jsonl(args.metrics)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{args.metrics}: {exc}")
+    print(summarize_events(events))
     return 0
 
 
@@ -137,11 +187,20 @@ def _add_window_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--step", type=int, default=5)
 
 
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="export repro.obs metrics/spans to this JSONL file")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="LogSynergy reproduction command line"
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser("generate", help="generate a synthetic dataset")
@@ -163,8 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--n-target", type=int, default=100)
     train.add_argument("--model-dir", required=True)
     train.add_argument("--quiet", action="store_true")
+    train.add_argument("--llm-cache", default=None, metavar="PATH",
+                       help="persist LLM interpretations to this JSON cache file")
     _add_model_flags(train)
     _add_window_flags(train)
+    _add_metrics_flag(train)
     train.set_defaults(func=_cmd_train)
 
     detect = commands.add_parser("detect", help="score a log file with a saved pipeline")
@@ -173,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--top", type=int, default=5, help="windows to report")
     detect.add_argument("--seed", type=int, default=0)
     _add_window_flags(detect)
+    _add_metrics_flag(detect)
     detect.set_defaults(func=_cmd_detect)
 
     evaluate = commands.add_parser("evaluate", help="run a synthetic cross-system experiment")
@@ -185,7 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--n-target", type=int, default=100)
     evaluate.add_argument("--max-test", type=int, default=800)
     _add_model_flags(evaluate)
+    _add_metrics_flag(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    stats = commands.add_parser("stats", help="summarize a --metrics-out JSONL file")
+    stats.add_argument("metrics", help="JSONL file written by --metrics-out")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

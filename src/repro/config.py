@@ -42,6 +42,13 @@ class LogSynergyConfig:
     n_source: int = 2000
     n_target: int = 200
 
+    # Component ablation switches (Fig 5): LEI interpretation, SUFE
+    # disentanglement, DAAN domain adaptation.  ``with_overrides`` can
+    # express every Fig 5 variant from these.
+    use_lei: bool = True
+    use_sufe: bool = True
+    use_da: bool = True
+
     # Misc.
     window: int = 10
     step: int = 5

@@ -69,11 +69,89 @@ class SystemFeaturizer:
     def _ensure_event(self, event_id: int) -> np.ndarray:
         embedding = self._embeddings.get(event_id)
         if embedding is None:
-            text = self._text_for_event(event_id)
-            self._interpretations[event_id] = text
-            embedding = self.encoder.encode(text)
+            self.interpret_events([event_id])
+            embedding = self.encoder.encode(self._interpretations[event_id])
             self._embeddings[event_id] = embedding
         return embedding
+
+    # ------------------------------------------------------------------
+    # Phased API: parse -> interpret -> embed.  The offline pipeline runs
+    # each phase over all sequences so it can report per-stage spans; the
+    # per-message helpers below compose the same phases, so both paths
+    # produce identical caches.
+    # ------------------------------------------------------------------
+    def parse_sequences(self, sequences: list[LogSequence]) -> list[list[int]]:
+        """Phase 1 — Drain-parse sequences into an event-id grid.
+
+        Messages stream in sequence order (same prefix behaviour as the
+        per-message path); shared records across overlapping windows are
+        parsed once.  For the "w/o LEI" ablation the template text is
+        snapshotted at first encounter, before later messages generalize
+        the template — matching what interleaved parsing embeds.
+        """
+        if not sequences:
+            return []
+        window = len(sequences[0])
+        grid: list[list[int]] = []
+        cache: dict[int, int] = {}
+        for row, sequence in enumerate(sequences):
+            if len(sequence) != window:
+                raise ValueError(
+                    f"sequence {row} has length {len(sequence)}, expected {window}"
+                )
+            ids: list[int] = []
+            for record in sequence.records:
+                key = id(record)
+                event_id = cache.get(key)
+                if event_id is None:
+                    event_id = self.store.ingest(record.message).event_id
+                    if self.interpreter is None and event_id not in self._interpretations:
+                        # Snapshot now: the template may generalize later.
+                        self._interpretations[event_id] = self.store.template_text(event_id)
+                    cache[key] = event_id
+                ids.append(event_id)
+            grid.append(ids)
+        return grid
+
+    def interpret_events(self, event_ids: list[int] | None = None) -> int:
+        """Phase 2 — ensure an interpretation for each event (LEI, §III-C).
+
+        Returns the number of events interpreted in this call.  With the
+        LLM disabled this falls back to the (already snapshotted) raw
+        template text.
+        """
+        pending = [
+            event_id
+            for event_id in (self.store.event_ids if event_ids is None else event_ids)
+            if event_id not in self._interpretations
+        ]
+        for event_id in pending:
+            self._interpretations[event_id] = self._text_for_event(event_id)
+        return len(pending)
+
+    def embed_events(self, event_ids: list[int] | None = None) -> int:
+        """Phase 3 — encode interpretations into the embedding table."""
+        pending = [
+            event_id
+            for event_id in (self.store.event_ids if event_ids is None else event_ids)
+            if event_id not in self._embeddings
+        ]
+        for event_id in pending:
+            self._embeddings[event_id] = self.encoder.encode(
+                self._interpretations[event_id]
+            )
+        return len(pending)
+
+    def gather(self, grid: list[list[int]]) -> np.ndarray:
+        """Assemble an event-id grid into ``(n, window, dim)`` embeddings."""
+        if not grid:
+            return np.zeros((0, 0, self.embedding_dim), dtype=np.float32)
+        window = len(grid[0])
+        out = np.zeros((len(grid), window, self.embedding_dim), dtype=np.float32)
+        for row, ids in enumerate(grid):
+            for col, event_id in enumerate(ids):
+                out[row, col] = self._embeddings[event_id]
+        return out
 
     def embed_message(self, message: str) -> np.ndarray:
         """Parse one message and return its event embedding."""
@@ -91,27 +169,16 @@ class SystemFeaturizer:
         """Embed sequences into ``(n, window, dim)``.
 
         Message parsing is streamed in sequence order so Drain sees the
-        same prefix behaviour as the offline pipeline.
+        same prefix behaviour as the offline pipeline.  Composes the
+        phased API (parse -> interpret -> embed -> gather).
         """
-        if not sequences:
+        grid = self.parse_sequences(sequences)
+        if not grid:
             return np.zeros((0, 0, self.embedding_dim), dtype=np.float32)
-        window = len(sequences[0])
-        out = np.zeros((len(sequences), window, self.embedding_dim), dtype=np.float32)
-        # Deduplicate shared records across overlapping windows.
-        cache: dict[int, np.ndarray] = {}
-        for row, sequence in enumerate(sequences):
-            if len(sequence) != window:
-                raise ValueError(
-                    f"sequence {row} has length {len(sequence)}, expected {window}"
-                )
-            for col, record in enumerate(sequence.records):
-                key = id(record)
-                vec = cache.get(key)
-                if vec is None:
-                    vec = self.embed_message(record.message)
-                    cache[key] = vec
-                out[row, col] = vec
-        return out
+        distinct = sorted({event_id for ids in grid for event_id in ids})
+        self.interpret_events(distinct)
+        self.embed_events(distinct)
+        return self.gather(grid)
 
     def embed_messages(self, messages: list[str]) -> np.ndarray:
         """Embed a flat window of messages into ``(len(messages), dim)``."""

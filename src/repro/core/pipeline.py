@@ -4,14 +4,21 @@
 plus a small labeled slice of the target system, runs the full offline
 pipeline (Drain parsing -> LEI -> event embedding -> SUFE/DAAN training),
 and produces a detector for the target system.  ``predict`` /
-``predict_proba`` evaluate target sequences; ``detect_stream`` runs the
-§III-E online path over a raw message window and emits an
-:class:`~repro.core.report.AnomalyReport`.
+``predict_proba`` are batch-first: they accept a single
+:class:`~repro.logs.sequences.LogSequence` or a list of them.
+``detect_stream`` / ``detect_stream_batch`` run the §III-E online path
+over raw message windows and emit :class:`~repro.core.report.AnomalyReport`s.
+
+The offline pipeline reports one span per stage (``fit.parse``,
+``fit.interpret``, ``fit.embed``, ``fit.train``) through ``repro.obs``
+when an observability registry is installed.
 """
 
 from __future__ import annotations
 
+import warnings
 from datetime import datetime
+from typing import Sequence
 
 import numpy as np
 
@@ -21,12 +28,15 @@ from ..embedding.encoder import SentenceEncoder
 from ..llm.interface import LLMClient
 from ..llm.simulated import SimulatedLLM
 from ..logs.sequences import LogSequence
+from ..obs import trace
 from .features import SystemFeaturizer
 from .model import LogSynergyModel
 from .report import AnomalyReport, build_report
 from .trainer import LogSynergyTrainer, TrainingBatch, TrainingHistory
 
 __all__ = ["LogSynergy"]
+
+_DEPRECATED_SWITCHES = ("use_lei", "use_sufe", "use_da")
 
 
 class LogSynergy:
@@ -35,38 +45,72 @@ class LogSynergy:
     Parameters
     ----------
     config:
-        Model/training hyperparameters (defaults to the reduced CPU scale).
+        Model/training hyperparameters (defaults to the reduced CPU
+        scale).  The Fig 5 ablation switches live here:
+        ``config.use_lei`` / ``config.use_sufe`` / ``config.use_da``.
     llm:
-        LLM client for LEI.  Defaults to :class:`SimulatedLLM`; pass
-        ``None`` **and** ``use_lei=False`` explicitly for the ablation.
+        LLM client for LEI.  Defaults to :class:`SimulatedLLM`; ignored
+        when ``config.use_lei`` is false.
     encoder:
         Sentence encoder; defaults to the cached pre-trained domain encoder
         with ``config.embedding_dim`` dimensions.
     use_lei / use_sufe / use_da:
-        Ablation switches for Fig 5.
+        Deprecated constructor aliases for the config fields; they warn
+        and forward into ``config``.
     """
 
     def __init__(self, config: LogSynergyConfig | None = None,
                  llm: LLMClient | None = None,
                  encoder: SentenceEncoder | None = None,
-                 use_lei: bool = True, use_sufe: bool = True, use_da: bool = True):
-        self.config = config or LogSynergyConfig()
+                 use_lei: bool | None = None, use_sufe: bool | None = None,
+                 use_da: bool | None = None):
+        config = config or LogSynergyConfig()
+        overrides = {
+            name: value
+            for name, value in zip(_DEPRECATED_SWITCHES, (use_lei, use_sufe, use_da))
+            if value is not None
+        }
+        if overrides:
+            warnings.warn(
+                "LogSynergy(use_lei=..., use_sufe=..., use_da=...) is deprecated; "
+                "set the flags on LogSynergyConfig (e.g. "
+                "config.with_overrides(use_lei=False)) instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            config = config.with_overrides(**overrides)
+        self.config = config
         self.encoder = encoder or load_pretrained_encoder(self.config.embedding_dim)
         if self.encoder.dim != self.config.embedding_dim:
             raise ValueError(
                 f"encoder dim {self.encoder.dim} != config.embedding_dim "
                 f"{self.config.embedding_dim}"
             )
-        self.use_lei = use_lei
-        self.use_sufe = use_sufe
-        self.use_da = use_da
-        self.llm = (llm or SimulatedLLM(seed=self.config.seed)) if use_lei else None
+        if not self.config.use_lei:
+            self.llm = None
+        elif llm is not None:
+            # `is not None`, not truthiness: an empty CachedLLM has len() 0.
+            self.llm = llm
+        else:
+            self.llm = SimulatedLLM(seed=self.config.seed)
         self._featurizers: dict[str, SystemFeaturizer] = {}
         self._system_index: dict[str, int] = {}
         self.target_system: str | None = None
         self.model: LogSynergyModel | None = None
         self.trainer: LogSynergyTrainer | None = None
         self.history: TrainingHistory | None = None
+
+    # -- ablation switches (read-only views of the config) --------------
+    @property
+    def use_lei(self) -> bool:
+        return self.config.use_lei
+
+    @property
+    def use_sufe(self) -> bool:
+        return self.config.use_sufe
+
+    @property
+    def use_da(self) -> bool:
+        return self.config.use_da
 
     # ------------------------------------------------------------------
     def _featurizer(self, system: str) -> SystemFeaturizer:
@@ -81,29 +125,56 @@ class LogSynergy:
         systems = list(sources) + [target_system]
         self._system_index = {name: i for i, name in enumerate(systems)}
 
-        blocks, anomaly, system_ids, domain = [], [], [], []
-        for name, sequences in sources.items():
-            if not sequences:
-                raise ValueError(f"source system {name!r} contributed no sequences")
-            embedded = self._featurizer(name).embed_sequences(sequences)
-            blocks.append(embedded)
-            anomaly.append(np.array([s.label for s in sequences], dtype=np.int64))
-            system_ids.append(np.full(len(sequences), self._system_index[name], dtype=np.int64))
-            domain.append(np.zeros(len(sequences), dtype=np.int64))
+        # Stage 1 — Drain parsing, all systems (streamed in sequence order).
+        grids: dict[str, list[list[int]]] = {}
+        with trace("fit.parse", systems=len(systems)):
+            for name, sequences in sources.items():
+                if not sequences:
+                    raise ValueError(f"source system {name!r} contributed no sequences")
+                grids[name] = self._featurizer(name).parse_sequences(sequences)
+            if not target_sequences:
+                raise ValueError("target system contributed no sequences")
+            grids[target_system] = self._featurizer(target_system).parse_sequences(
+                target_sequences
+            )
 
-        if not target_sequences:
-            raise ValueError("target system contributed no sequences")
-        target_embedded = self._featurizer(target_system).embed_sequences(target_sequences)
-        # Oversample the target so DAAN sees both domains in every batch;
-        # the paper trains on n_s >> n_t and this is the standard remedy.
-        mean_source = int(np.mean([len(b) for b in blocks]))
-        repeats = max(1, mean_source // max(1, len(target_sequences)))
-        target_labels = np.array([s.label for s in target_sequences], dtype=np.int64)
-        blocks.append(np.repeat(target_embedded, repeats, axis=0))
-        anomaly.append(np.repeat(target_labels, repeats))
-        n_target = len(target_sequences) * repeats
-        system_ids.append(np.full(n_target, self._system_index[target_system], dtype=np.int64))
-        domain.append(np.ones(n_target, dtype=np.int64))
+        # Stage 2 — LEI interpretation (one LLM call per distinct event).
+        with trace("fit.interpret") as span:
+            interpreted = sum(
+                self._featurizer(name).interpret_events() for name in systems
+            )
+            span.set("events", interpreted)
+
+        # Stage 3 — event embedding and batch assembly.
+        with trace("fit.embed") as span:
+            embedded_events = sum(
+                self._featurizer(name).embed_events() for name in systems
+            )
+            span.set("events", embedded_events)
+
+            blocks, anomaly, system_ids, domain = [], [], [], []
+            for name, sequences in sources.items():
+                embedded = self._featurizer(name).gather(grids[name])
+                blocks.append(embedded)
+                anomaly.append(np.array([s.label for s in sequences], dtype=np.int64))
+                system_ids.append(
+                    np.full(len(sequences), self._system_index[name], dtype=np.int64)
+                )
+                domain.append(np.zeros(len(sequences), dtype=np.int64))
+
+            target_embedded = self._featurizer(target_system).gather(grids[target_system])
+            # Oversample the target so DAAN sees both domains in every batch;
+            # the paper trains on n_s >> n_t and this is the standard remedy.
+            mean_source = int(np.mean([len(b) for b in blocks]))
+            repeats = max(1, mean_source // max(1, len(target_sequences)))
+            target_labels = np.array([s.label for s in target_sequences], dtype=np.int64)
+            blocks.append(np.repeat(target_embedded, repeats, axis=0))
+            anomaly.append(np.repeat(target_labels, repeats))
+            n_target = len(target_sequences) * repeats
+            system_ids.append(
+                np.full(n_target, self._system_index[target_system], dtype=np.int64)
+            )
+            domain.append(np.ones(n_target, dtype=np.int64))
 
         return TrainingBatch(
             sequences=np.concatenate(blocks, axis=0),
@@ -120,15 +191,15 @@ class LogSynergy:
         if target_system in sources:
             raise ValueError(f"{target_system!r} appears in both sources and target")
         self.target_system = target_system
-        data = self._assemble(sources, target_system, target_sequences)
-        self.model = LogSynergyModel(
-            self.config, num_systems=len(sources) + 1,
-            rng=np.random.default_rng(self.config.seed),
-        )
-        self.trainer = LogSynergyTrainer(
-            self.model, self.config, use_sufe=self.use_sufe, use_da=self.use_da
-        )
-        self.history = self.trainer.fit(data, epochs=epochs, verbose=verbose)
+        with trace("fit", target=target_system, sources=len(sources)):
+            data = self._assemble(sources, target_system, target_sequences)
+            with trace("fit.train", samples=len(data.anomaly_labels)):
+                self.model = LogSynergyModel(
+                    self.config, num_systems=len(sources) + 1,
+                    rng=np.random.default_rng(self.config.seed),
+                )
+                self.trainer = LogSynergyTrainer(self.model, self.config)
+                self.history = self.trainer.fit(data, epochs=epochs, verbose=verbose)
         return self
 
     def _require_fitted(self) -> LogSynergyModel:
@@ -136,17 +207,36 @@ class LogSynergy:
             raise RuntimeError("LogSynergy.fit must be called before prediction")
         return self.model
 
-    def predict_proba(self, sequences: list[LogSequence]) -> np.ndarray:
-        """Anomaly probabilities for target-system sequences."""
-        model = self._require_fitted()
-        if not sequences:
-            return np.zeros(0, dtype=np.float32)
-        embedded = self._featurizer(self.target_system).embed_sequences(sequences)
-        return model.predict_proba(embedded)
+    def predict_proba(
+        self, sequences: LogSequence | Sequence[LogSequence]
+    ) -> float | np.ndarray:
+        """Anomaly probabilities for target-system sequences.
 
-    def predict(self, sequences: list[LogSequence]) -> np.ndarray:
-        """Binary anomaly predictions at the configured threshold (0.5)."""
-        return (self.predict_proba(sequences) > self.config.threshold).astype(np.int64)
+        Batch-first: a list of sequences returns a float ``np.ndarray``
+        of shape ``(len(sequences),)``; a single :class:`LogSequence`
+        returns a plain ``float``.
+        """
+        model = self._require_fitted()
+        single = isinstance(sequences, LogSequence)
+        batch = [sequences] if single else list(sequences)
+        if not batch:
+            return np.zeros(0, dtype=np.float32)
+        embedded = self._featurizer(self.target_system).embed_sequences(batch)
+        probabilities = model.predict_proba(embedded)
+        return float(probabilities[0]) if single else probabilities
+
+    def predict(
+        self, sequences: LogSequence | Sequence[LogSequence]
+    ) -> int | np.ndarray:
+        """Binary anomaly predictions at the configured threshold.
+
+        Batch-first like :meth:`predict_proba`: returns an ``int64``
+        array for a list input, a plain ``int`` for a single sequence.
+        """
+        probabilities = self.predict_proba(sequences)
+        if isinstance(probabilities, float):
+            return int(probabilities > self.config.threshold)
+        return (probabilities > self.config.threshold).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Pipeline persistence: weights + Drain trees + interpretations +
@@ -176,6 +266,7 @@ class LogSynergy:
             "target_system": self.target_system,
             "system_index": self._system_index,
             "num_systems": model.num_systems,
+            # Redundant with config.*, kept so older readers still work.
             "use_lei": self.use_lei,
             "use_sufe": self.use_sufe,
             "use_da": self.use_da,
@@ -202,9 +293,14 @@ class LogSynergy:
         root = Path(directory)
         manifest = json.loads((root / "pipeline.json").read_text(encoding="utf-8"))
         config = LogSynergyConfig(**manifest["config"])
-        pipeline = cls(config, llm=llm, encoder=encoder,
-                       use_lei=manifest["use_lei"], use_sufe=manifest["use_sufe"],
-                       use_da=manifest["use_da"])
+        # Manifests written before the switches moved into the config carry
+        # them only at the top level; fold those in without the shim warning.
+        config = config.with_overrides(
+            use_lei=manifest.get("use_lei", config.use_lei),
+            use_sufe=manifest.get("use_sufe", config.use_sufe),
+            use_da=manifest.get("use_da", config.use_da),
+        )
+        pipeline = cls(config, llm=llm, encoder=encoder)
         pipeline.target_system = manifest["target_system"]
         pipeline._system_index = dict(manifest["system_index"])
         pipeline.model = LogSynergyModel(
@@ -227,20 +323,54 @@ class LogSynergy:
     def detect_stream(self, messages: list[str],
                       timestamps: list[datetime] | None = None) -> AnomalyReport:
         """Online path (§III-E): score one raw message window, build a report."""
+        return self.detect_stream_batch(
+            [messages], [timestamps] if timestamps is not None else None
+        )[0]
+
+    def detect_stream_batch(
+        self, windows: list[list[str]],
+        timestamps: list[list[datetime] | None] | None = None,
+    ) -> list[AnomalyReport]:
+        """Batch variant of :meth:`detect_stream`: one model call per
+        window-length group instead of one per window.
+
+        ``timestamps``, when given, must be parallel to ``windows``.
+        Returns one report per window, in input order.
+        """
         model = self._require_fitted()
+        if timestamps is not None and len(timestamps) != len(windows):
+            raise ValueError(
+                f"timestamps batch has {len(timestamps)} entries for "
+                f"{len(windows)} windows"
+            )
+        if not windows:
+            return []
         featurizer = self._featurizer(self.target_system)
-        window = featurizer.embed_messages(messages)
-        probability = float(model.predict_proba(window[None, :, :])[0])
-        interpretations = [
-            featurizer.interpretation_of(featurizer.event_id_of(m)) if self.use_lei
-            else featurizer.store.ingest(m).template_text
-            for m in messages
-        ]
-        return build_report(
-            system=self.target_system,
-            score=probability,
-            threshold=self.config.threshold,
-            messages=messages,
-            interpretations=interpretations,
-            timestamps=timestamps,
-        )
+        with trace("detect.batch", windows=len(windows)):
+            embedded = [featurizer.embed_messages(w) for w in windows]
+            scores = np.zeros(len(windows), dtype=np.float64)
+            by_length: dict[int, list[int]] = {}
+            for index, window in enumerate(embedded):
+                by_length.setdefault(window.shape[0], []).append(index)
+            for indices in by_length.values():
+                batch = np.stack([embedded[i] for i in indices])
+                probabilities = model.predict_proba(batch)
+                for i, probability in zip(indices, probabilities):
+                    scores[i] = float(probability)
+
+            reports: list[AnomalyReport] = []
+            for index, messages in enumerate(windows):
+                interpretations = [
+                    featurizer.interpretation_of(featurizer.event_id_of(m))
+                    if self.use_lei else featurizer.store.ingest(m).template_text
+                    for m in messages
+                ]
+                reports.append(build_report(
+                    system=self.target_system,
+                    score=float(scores[index]),
+                    threshold=self.config.threshold,
+                    messages=messages,
+                    interpretations=interpretations,
+                    timestamps=timestamps[index] if timestamps is not None else None,
+                ))
+        return reports

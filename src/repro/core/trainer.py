@@ -19,6 +19,7 @@ import numpy as np
 from .. import nn
 from ..config import LogSynergyConfig
 from ..nn.tensor import Tensor
+from ..obs import get_registry
 from .club import CLUBEstimator
 from .daan import DAANModule
 from .model import LogSynergyModel
@@ -71,13 +72,26 @@ class LogSynergyTrainer:
     """
 
     def __init__(self, model: LogSynergyModel, config: LogSynergyConfig | None = None,
-                 use_sufe: bool = True, use_da: bool = True,
+                 use_sufe: bool | None = None, use_da: bool | None = None,
                  pos_weight: float | None = None):
         self.model = model
         self.config = config or model.config
-        self.use_sufe = use_sufe
-        self.use_da = use_da
+        self.use_sufe = self.config.use_sufe if use_sufe is None else use_sufe
+        self.use_da = self.config.use_da if use_da is None else use_da
         self.pos_weight = pos_weight
+        # Observability handles are captured at construction; enable a
+        # registry before building the trainer to collect its metrics.
+        registry = get_registry()
+        self._obs = registry
+        self._epoch_counter = registry.counter("trainer.epochs")
+        self._batch_counter = registry.counter("trainer.batches")
+        self._estimator_timer = registry.histogram("trainer.estimator_step_seconds")
+        self._main_timer = registry.histogram("trainer.main_step_seconds")
+        self._batch_timer = registry.histogram("trainer.batch_seconds")
+        self._loss_gauges = {
+            key: registry.gauge(f"trainer.loss.{key}")
+            for key in ("total", "anomaly", "system", "mi", "da")
+        }
         rng = np.random.default_rng(self.config.seed + 1)
         self._rng = rng
         self.club = CLUBEstimator(
@@ -174,22 +188,33 @@ class LogSynergyTrainer:
         for epoch in range(epochs):
             sums = {"total": 0.0, "anomaly": 0.0, "system": 0.0, "mi": 0.0, "da": 0.0}
             count = 0
-            for batch in self._iterate_batches(data, self.config.batch_size):
-                if self.use_sufe:
-                    self._train_estimator(batch)
-                alpha = DAANModule.schedule_alpha(step / total_steps)
-                parts = self._train_main(batch, alpha, pos_weight)
-                for key in sums:
-                    sums[key] += parts[key]
-                count += 1
-                step += 1
-            if count == 0:
-                raise ValueError("training data produced no usable batches")
-            self.history.total.append(sums["total"] / count)
-            self.history.anomaly.append(sums["anomaly"] / count)
-            self.history.system.append(sums["system"] / count)
-            self.history.mutual_information.append(sums["mi"] / count)
-            self.history.domain_adaptation.append(sums["da"] / count)
+            with self._obs.tracer.span("trainer.epoch", index=epoch) as span:
+                for batch in self._iterate_batches(data, self.config.batch_size):
+                    with self._batch_timer.time():
+                        if self.use_sufe:
+                            with self._estimator_timer.time():
+                                self._train_estimator(batch)
+                        alpha = DAANModule.schedule_alpha(step / total_steps)
+                        with self._main_timer.time():
+                            parts = self._train_main(batch, alpha, pos_weight)
+                    for key in sums:
+                        sums[key] += parts[key]
+                    count += 1
+                    step += 1
+                    self._batch_counter.inc()
+                if count == 0:
+                    raise ValueError("training data produced no usable batches")
+                self.history.total.append(sums["total"] / count)
+                self.history.anomaly.append(sums["anomaly"] / count)
+                self.history.system.append(sums["system"] / count)
+                self.history.mutual_information.append(sums["mi"] / count)
+                self.history.domain_adaptation.append(sums["da"] / count)
+                self._epoch_counter.inc()
+                for key, gauge in self._loss_gauges.items():
+                    value = sums[key] / count
+                    gauge.set(value)
+                    span.set(f"loss_{key}", round(value, 6))
+                span.set("batches", count)
             if verbose:
                 print(f"epoch {epoch + 1}/{epochs}: " + ", ".join(
                     f"{k}={v:.4f}" for k, v in self.history.last().items()

@@ -4,17 +4,20 @@ collection (Filebeat) -> buffering (Kafka) -> formatting (LogStash)
 -> pattern-library gate -> LogSynergy model -> alert routing.
 
 ``OnlineService.process`` pushes a batch of raw records through every
-stage and returns the anomaly reports raised, with per-stage statistics
-available for the deployment benchmark.
+stage and returns the anomaly reports raised.  Detection is batch-first:
+all windows the pattern library cannot answer are scored in one
+``detect_stream_batch`` call.  Per-stage statistics live in a
+``repro.obs`` metrics registry — the service joins the globally
+installed registry when observability is enabled and otherwise keeps a
+private one, so :class:`ServiceStats` always reads live numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..core.pipeline import LogSynergy
 from ..core.report import AnomalyReport
 from ..logs.generator import LogRecord
+from ..obs import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from .alerting import AlertRouter
 from .buffer import BoundedBuffer
 from .collector import LogCollector
@@ -24,13 +27,32 @@ from .pattern_library import PatternLibrary
 __all__ = ["ServiceStats", "OnlineService"]
 
 
-@dataclass
 class ServiceStats:
-    """End-to-end counters for one service lifetime."""
+    """End-to-end counters for one service lifetime.
 
-    windows_seen: int = 0
-    model_invocations: int = 0
-    anomalies_raised: int = 0
+    A read-view over registry counters; the attribute API of the old
+    dataclass (``windows_seen`` / ``model_invocations`` /
+    ``anomalies_raised`` / ``model_skip_rate``) is unchanged.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry or MetricsRegistry()
+        self._windows = self.registry.counter("service.windows_seen")
+        self._invocations = self.registry.counter("service.model_invocations")
+        self._library_hits = self.registry.counter("service.library_hits")
+        self._anomalies = self.registry.counter("service.anomalies_raised")
+
+    @property
+    def windows_seen(self) -> int:
+        return int(self._windows.value)
+
+    @property
+    def model_invocations(self) -> int:
+        return int(self._invocations.value)
+
+    @property
+    def anomalies_raised(self) -> int:
+        return int(self._anomalies.value)
 
     @property
     def model_skip_rate(self) -> float:
@@ -39,13 +61,21 @@ class ServiceStats:
             return 0.0
         return 1.0 - self.model_invocations / self.windows_seen
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceStats(windows_seen={self.windows_seen}, "
+            f"model_invocations={self.model_invocations}, "
+            f"anomalies_raised={self.anomalies_raised})"
+        )
+
 
 class OnlineService:
     """Production-shaped online anomaly detection around a fitted model."""
 
     def __init__(self, model: LogSynergy, router: AlertRouter | None = None,
                  buffer_capacity: int = 50_000, window: int = 10, step: int = 5,
-                 max_patterns: int = 100_000):
+                 max_patterns: int = 100_000,
+                 registry: MetricsRegistry | None = None):
         if model.model is None:
             raise ValueError("OnlineService requires a fitted LogSynergy model")
         self.model = model
@@ -54,7 +84,17 @@ class OnlineService:
         self.formatter = LogFormatter(self.buffer, window=window, step=step)
         self.library = PatternLibrary(max_patterns=max_patterns)
         self.router = router or AlertRouter()
-        self.stats = ServiceStats()
+        if registry is None:
+            active = get_registry()
+            # ServiceStats must stay live even with observability off, so
+            # fall back to a private registry rather than the no-op one.
+            registry = active if active.enabled else MetricsRegistry()
+        self.registry = registry
+        self.stats = ServiceStats(registry)
+        self._latency = registry.histogram(
+            "service.window_seconds", boundaries=LATENCY_BUCKETS
+        )
+        self._clock = registry.clock
 
     # ------------------------------------------------------------------
     def _pattern_of(self, window: list[UnifiedLog]) -> tuple[int, ...]:
@@ -66,30 +106,69 @@ class OnlineService:
         # redundancy (§VI-A).
         return tuple(sorted(set(ids)))
 
-    def _judge(self, window: list[UnifiedLog]) -> tuple[bool, AnomalyReport | None]:
-        pattern = self._pattern_of(window)
-        cached = self.library.lookup(pattern)
-        if cached is not None:
-            return cached, None
-        report = self.model.detect_stream(
-            [entry.message for entry in window],
-            timestamps=[entry.timestamp for entry in window],
-        )
-        self.stats.model_invocations += 1
-        self.library.remember(pattern, report.is_anomalous)
-        return report.is_anomalous, report
-
     # ------------------------------------------------------------------
     def process(self, records: list[LogRecord]) -> list[AnomalyReport]:
-        """Run a batch of raw records through the full pipeline."""
+        """Run a batch of raw records through the full pipeline.
+
+        Windows the pattern library can answer are resolved immediately;
+        the rest are deduplicated by pattern and scored in a single
+        ``detect_stream_batch`` call, preserving the verdicts (and the
+        skip-rate accounting) of the per-window flow.
+        """
         self.collector.ship(records)
-        reports: list[AnomalyReport] = []
         windows = self.formatter.pump(max_items=len(records) + self.formatter.window)
-        for window in windows:
-            self.stats.windows_seen += 1
-            is_anomalous, report = self._judge(window)
-            if is_anomalous and report is not None:
+
+        # Stage 1 — pattern-library gate.
+        patterns: list[tuple[int, ...]] = []
+        verdicts: list[bool | None] = []
+        latencies: list[float] = []
+        to_score: list[int] = []
+        first_of_pattern: set[tuple[int, ...]] = set()
+        for index, window in enumerate(windows):
+            start = self._clock()
+            self.stats._windows.inc()
+            pattern = self._pattern_of(window)
+            patterns.append(pattern)
+            cached = self.library.lookup(pattern)
+            if cached is None and pattern not in first_of_pattern:
+                first_of_pattern.add(pattern)
+                to_score.append(index)
+            elif cached is not None:
+                self.stats._library_hits.inc()
+            verdicts.append(cached)
+            latencies.append(self._clock() - start)
+
+        # Stage 2 — one batched model call for all unknown patterns.
+        scored_reports: dict[int, AnomalyReport] = {}
+        if to_score:
+            start = self._clock()
+            batch_reports = self.model.detect_stream_batch(
+                [[entry.message for entry in windows[i]] for i in to_score],
+                [[entry.timestamp for entry in windows[i]] for i in to_score],
+            )
+            share = (self._clock() - start) / len(to_score)
+            self.stats._invocations.inc(len(to_score))
+            for index, report in zip(to_score, batch_reports):
+                scored_reports[index] = report
+                self.library.remember(patterns[index], report.is_anomalous)
+                latencies[index] += share
+
+        # Stage 3 — resolve verdicts and route alerts in window order.
+        reports: list[AnomalyReport] = []
+        for index in range(len(windows)):
+            verdict = verdicts[index]
+            if verdict is None:
+                # Either scored above, or a duplicate of a pattern scored
+                # above — the library knows the answer now.
+                verdict = (
+                    scored_reports[index].is_anomalous
+                    if index in scored_reports
+                    else bool(self.library.lookup(patterns[index]))
+                )
+            report = scored_reports.get(index)
+            if verdict and report is not None:
                 self.router.route(report)
-                self.stats.anomalies_raised += 1
+                self.stats._anomalies.inc()
                 reports.append(report)
+            self._latency.observe(latencies[index])
         return reports

@@ -5,6 +5,13 @@ across retrains and restarts (LLM calls cost money and minutes; §VI-B2).
 ``CachedLLM`` wraps any :class:`LLMClient` with a JSON-file-backed cache
 keyed by the prompt, so repeated pipelines hit the LLM only for genuinely
 new templates.
+
+Use it as a context manager for bulk runs so nothing leaks on error::
+
+    with CachedLLM(SimulatedLLM(), "cache.json", autosave=False) as llm:
+        model = LogSynergy(config, llm=llm)
+        model.fit(sources, target, target_train)
+    # cache saved on exit, even if fit raised
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import hashlib
 import json
 from pathlib import Path
 
+from ..obs import get_registry
 from .interface import LLMClient
 
 __all__ = ["CachedLLM"]
@@ -33,7 +41,12 @@ class CachedLLM:
         JSON cache file; created on first save, loaded if present.
     autosave:
         Persist after every new completion (safe default); set ``False``
-        and call :meth:`save` manually for bulk runs.
+        and use the context-manager form (or call :meth:`save`) for bulk
+        runs.
+
+    Hit/miss/invalidation totals are mirrored into the active
+    ``repro.obs`` registry as ``llm.cache.hits`` / ``llm.cache.misses``
+    / ``llm.cache.invalidations``.
     """
 
     def __init__(self, inner: LLMClient, path: str | Path, autosave: bool = True):
@@ -42,6 +55,10 @@ class CachedLLM:
         self.autosave = autosave
         self.hits = 0
         self.misses = 0
+        registry = get_registry()
+        self._hit_counter = registry.counter("llm.cache.hits")
+        self._miss_counter = registry.counter("llm.cache.misses")
+        self._invalidation_counter = registry.counter("llm.cache.invalidations")
         self._cache: dict[str, str] = {}
         if self.path.exists():
             try:
@@ -54,14 +71,24 @@ class CachedLLM:
     def __len__(self) -> int:
         return len(self._cache)
 
+    # -- context manager: always persist, even on exceptions -------------
+    def __enter__(self) -> "CachedLLM":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.save()
+        return False
+
     def complete(self, prompt: str) -> str:
         """Return the completion, from cache when available."""
         key = _key(prompt)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            self._hit_counter.inc()
             return cached
         self.misses += 1
+        self._miss_counter.inc()
         completion = self.inner.complete(prompt)
         self._cache[key] = completion
         if self.autosave:
@@ -71,8 +98,10 @@ class CachedLLM:
     def invalidate(self, prompt: str) -> bool:
         """Drop one cached completion (e.g. after a failed operator review)."""
         removed = self._cache.pop(_key(prompt), None) is not None
-        if removed and self.autosave:
-            self.save()
+        if removed:
+            self._invalidation_counter.inc()
+            if self.autosave:
+                self.save()
         return removed
 
     def save(self) -> None:

@@ -1,0 +1,38 @@
+"""``repro.obs`` — metrics and tracing for the LogSynergy pipelines.
+
+The paper's §VI deployment study is all about hit rates, latency and
+throughput; this package gives every hot path (trainer, offline ``fit``
+pipeline, LLM cache, Drain, the online service) one shared vocabulary
+for reporting them:
+
+* :class:`MetricsRegistry` — process-local counters / gauges /
+  fixed-bucket histograms.  Deterministic by construction: nothing reads
+  a clock unless a timer or span is explicitly started.
+* :class:`Tracer` / :func:`trace` — nested spans with durations and
+  attributes (``with trace("fit.train"): ...``).
+* :func:`get_registry` / :func:`use_registry` — the process-local
+  singleton with scoped override for tests.  The default is a no-op
+  registry whose handles cost one attribute call.
+* :func:`write_jsonl` / :func:`read_jsonl` / :func:`format_markdown` —
+  JSONL export and a markdown summary (the ``repro stats`` subcommand).
+"""
+
+from .metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_BUCKETS, LATENCY_BUCKETS,
+)
+from .noop import NULL_REGISTRY, NullRegistry
+from .runtime import disable, enable, get_registry, set_registry, trace, use_registry
+from .tracing import Span, Tracer
+from .export import (
+    format_markdown, read_jsonl, registry_events, summarize_events, write_jsonl,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
+    "NullRegistry", "NULL_REGISTRY",
+    "Span", "Tracer", "trace",
+    "get_registry", "set_registry", "use_registry", "enable", "disable",
+    "registry_events", "write_jsonl", "read_jsonl",
+    "summarize_events", "format_markdown",
+]

@@ -1,0 +1,143 @@
+"""Exporters: JSONL event dump and a markdown summary.
+
+The JSONL format is one JSON object per line with a ``kind`` field
+(``counter`` / ``gauge`` / ``histogram`` / ``span``), so files are
+greppable, appendable and stream-parseable.  ``read_jsonl`` +
+``summarize_events`` round-trip a dump back into the human-readable
+table the ``repro stats`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "registry_events", "write_jsonl", "read_jsonl",
+    "summarize_events", "format_markdown",
+]
+
+
+def _span_events(span, depth: int = 0) -> list[dict]:
+    events = [{
+        "kind": "span",
+        "name": span.name,
+        "start": round(span.start, 9),
+        "duration": round(span.duration, 9),
+        "depth": depth,
+        "parent": span.parent_name,
+        "attributes": span.attributes,
+    }]
+    for child in span.children:
+        events.extend(_span_events(child, depth + 1))
+    return events
+
+
+def registry_events(registry: MetricsRegistry) -> list[dict]:
+    """Flatten a registry (metrics + finished spans) into JSON-able events."""
+    events: list[dict] = []
+    for name, metric in sorted(registry.metrics().items()):
+        if isinstance(metric, Counter):
+            events.append({"kind": "counter", "name": name, "value": metric.value})
+        elif isinstance(metric, Gauge):
+            events.append({"kind": "gauge", "name": name, "value": metric.value})
+        elif isinstance(metric, Histogram):
+            events.append({
+                "kind": "histogram",
+                "name": name,
+                "count": metric.count,
+                "sum": metric.sum,
+                "min": metric.min if metric.count else 0.0,
+                "max": metric.max if metric.count else 0.0,
+                "boundaries": list(metric.boundaries),
+                "bucket_counts": list(metric.bucket_counts),
+            })
+    for root in registry.tracer.roots:
+        events.extend(_span_events(root))
+    return events
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> int:
+    """Dump the registry to ``path`` as JSONL; returns the event count."""
+    events = registry_events(registry)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(events)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load an event dump written by :func:`write_jsonl`."""
+    events: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSONL") from exc
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(f"{path}:{line_number}: not a metrics event")
+            events.append(event)
+    return events
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def summarize_events(events: list[dict]) -> str:
+    """Markdown summary of an event list (counters, gauges, histograms, spans)."""
+    counters = [e for e in events if e["kind"] == "counter"]
+    gauges = [e for e in events if e["kind"] == "gauge"]
+    histograms = [e for e in events if e["kind"] == "histogram"]
+    spans = [e for e in events if e["kind"] == "span"]
+
+    sections: list[str] = []
+    if counters or gauges:
+        lines = ["| metric | kind | value |", "|---|---|---|"]
+        for event in counters:
+            lines.append(f"| {event['name']} | counter | {_fmt(event['value'])} |")
+        for event in gauges:
+            lines.append(f"| {event['name']} | gauge | {_fmt(event['value'])} |")
+        sections.append("## Counters & gauges\n\n" + "\n".join(lines))
+
+    if histograms:
+        lines = ["| histogram | count | mean | min | max | total |", "|---|---|---|---|---|---|"]
+        for event in histograms:
+            count = event["count"]
+            mean = event["sum"] / count if count else 0.0
+            lines.append(
+                f"| {event['name']} | {count} | {mean:.6g} | "
+                f"{event['min']:.6g} | {event['max']:.6g} | {event['sum']:.6g} |"
+            )
+        sections.append("## Histograms\n\n" + "\n".join(lines))
+
+    if spans:
+        lines = ["| span | duration (s) | attributes |", "|---|---|---|"]
+        for event in spans:
+            indent = "&nbsp;&nbsp;" * event.get("depth", 0)
+            attributes = ", ".join(
+                f"{k}={v}" for k, v in sorted(event.get("attributes", {}).items())
+            ) or "—"
+            lines.append(
+                f"| {indent}{event['name']} | {event['duration']:.6g} | {attributes} |"
+            )
+        sections.append("## Spans\n\n" + "\n".join(lines))
+
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def format_markdown(registry: MetricsRegistry) -> str:
+    """Markdown summary of a live registry."""
+    return summarize_events(registry_events(registry))

@@ -1,0 +1,69 @@
+"""The process-local active registry and the ``trace`` helper.
+
+``get_registry()`` returns the currently installed registry — the no-op
+singleton unless observability was enabled.  Components capture their
+metric handles at construction time, so enable observability *before*
+building the objects you want instrumented:
+
+    from repro import obs
+
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        model = LogSynergy(config)
+        model.fit(sources, "thunderbird", target_train)
+    obs.write_jsonl(registry, "metrics.jsonl")
+
+``use_registry`` restores the previous registry on exit, which is what
+keeps tests isolated from each other.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+from .metrics import MetricsRegistry
+from .noop import NULL_REGISTRY, NullRegistry
+
+__all__ = ["get_registry", "set_registry", "use_registry", "enable", "disable", "trace"]
+
+_active: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The currently installed registry (no-op by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | NullRegistry):
+    """Install ``registry`` globally; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry) -> Iterator:
+    """Scoped override: install ``registry``, restore the previous on exit."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def enable(clock: Callable[[], float] | None = None) -> MetricsRegistry:
+    """Create and install a live registry; returns it."""
+    registry = MetricsRegistry(clock=clock)
+    set_registry(registry)
+    return registry
+
+
+def disable() -> None:
+    """Reinstall the no-op registry."""
+    set_registry(NULL_REGISTRY)
+
+
+def trace(name: str, **attributes):
+    """Open a span on the active registry's tracer (no-op when disabled)."""
+    return _active.tracer.span(name, **attributes)

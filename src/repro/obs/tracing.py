@@ -1,0 +1,106 @@
+"""Span-based tracing: ``with trace("lei.interpret"): ...``.
+
+A :class:`Tracer` keeps a stack of open spans; closing a span records
+its duration and attaches it to its parent (or the root list).  Spans
+carry attributes set either at open time (keyword arguments) or during
+the block via :meth:`Span.set`.  Durations come from the tracer's
+injectable clock, so tests can make them deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed, attributed region of execution."""
+
+    __slots__ = ("name", "attributes", "children", "start", "duration", "_parent")
+
+    def __init__(self, name: str, attributes: dict | None = None,
+                 parent: "Span | None" = None):
+        self.name = name
+        self.attributes: dict = dict(attributes or {})
+        self.children: list[Span] = []
+        self.start = 0.0
+        self.duration = 0.0
+        self._parent = parent
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the open (or finished) span."""
+        self.attributes[key] = value
+
+    @property
+    def parent_name(self) -> str | None:
+        return self._parent.name if self._parent is not None else None
+
+    def walk(self):
+        """Yield this span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name}, {self.duration:.6f}s, {self.attributes})"
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._open(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Records nested spans; the trace of a run is its list of root spans."""
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock or time.perf_counter
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch = self.clock()
+
+    def span(self, name: str, **attributes) -> _SpanContext:
+        """Context manager opening a span nested under the current one."""
+        parent = self._stack[-1] if self._stack else None
+        return _SpanContext(self, Span(name, attributes, parent=parent))
+
+    # -- lifecycle (driven by _SpanContext) ------------------------------
+    def _open(self, span: Span) -> None:
+        span.start = self.clock() - self._epoch
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.duration = (self.clock() - self._epoch) - span.start
+        # Tolerate out-of-order exits (generators abandoned mid-span).
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        if span._parent is not None:
+            span._parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- queries ---------------------------------------------------------
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with this name, depth-first over all roots."""
+        return [s for root in self.roots for s in root.walk() if s.name == name]
+
+    def span_names(self) -> list[str]:
+        """Names of every finished span, depth-first over all roots."""
+        return [s.name for root in self.roots for s in root.walk()]

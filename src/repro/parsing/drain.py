@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import get_registry
 from .masking import WILDCARD, mask_message
 
 __all__ = ["LogTemplate", "DrainParser", "ParseResult"]
@@ -84,6 +85,12 @@ class DrainParser:
         self._length_roots: dict[int, _Node] = {}
         self._templates: dict[int, LogTemplate] = {}
         self._next_id = 0
+        registry = get_registry()
+        self._parse_counter = registry.counter("drain.messages_parsed")
+        self._template_counter = registry.counter("drain.templates_created")
+        self._depth_histogram = registry.histogram(
+            "drain.match_depth", boundaries=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -133,6 +140,8 @@ class DrainParser:
         tokens = masked.split()
         if not tokens:
             tokens = ["<EMPTY>"]
+        self._parse_counter.inc()
+        self._depth_histogram.observe(min(self.depth, len(tokens)))
         leaf = self._route(tokens)
 
         best: LogTemplate | None = None
@@ -147,6 +156,7 @@ class DrainParser:
             self._next_id += 1
             leaf.groups.append(template)
             self._templates[template.template_id] = template
+            self._template_counter.inc()
             return ParseResult(template=template, parameters=tuple(template.parameters_of(tokens)))
 
         # Generalize: disagreeing positions become wildcards.

@@ -80,3 +80,68 @@ class TestFittedModel:
         anomaly_score = fitted_logsynergy.detect_stream(anomalous).score
         normal_score = fitted_logsynergy.detect_stream(normal).score
         assert anomaly_score > normal_score
+
+
+class TestBatchFirstAPI:
+    def test_predict_single_sequence_returns_int(self, fitted_logsynergy, tiny_experiment_data):
+        sequence = tiny_experiment_data["target_test"][0]
+        prediction = fitted_logsynergy.predict(sequence)
+        assert isinstance(prediction, int)
+        assert prediction in (0, 1)
+
+    def test_predict_proba_single_sequence_returns_float(
+            self, fitted_logsynergy, tiny_experiment_data):
+        sequence = tiny_experiment_data["target_test"][0]
+        probability = fitted_logsynergy.predict_proba(sequence)
+        assert isinstance(probability, float)
+        assert 0.0 <= probability <= 1.0
+
+    def test_single_matches_batch(self, fitted_logsynergy, tiny_experiment_data):
+        batch = tiny_experiment_data["target_test"][:5]
+        batch_probs = fitted_logsynergy.predict_proba(batch)
+        assert isinstance(batch_probs, np.ndarray)
+        assert batch_probs.shape == (5,)
+        for sequence, expected in zip(batch, batch_probs):
+            # BLAS kernels differ across batch shapes; scores agree to
+            # float32 noise, not bit-for-bit.
+            assert fitted_logsynergy.predict_proba(sequence) == pytest.approx(
+                expected, rel=1e-3, abs=1e-6
+            )
+
+    def test_detect_stream_batch_matches_sequential(self, fitted_logsynergy):
+        from repro.logs import generate_logs
+        windows = [
+            [r.message for r in generate_logs("thunderbird", 10, seed=seed)]
+            for seed in (11, 12, 13)
+        ]
+        # Mixed lengths exercise the length-grouped model calls.
+        windows.append(windows[0][:6])
+        batch_reports = fitted_logsynergy.detect_stream_batch(windows)
+        assert len(batch_reports) == len(windows)
+        for window, batched in zip(windows, batch_reports):
+            single = fitted_logsynergy.detect_stream(window)
+            assert batched.score == pytest.approx(single.score, rel=1e-3, abs=1e-6)
+            assert batched.is_anomalous == single.is_anomalous
+            assert batched.interpretations == single.interpretations
+
+    def test_detect_stream_batch_validates_timestamps(self, fitted_logsynergy):
+        with pytest.raises(ValueError):
+            fitted_logsynergy.detect_stream_batch([["a b c"] * 6], timestamps=[])
+
+
+class TestAblationSwitchConfig:
+    def test_switches_live_on_config(self):
+        config = LogSynergyConfig(use_lei=False, use_sufe=False, use_da=False)
+        model = LogSynergy(config)
+        assert (model.use_lei, model.use_sufe, model.use_da) == (False, False, False)
+        assert model.llm is None
+
+    def test_constructor_kwargs_warn_and_fold_into_config(self):
+        with pytest.warns(DeprecationWarning, match="use_lei"):
+            model = LogSynergy(LogSynergyConfig(), use_lei=False)
+        assert model.config.use_lei is False
+        assert model.llm is None
+
+    def test_no_warning_without_kwargs(self, recwarn):
+        LogSynergy(LogSynergyConfig())
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]

@@ -57,6 +57,34 @@ class TestOnlineService:
         assert chunked.stats.windows_seen == whole.stats.windows_seen
 
 
+class TestServiceObservability:
+    def test_private_registry_when_obs_disabled(self, service_factory):
+        from repro.obs import get_registry
+
+        service = service_factory()
+        assert service.registry is not get_registry()
+        stream = LogGenerator("thunderbird", seed=11).generate(800)
+        service.process(stream)
+        # Stats stay live through the private registry.
+        assert service.stats.windows_seen > 0
+        assert service.registry.counter("service.windows_seen").value == \
+            service.stats.windows_seen
+
+    def test_joins_active_registry_and_records_latency(self, service_factory):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            service = service_factory()
+        assert service.registry is registry
+        stream = LogGenerator("thunderbird", seed=12).generate(800)
+        service.process(stream)
+        latency = registry.histogram("service.window_seconds")
+        assert latency.count == service.stats.windows_seen
+        assert latency.sum > 0.0
+        assert registry.counter("service.library_hits").value >= 0.0
+
+
 class TestDeploymentEfficiency:
     def test_paper_claim_over_90_percent(self):
         comparison = deployment_speedup()

@@ -1,0 +1,77 @@
+"""End-to-end observability: a fit under a live registry emits the four
+pipeline-stage spans plus trainer/Drain/cache metrics."""
+
+import pytest
+
+from repro.core import LogSynergy
+from repro.llm import SimulatedLLM
+from repro.llm.cache import CachedLLM
+from repro.obs import MetricsRegistry, registry_events, use_registry
+
+from ..conftest import TINY_CONFIG
+
+
+@pytest.fixture(scope="module")
+def fit_registry(tiny_experiment_data, tmp_path_factory):
+    """Fit a small model under a live registry, with a cached LLM."""
+    registry = MetricsRegistry()
+    cache_path = tmp_path_factory.mktemp("obs") / "interpretations.json"
+    config = TINY_CONFIG.with_overrides(epochs=2)
+    sources = {
+        name: sequences[:60]
+        for name, sequences in tiny_experiment_data["sources"].items()
+    }
+    with use_registry(registry):
+        with CachedLLM(SimulatedLLM(seed=0), cache_path, autosave=False) as llm:
+            model = LogSynergy(config, llm=llm)
+            model.fit(
+                sources,
+                tiny_experiment_data["target"],
+                tiny_experiment_data["target_train"][:40],
+            )
+    return registry
+
+
+def test_fit_emits_four_pipeline_stage_spans(fit_registry):
+    (fit_span,) = fit_registry.tracer.find("fit")
+    stage_names = [child.name for child in fit_span.children]
+    assert stage_names == ["fit.parse", "fit.interpret", "fit.embed", "fit.train"]
+    for child in fit_span.children:
+        assert child.duration >= 0.0
+    (interpret,) = fit_registry.find_spans("fit.interpret")
+    assert interpret.attributes["events"] > 0
+
+
+def test_trainer_metrics_recorded(fit_registry):
+    assert fit_registry.counter("trainer.epochs").value == 2.0
+    assert fit_registry.counter("trainer.batches").value > 0
+    batch_timer = fit_registry.histogram("trainer.batch_seconds")
+    assert batch_timer.count == fit_registry.counter("trainer.batches").value
+    assert fit_registry.histogram("trainer.main_step_seconds").count == batch_timer.count
+    epochs = fit_registry.find_spans("trainer.epoch")
+    assert [span.attributes["index"] for span in epochs] == [0, 1]
+    assert all("loss_total" in span.attributes for span in epochs)
+    # Epoch spans nest under the fit.train stage.
+    assert all(span.parent_name == "fit.train" for span in epochs)
+
+
+def test_llm_cache_counters_recorded(fit_registry):
+    misses = fit_registry.counter("llm.cache.misses").value
+    assert misses > 0  # every distinct template interpreted once
+
+
+def test_drain_metrics_recorded(fit_registry):
+    assert fit_registry.counter("drain.messages_parsed").value > 0
+    assert fit_registry.counter("drain.templates_created").value > 0
+    assert fit_registry.histogram("drain.match_depth").count == \
+        fit_registry.counter("drain.messages_parsed").value
+
+
+def test_export_contains_acceptance_metrics(fit_registry):
+    events = registry_events(fit_registry)
+    names = {e.get("name") for e in events}
+    assert {"trainer.epochs", "trainer.loss.total", "llm.cache.misses",
+            "drain.messages_parsed"} <= names
+    span_names = [e["name"] for e in events if e["kind"] == "span"]
+    for stage in ("fit", "fit.parse", "fit.interpret", "fit.embed", "fit.train"):
+        assert stage in span_names

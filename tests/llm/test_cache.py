@@ -74,3 +74,44 @@ class TestCachedLLM:
         assert "kernel" in cached.complete(prompt).lower()
         stored = json.loads((tmp_path / "cache.json").read_text())
         assert len(stored) == 1
+
+
+class TestContextManager:
+    def test_exit_saves(self, tmp_path):
+        path = tmp_path / "cache.json"
+        with CachedLLM(_Counting(), path, autosave=False) as cached:
+            cached.complete("prompt")
+            assert not path.exists()
+        assert json.loads(path.read_text())
+
+    def test_exit_saves_on_exception(self, tmp_path):
+        path = tmp_path / "cache.json"
+        with pytest.raises(RuntimeError):
+            with CachedLLM(_Counting(), path, autosave=False) as cached:
+                cached.complete("prompt")
+                raise RuntimeError("fit blew up")
+        assert json.loads(path.read_text())
+
+
+class TestRegistryCounters:
+    def test_hits_misses_invalidations_mirrored(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cached = CachedLLM(_Counting(), tmp_path / "cache.json")
+        cached.complete("A")
+        cached.complete("A")
+        cached.complete("B")
+        cached.invalidate("B")
+        assert registry.counter("llm.cache.hits").value == 1.0
+        assert registry.counter("llm.cache.misses").value == 2.0
+        assert registry.counter("llm.cache.invalidations").value == 1.0
+        # Mirrors the plain attributes.
+        assert cached.hits == 1 and cached.misses == 2
+
+    def test_noop_registry_by_default(self, tmp_path):
+        cached = CachedLLM(_Counting(), tmp_path / "cache.json")
+        cached.complete("A")
+        cached.complete("A")
+        assert cached.hits == 1 and cached.misses == 1  # attrs still work

@@ -1,0 +1,75 @@
+"""JSONL round-trip and markdown summary."""
+
+import itertools
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry, format_markdown, read_jsonl, registry_events,
+    summarize_events, write_jsonl,
+)
+
+
+def _populated_registry():
+    ticks = itertools.count()
+    registry = MetricsRegistry(clock=lambda: float(next(ticks)))
+    registry.counter("llm.cache.hits").inc(7)
+    registry.gauge("trainer.loss.total").set(0.25)
+    histogram = registry.histogram("service.window_seconds", boundaries=(0.5, 1.0))
+    histogram.observe(0.25)
+    histogram.observe(2.0)
+    with registry.tracer.span("fit", target="tbird"):
+        with registry.tracer.span("fit.parse"):
+            pass
+    return registry
+
+
+def test_registry_events_cover_all_kinds():
+    events = registry_events(_populated_registry())
+    kinds = {e["kind"] for e in events}
+    assert kinds == {"counter", "gauge", "histogram", "span"}
+    spans = [e for e in events if e["kind"] == "span"]
+    assert [(s["name"], s["depth"], s["parent"]) for s in spans] == [
+        ("fit", 0, None), ("fit.parse", 1, "fit"),
+    ]
+    (histogram,) = [e for e in events if e["kind"] == "histogram"]
+    assert histogram["bucket_counts"] == [1, 0, 1]
+    assert histogram["boundaries"] == [0.5, 1.0]
+
+
+def test_jsonl_round_trip(tmp_path):
+    registry = _populated_registry()
+    path = tmp_path / "metrics.jsonl"
+    count = write_jsonl(registry, path)
+    events = read_jsonl(path)
+    assert len(events) == count
+    assert events == registry_events(registry)
+
+
+def test_read_jsonl_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "counter", "name": "ok", "value": 1}\nnot json\n')
+    with pytest.raises(ValueError, match=":2"):
+        read_jsonl(path)
+    path.write_text('["a", "list"]\n')
+    with pytest.raises(ValueError, match="not a metrics event"):
+        read_jsonl(path)
+
+
+def test_summarize_events_markdown_sections(tmp_path):
+    registry = _populated_registry()
+    summary = format_markdown(registry)
+    assert "## Counters & gauges" in summary
+    assert "| llm.cache.hits | counter | 7 |" in summary
+    assert "## Histograms" in summary
+    assert "service.window_seconds" in summary
+    assert "## Spans" in summary
+    assert "&nbsp;&nbsp;fit.parse" in summary
+    # Round-tripping through JSONL yields the same table.
+    path = tmp_path / "metrics.jsonl"
+    write_jsonl(registry, path)
+    assert summarize_events(read_jsonl(path)) == summary
+
+
+def test_summarize_empty():
+    assert summarize_events([]) == "(no metrics recorded)"

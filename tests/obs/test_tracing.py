@@ -1,0 +1,73 @@
+"""Nested spans with a deterministic clock."""
+
+import itertools
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, trace, use_registry
+
+
+def fake_clock():
+    ticks = itertools.count()
+    return lambda: float(next(ticks))
+
+
+def test_nested_spans_record_durations_and_parents():
+    tracer = Tracer(clock=fake_clock())  # epoch consumes tick 0
+    with tracer.span("outer", role="root"):          # open @1
+        with tracer.span("inner") as inner:          # open @2
+            inner.set("work", 42)
+        # inner closes @3 -> duration 1
+    # outer closes @4 -> duration 3
+
+    assert len(tracer.roots) == 1
+    outer = tracer.roots[0]
+    assert outer.name == "outer"
+    assert outer.attributes == {"role": "root"}
+    assert outer.duration == pytest.approx(3.0)
+    (inner,) = outer.children
+    assert inner.parent_name == "outer"
+    assert inner.duration == pytest.approx(1.0)
+    assert inner.attributes == {"work": 42}
+    assert tracer.span_names() == ["outer", "inner"]
+    assert [s.name for s in tracer.find("inner")] == ["inner"]
+
+
+def test_exception_marks_span_and_propagates():
+    tracer = Tracer(clock=fake_clock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    (span,) = tracer.roots
+    assert span.attributes["error"] == "RuntimeError"
+
+
+def test_sibling_spans_attach_in_completion_order():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("parent"):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+    (parent,) = tracer.roots
+    assert [c.name for c in parent.children] == ["first", "second"]
+
+
+def test_trace_helper_uses_active_registry():
+    registry = MetricsRegistry(clock=fake_clock())
+    with use_registry(registry):
+        with trace("pipeline.stage", items=3):
+            pass
+    (span,) = registry.tracer.find("pipeline.stage")
+    assert span.attributes == {"items": 3}
+    # Outside the override, trace() is a no-op again.
+    with trace("ignored"):
+        pass
+    assert registry.tracer.find("ignored") == []
+
+
+def test_registry_find_spans_delegates_to_tracer():
+    registry = MetricsRegistry(clock=fake_clock())
+    with registry.tracer.span("a"):
+        pass
+    assert [s.name for s in registry.find_spans("a")] == ["a"]

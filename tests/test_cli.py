@@ -21,6 +21,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_version(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestGenerate:
     def test_writes_jsonl(self, tmp_path, capsys):
@@ -52,6 +59,8 @@ class TestTrainDetect:
     def test_full_workflow(self, workspace, capsys):
         root, files = workspace
         model_dir = str(root / "pipeline")
+        metrics_path = root / "train_metrics.jsonl"
+        cache_path = root / "interpretations.json"
         code = main([
             "train",
             "--sources", files["bgl"], files["spirit"],
@@ -59,9 +68,24 @@ class TestTrainDetect:
             "--n-source", "300", "--n-target", "60",
             "--epochs", "2", "--num-layers", "1",
             "--model-dir", model_dir, "--quiet",
+            "--metrics-out", str(metrics_path),
+            "--llm-cache", str(cache_path),
         ])
         assert code == 0
         assert "pipeline saved" in capsys.readouterr().out
+        assert cache_path.exists()
+
+        # The exported JSONL carries the acceptance metrics: trainer epoch
+        # counters, LLM cache hit/miss counters, pipeline-stage spans.
+        from repro.obs import read_jsonl
+        events = read_jsonl(metrics_path)
+        names = {e.get("name") for e in events}
+        assert {"trainer.epochs", "llm.cache.misses", "llm.cache.hits"} <= names
+        assert "fit.train" in [e["name"] for e in events if e["kind"] == "span"]
+
+        # `repro stats` renders the dump.
+        assert main(["stats", str(metrics_path)]) == 0
+        assert "trainer.epochs" in capsys.readouterr().out
 
         fresh = root / "fresh.jsonl"
         assert main(["generate", "--system", "thunderbird", "--lines", "300",
