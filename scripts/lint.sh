@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Static gate: byte-compile the tree, then run the project linter
+# (repro.analysis.lint) over the library sources.  Extra arguments are
+# passed through to `repro lint` (e.g. --select, extra paths).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src benchmarks examples scripts
+PYTHONPATH=src python -m repro.cli lint src "$@"

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 smoke check: byte-compile everything, then run the test suite.
+# Tier-1 smoke check: static gate (compileall + project linter), a fast
+# model audit, then the test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-python -m compileall -q src benchmarks examples
+bash scripts/lint.sh
+PYTHONPATH=src python -m repro.cli audit logsynergy
 PYTHONPATH=src python -m pytest -x -q "$@"

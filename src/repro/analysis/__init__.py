@@ -1,0 +1,40 @@
+"""``repro.analysis`` — static correctness tooling for the reproduction.
+
+Two layers, one goal: catch the silent-bug classes that invalidate
+cross-system transfer results *before* any epoch runs.
+
+* :mod:`repro.analysis.audit` — given any :class:`repro.nn.Module`, run
+  symbolic shape propagation plus a one-step forward/backward probe and
+  report dead parameters, unregistered submodules, missing
+  ``super().__init__()`` calls, broken autograd edges (ops routed through
+  ``.data``/``detach()``) and non-finite values as a structured
+  :class:`AuditReport`.
+* :mod:`repro.analysis.lint` — an AST rule engine enforcing repo
+  invariants (injected RNGs and clocks, no mutable defaults, no blanket
+  excepts, Module subclass conventions) with per-line/per-file
+  suppression comments and a registry for adding rules.
+
+Both are exposed as CLI subcommands (``repro audit``, ``repro lint``)
+and gated in CI by ``scripts/lint.sh`` and the self-hosting tests under
+``tests/analysis/``.
+"""
+
+from .findings import AuditReport, Finding, Severity
+from .audit import (
+    audit_baseline, audit_logsynergy, audit_model, audit_spec, build_probe,
+    probe_data,
+)
+from .lint import (
+    LintRule, LintViolation, RULES, SourceFile, available_rules,
+    format_violations, lint_paths, lint_source, register_rule,
+)
+from . import shapes
+
+__all__ = [
+    "Severity", "Finding", "AuditReport",
+    "audit_model", "audit_baseline", "audit_logsynergy", "audit_spec",
+    "build_probe", "probe_data",
+    "LintRule", "LintViolation", "RULES", "SourceFile", "available_rules",
+    "format_violations", "lint_paths", "lint_source", "register_rule",
+    "shapes",
+]

@@ -1,0 +1,536 @@
+"""Model auditor: static + one-step-probe correctness checks for modules.
+
+Given any :class:`repro.nn.Module`, :func:`audit_model` runs three layers
+of checks and returns an :class:`AuditReport`:
+
+1. **Structural** — walks the *object graph* (attributes, lists, tuples,
+   dicts) and compares it against the *registered* module tree: submodules
+   that never called ``super().__init__()``, modules reachable from
+   attributes but invisible to ``parameters()``, parameters registered
+   under two names, non-finite or accidentally grad-free parameters.
+2. **Symbolic shapes** — propagates a symbolic input shape through the
+   registered tree (see :mod:`repro.analysis.shapes`) so adjacent-layer
+   dimension mismatches surface without running any forward pass.
+3. **One-step probe** — builds a deterministic example input, runs one
+   forward/backward, and classifies every parameter that received no
+   gradient: if perturbing it still changes the loss the graph is broken
+   (an op was routed through ``.data``/``detach()`` — the failure mode
+   that silently disables the GRL/domain-adversarial branch); if not, the
+   parameter is dead weight.  Non-finite outputs and gradients are also
+   flagged.
+
+Audit outcomes feed ``repro.obs`` counters (``analysis.audit.*``) so CI
+runs exporting metrics record what was checked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..nn import (
+    BiLSTM, Embedding, GRU, GRUCell, LIFLayer, LSTM, LSTMCell, Module,
+    Sequential, no_grad,
+)
+from ..nn.tensor import Tensor
+from ..obs import get_registry
+from .findings import AuditReport, Severity
+from . import shapes
+
+__all__ = [
+    "audit_model", "audit_baseline", "audit_logsynergy", "audit_spec",
+    "build_probe", "probe_data",
+]
+
+_PROBE_BATCH = 2
+_PROBE_SEQ = 3
+_PERTURB_EPS = 0.1
+_INFLUENCE_TOL = 1e-6
+
+# Reduced hyperparameters so ``repro audit <baseline>`` fits in seconds.
+_BASELINE_FAST_KWARGS: dict[str, dict] = {
+    "DeepLog": dict(epochs=1, hidden_size=32, num_layers=1),
+    "LogAnomaly": dict(epochs=1, hidden_size=32, num_layers=1),
+    "PLELog": dict(epochs=1, hidden_size=24),
+    "SpikeLog": dict(epochs=1, hidden_size=32),
+    "NeuralLog": dict(epochs=1, d_model=32, num_layers=1, d_ff=64),
+    "LogRobust": dict(epochs=1, hidden_size=24, num_layers=1),
+    "PreLog": dict(pretrain_epochs=1, tune_epochs=1, d_model=32, d_ff=64),
+    "LogTAD": dict(epochs=1, hidden_size=32, num_layers=1),
+    "LogTransfer": dict(source_epochs=1, target_epochs=1, hidden_size=32, num_layers=1),
+    "MetaLog": dict(meta_episodes=2, adapt_steps=2, hidden_size=24, num_layers=1),
+}
+
+
+# ----------------------------------------------------------------------
+# Object-graph discovery (defensive: modules may lack registration dicts)
+# ----------------------------------------------------------------------
+def _initialized(module: Module) -> bool:
+    """Whether ``Module.__init__`` ran (registration dicts exist)."""
+    return "_parameters" in module.__dict__ and "_modules" in module.__dict__
+
+
+def _candidates(value) -> Iterator[tuple[str, Module]]:
+    """Module instances inside an attribute value (one container level)."""
+    if isinstance(value, Module):
+        yield "", value
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            if isinstance(item, Module):
+                yield f"[{index}]", item
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            if isinstance(item, Module):
+                yield f"[{key!r}]", item
+
+
+def _discover(root: Module) -> dict[int, tuple[str, Module]]:
+    """All modules reachable through plain attributes and containers."""
+    found: dict[int, tuple[str, Module]] = {}
+    stack: list[tuple[str, Module]] = [("", root)]
+    while stack:
+        path, module = stack.pop()
+        if id(module) in found:
+            continue
+        found[id(module)] = (path, module)
+        for name, value in vars(module).items():
+            if name in ("_parameters", "_modules"):
+                continue
+            for suffix, child in _candidates(value):
+                child_path = f"{path}.{name}{suffix}" if path else f"{name}{suffix}"
+                stack.append((child_path, child))
+    return found
+
+
+def _registered(root: Module) -> dict[int, tuple[str, Module]]:
+    """Modules visible through the ``_modules`` registration tree."""
+    out: dict[int, tuple[str, Module]] = {}
+    stack: list[tuple[str, Module]] = [("", root)]
+    while stack:
+        path, module = stack.pop()
+        if id(module) in out:
+            continue
+        out[id(module)] = (path, module)
+        for name, child in module.__dict__.get("_modules", {}).items():
+            stack.append((f"{path}.{name}" if path else name, child))
+    return out
+
+
+def _registered_parameters(root: Module) -> list[tuple[str, Tensor]]:
+    """(dotted name, parameter) pairs via the registration tree, defensively."""
+    pairs: list[tuple[str, Tensor]] = []
+    for path, module in sorted(_registered(root).values(), key=lambda item: item[0]):
+        for name, param in module.__dict__.get("_parameters", {}).items():
+            pairs.append((f"{path}.{name}" if path else name, param))
+    return pairs
+
+
+def _subtree_has_parameters(module: Module) -> bool:
+    return any(_registered_parameters(module)) or not _initialized(module)
+
+
+# ----------------------------------------------------------------------
+# Probe construction
+# ----------------------------------------------------------------------
+def _tensors_in(value) -> Iterator[Tensor]:
+    if isinstance(value, Tensor):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _tensors_in(item)
+
+
+def _scalar_loss(output) -> Tensor | None:
+    """Fold a forward output (tensor or nest of tensors) into a scalar."""
+    total: Tensor | None = None
+    for tensor in _tensors_in(output):
+        term = tensor.sum()
+        total = term if total is None else total + term
+    return total
+
+
+def _randn(rng: np.random.Generator, *shape: int) -> Tensor:
+    return Tensor(rng.standard_normal(shape).astype(np.float32))
+
+
+def _custom_probe(module: Module) -> Callable[[], Tensor] | None:
+    """Probes for composite models whose forward needs structured inputs."""
+    from ..core.club import CLUBEstimator
+    from ..core.daan import DAANModule
+    from ..core.model import LogSynergyModel
+
+    rng = np.random.default_rng(0)
+    if isinstance(module, LogSynergyModel):
+        batch = rng.standard_normal(
+            (_PROBE_BATCH * 2, 4, module.config.embedding_dim)).astype(np.float32)
+
+        def logsynergy_probe() -> Tensor:
+            unified, specific = module.extract_features(batch)
+            return (module.anomaly_logits(unified).sum()
+                    + module.system_logits(specific).sum())
+
+        return logsynergy_probe
+    if isinstance(module, DAANModule):
+        feature_dim = module.global_discriminator.layers[0].in_features
+        features = _randn(rng, 4, feature_dim)
+        domain_labels = np.array([0, 0, 1, 1], dtype=np.int64)
+        probabilities = Tensor(np.full((4, module.num_classes),
+                                       1.0 / module.num_classes, dtype=np.float32))
+
+        def daan_probe() -> Tensor:
+            omega = module.omega  # forward's EMA update must not leak between calls
+            try:
+                return module(features, domain_labels, probabilities)
+            finally:
+                module.omega = omega
+
+        return daan_probe
+    if isinstance(module, CLUBEstimator):
+        u_dim = module.mu_net.layers[0].in_features
+        s_dim = module.mu_net.layers[-1].out_features
+        u, s = _randn(rng, 4, u_dim), _randn(rng, 4, s_dim)
+        return lambda: module.learning_loss(u, s)
+    if isinstance(module, LSTMCell):
+        x = _randn(rng, _PROBE_BATCH, module.input_size)
+        state = (Tensor(np.zeros((_PROBE_BATCH, module.hidden_size), dtype=np.float32)),
+                 Tensor(np.zeros((_PROBE_BATCH, module.hidden_size), dtype=np.float32)))
+        return lambda: _scalar_loss(module(x, state))
+    if isinstance(module, GRUCell):
+        x = _randn(rng, _PROBE_BATCH, module.input_size)
+        h = Tensor(np.zeros((_PROBE_BATCH, module.hidden_size), dtype=np.float32))
+        return lambda: _scalar_loss(module(x, h))
+    return None
+
+
+def build_probe(module: Module) -> Callable[[], Tensor] | None:
+    """A deterministic ``() -> scalar loss`` closure for the module, or None.
+
+    Custom composite models get hand-written probes; anything whose input
+    shape :func:`repro.analysis.shapes.symbolic_input` can infer gets a
+    generic forward-and-sum probe.
+    """
+    custom = _custom_probe(module)
+    if custom is not None:
+        return custom
+    rng = np.random.default_rng(0)
+    if isinstance(module, Embedding):
+        ids = rng.integers(0, module.num_embeddings, size=(_PROBE_BATCH, _PROBE_SEQ))
+        return lambda: _scalar_loss(module(ids))
+    shape = shapes.symbolic_input(module)
+    if shape is None:
+        return None
+    dims = tuple(_PROBE_BATCH if d == "B" else _PROBE_SEQ if d == "T" else d
+                 for d in shape)
+    if isinstance(module, Sequential) and module.layers and \
+            isinstance(module.layers[0], Embedding):
+        first = module.layers[0]
+        ids = rng.integers(0, first.num_embeddings, size=dims)
+        return lambda: _scalar_loss(module(ids))
+    example = _randn(rng, *dims)
+    return lambda: _scalar_loss(module(example))
+
+
+def _loss_value(probe: Callable[[], Tensor]) -> float:
+    with no_grad():
+        out = probe()
+    return float(np.sum(out.data))
+
+
+def _influences_loss(probe: Callable[[], Tensor], param: Tensor,
+                     base: float) -> bool:
+    """Does nudging the parameter move the loss despite no gradient?"""
+    original = param.data
+    try:
+        for eps in (_PERTURB_EPS, -_PERTURB_EPS):
+            param.data = original + np.float32(eps)
+            if abs(_loss_value(probe) - base) > _INFLUENCE_TOL * max(1.0, abs(base)):
+                return True
+    finally:
+        param.data = original
+    return False
+
+
+# ----------------------------------------------------------------------
+# The audit passes
+# ----------------------------------------------------------------------
+def _structural_pass(report: AuditReport, root: Module) -> bool:
+    """Object-graph vs registration-tree checks; False aborts the audit."""
+    if not _initialized(root):
+        report.add(
+            "missing-super-init", Severity.ERROR, type(root).__name__,
+            "module never ran Module.__init__(); no parameters or submodules "
+            "are registered",
+            hint="call super().__init__() at the top of __init__",
+        )
+        return False
+
+    discovered = _discover(root)
+    registered = _registered(root)
+    report.num_modules = len(registered)
+
+    for object_id, (path, module) in sorted(discovered.items(),
+                                            key=lambda item: item[1][0]):
+        if module is root:
+            continue
+        if not _initialized(module):
+            report.add(
+                "missing-super-init", Severity.ERROR,
+                path or type(module).__name__,
+                f"{type(module).__name__} never ran Module.__init__(); its "
+                "parameters are invisible to the optimizer",
+                hint="call super().__init__() at the top of __init__",
+            )
+            continue
+        if object_id not in registered:
+            severity = (Severity.ERROR if _subtree_has_parameters(module)
+                        else Severity.WARNING)
+            report.add(
+                "unregistered-submodule", severity, path,
+                f"{type(module).__name__} is reachable from attributes but "
+                "not registered; parameters() will not include it",
+                hint="assign modules directly to attributes (or use ModuleList) "
+                     "so __setattr__ registers them",
+            )
+
+    parameters = _registered_parameters(root)
+    report.num_parameters = sum(int(p.size) for _, p in parameters)
+    seen: dict[int, str] = {}
+    for name, param in parameters:
+        previous = seen.setdefault(id(param), name)
+        if previous != name:
+            report.add(
+                "shared-parameter", Severity.WARNING, name,
+                f"parameter object is also registered as {previous!r}; "
+                "gradients will accumulate into one tensor",
+                hint="intentional weight tying is fine; otherwise copy the data",
+            )
+        if not np.isfinite(param.data).all():
+            report.add(
+                "non-finite-parameter", Severity.ERROR, name,
+                "parameter contains NaN or infinite values",
+                hint="check the initializer and any in-place data edits",
+            )
+        if not param.requires_grad:
+            report.add(
+                "no-grad-parameter", Severity.ERROR, name,
+                "Parameter has requires_grad=False; it can never train",
+                hint="was the module constructed inside nn.no_grad()?",
+            )
+    return True
+
+
+def _shape_pass(report: AuditReport, root: Module) -> bool:
+    """Symbolic shape propagation; returns True when shapes are clean."""
+    input_shape = shapes.symbolic_input(root)
+    if input_shape is None:
+        return True
+    output_shape, findings = shapes.propagate(root, input_shape)
+    del output_shape
+    report.shape_checked = True
+    clean = True
+    for finding in findings:
+        report.findings.append(finding)
+        if finding.severity is Severity.ERROR:
+            clean = False
+    return clean
+
+
+def _probe_pass(report: AuditReport, root: Module,
+                probe: Callable[[], Tensor] | None,
+                gradcheck: bool) -> None:
+    probe = probe or build_probe(root)
+    if probe is None:
+        report.add(
+            "probe-skipped", Severity.INFO, "",
+            f"no probe input could be inferred for {type(root).__name__}",
+            hint="pass probe= to audit_model with a () -> scalar-loss closure",
+        )
+        return
+
+    was_training = root.training
+    root.eval()
+    root.zero_grad()
+    try:
+        try:
+            loss = probe()
+        except Exception as exc:  # lint: disable=blanket-except
+            # The probe runs arbitrary user model code; any crash is itself
+            # the finding.
+            report.add(
+                "forward-failed", Severity.ERROR, "",
+                f"probe forward raised {type(exc).__name__}: {exc}",
+                hint="run the shape audit findings down first",
+            )
+            return
+        if loss is None:
+            report.add(
+                "probe-skipped", Severity.INFO, "",
+                "forward produced no tensors to build a loss from",
+            )
+            return
+        report.probed = True
+        base = float(np.sum(loss.data))
+        if not np.isfinite(loss.data).all():
+            report.add(
+                "non-finite-output", Severity.ERROR, "",
+                "probe forward produced NaN or infinite values",
+                hint="check normalization terms and log/exp inputs",
+            )
+            return
+        if loss.requires_grad:
+            loss.backward()
+
+        for name, param in _registered_parameters(root):
+            if not param.requires_grad:
+                continue  # already reported by the structural pass
+            if param.grad is None:
+                if _influences_loss(probe, param, base):
+                    report.add(
+                        "broken-graph", Severity.ERROR, name,
+                        "parameter influences the output but received no "
+                        "gradient — the autograd graph is broken on its path",
+                        hint="look for ops routed through .data, detach(), or "
+                             "Tensor(x.data) re-wrapping (this silently disables "
+                             "GRL/adversarial branches)",
+                    )
+                else:
+                    report.add(
+                        "dead-parameter", Severity.ERROR, name,
+                        "parameter received no gradient and does not affect "
+                        "the output",
+                        hint="remove it or wire it into forward()",
+                    )
+                continue
+            if not np.isfinite(param.grad).all():
+                report.add(
+                    "non-finite-grad", Severity.ERROR, name,
+                    "gradient contains NaN or infinite values",
+                    hint="check for division by ~0 or exploding activations",
+                )
+            elif gradcheck and param.size <= 64:
+                from ..nn.gradcheck import parameter_gradient_error
+
+                error = parameter_gradient_error(lambda: _loss_value(probe), param)
+                if error > 5e-2 * max(1.0, abs(base)):
+                    report.add(
+                        "gradient-mismatch", Severity.ERROR, name,
+                        f"analytic gradient differs from finite differences "
+                        f"by {error:.3g}",
+                        hint="the op's backward rule is wrong",
+                    )
+    finally:
+        root.zero_grad()
+        root.train(was_training)
+
+
+def audit_model(module: Module, name: str | None = None,
+                probe: Callable[[], Tensor] | None = None,
+                gradcheck: bool = False) -> AuditReport:
+    """Run the full audit (structural, shapes, probe) on one module tree."""
+    report = AuditReport(model=name or type(module).__name__)
+    if _structural_pass(report, module):
+        shapes_clean = _shape_pass(report, module)
+        if shapes_clean:
+            _probe_pass(report, module, probe, gradcheck)
+        else:
+            report.add(
+                "probe-skipped", Severity.INFO, "",
+                "probe skipped because shape propagation already failed",
+            )
+    registry = get_registry()
+    registry.counter("analysis.audit.models").inc()
+    registry.counter("analysis.audit.findings").inc(len(report.findings))
+    registry.counter("analysis.audit.errors").inc(len(report.errors))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Auditing the repo's own models (CLI + self-hosting gate)
+# ----------------------------------------------------------------------
+def probe_data(seed: int = 0):
+    """Tiny synthetic experiment data used to fit baselines before auditing.
+
+    Returns ``(sources, target_system, target_train)`` shaped like the
+    experiment runner's splits, small enough that fitting any baseline
+    takes seconds.
+    """
+    from ..evaluation.splits import continuous_target_split, source_training_slice
+    from ..logs import build_dataset
+
+    names = ("bgl", "spirit", "thunderbird")
+    datasets = {name: build_dataset(name, scale=0.006, seed=seed + index)
+                for index, name in enumerate(names)}
+    sources = {name: source_training_slice(dataset.sequences, 250)
+               for name, dataset in datasets.items() if name != "thunderbird"}
+    split = continuous_target_split(datasets["thunderbird"].sequences, 80)
+    return sources, "thunderbird", split.train
+
+
+def audit_baseline(name: str, data=None, seed: int = 0,
+                   gradcheck: bool = False, **kwargs) -> list[AuditReport]:
+    """Fit one registry baseline on tiny data and audit every module it owns."""
+    from ..baselines.registry import make_baseline
+
+    merged = {**_BASELINE_FAST_KWARGS.get(name, {}), **kwargs}
+    detector = make_baseline(name, **merged)
+    sources, target, target_train = data if data is not None else probe_data(seed)
+    detector.fit(sources, target, target_train)
+    modules = detector.modules()
+    if not modules:
+        report = AuditReport(model=name)
+        report.add(
+            "no-modules", Severity.INFO, "",
+            "detector owns no nn.Module objects after fit; nothing to audit",
+        )
+        return [report]
+    return [audit_model(module, name=f"{name}.{attribute}", gradcheck=gradcheck)
+            for attribute, module in modules.items()]
+
+
+def audit_logsynergy(seed: int = 0, gradcheck: bool = False) -> AuditReport:
+    """Audit a freshly constructed (untrained) LogSynergy network."""
+    from ..config import LogSynergyConfig
+    from ..core.model import LogSynergyModel
+
+    config = LogSynergyConfig(d_model=32, num_heads=4, num_layers=1, d_ff=64,
+                              feature_dim=16, embedding_dim=64, seed=seed)
+    model = LogSynergyModel(config, num_systems=3,
+                            rng=np.random.default_rng(seed))
+    return audit_model(model, name="LogSynergyModel", gradcheck=gradcheck)
+
+
+def audit_spec(specs, seed: int = 0, data=None,
+               gradcheck: bool = False) -> list[AuditReport]:
+    """Resolve CLI model specs into audit reports.
+
+    A spec is ``"logsynergy"``, a baseline registry name, or ``"all"``
+    (LogSynergy plus every registry baseline).
+    """
+    from ..baselines.registry import BASELINES
+
+    if isinstance(specs, str):
+        specs = [specs]
+    resolved: list[str] = []
+    for spec in specs:
+        if spec == "all":
+            resolved.extend(["logsynergy", *BASELINES])
+        else:
+            resolved.append(spec)
+
+    reports: list[AuditReport] = []
+    baseline_data = data
+    for spec in resolved:
+        if spec.lower() == "logsynergy":
+            reports.append(audit_logsynergy(seed=seed, gradcheck=gradcheck))
+            continue
+        if spec not in BASELINES:
+            raise KeyError(
+                f"unknown model spec {spec!r}; expected 'logsynergy', 'all', "
+                f"or one of: {', '.join(BASELINES)}"
+            )
+        if baseline_data is None:
+            baseline_data = probe_data(seed)
+        reports.extend(audit_baseline(spec, data=baseline_data, seed=seed,
+                                      gradcheck=gradcheck))
+    return reports

@@ -1,0 +1,103 @@
+"""Shared result types for the static-analysis subsystem.
+
+Both layers of :mod:`repro.analysis` — the model auditor and the project
+linter — report their results as :class:`Finding` records so callers
+(CLI, CI gate, tests) can filter by severity and render them uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding", "AuditReport"]
+
+
+class Severity(enum.IntEnum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings fail the CI gate; ``WARNING`` findings are
+    suspicious but may be intentional (e.g. deliberately shared weights);
+    ``INFO`` findings record what the auditor could not check.
+    """
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect (or note) located somewhere in a model or source tree.
+
+    ``path`` is a dotted parameter/module path for audit findings and a
+    ``file:line`` location for lint findings.
+    """
+
+    code: str
+    severity: Severity
+    path: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        location = f" at {self.path}" if self.path else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"[{self.severity.name}] {self.code}{location}: {self.message}{hint}"
+
+
+@dataclass
+class AuditReport:
+    """Everything the model auditor learned about one module tree."""
+
+    model: str
+    findings: list[Finding] = field(default_factory=list)
+    num_parameters: int = 0
+    num_modules: int = 0
+    probed: bool = False
+    shape_checked: bool = False
+
+    def add(self, code: str, severity: Severity, path: str, message: str,
+            hint: str = "") -> None:
+        """Append a finding."""
+        self.findings.append(Finding(code, severity, path, message, hint))
+
+    @property
+    def errors(self) -> list[Finding]:
+        """Findings that must be fixed."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        """Findings worth a look."""
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the audit produced no ERROR findings."""
+        return not self.errors
+
+    def by_code(self, code: str) -> list[Finding]:
+        """All findings with a given code."""
+        return [f for f in self.findings if f.code == code]
+
+    def format(self, verbose: bool = False) -> str:
+        """Multi-line summary; INFO findings only shown when verbose."""
+        status = "PASS" if self.ok else "FAIL"
+        checks = []
+        if self.shape_checked:
+            checks.append("shapes")
+        if self.probed:
+            checks.append("probe")
+        suffix = f" [{'+'.join(checks)}]" if checks else ""
+        lines = [
+            f"audit {self.model}: {status} — {self.num_modules} modules, "
+            f"{self.num_parameters} parameters, {len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings{suffix}"
+        ]
+        for finding in self.findings:
+            if finding.severity is Severity.INFO and not verbose:
+                continue
+            lines.append(f"  {finding.format()}")
+        return "\n".join(lines)

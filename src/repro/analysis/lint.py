@@ -1,0 +1,211 @@
+"""AST-based project linter enforcing repo invariants.
+
+The engine is deliberately small: a rule is an ``ast.NodeVisitor``
+subclass registered with :func:`register_rule`; the engine parses each
+file once, runs every enabled rule over the tree, and filters the
+results through suppression comments.  Adding a rule is ~20 lines (see
+:mod:`repro.analysis.rules` for the built-ins).
+
+Suppression syntax::
+
+    something_noisy()          # lint: disable=wall-clock-call
+    legacy_helper()            # lint: disable            (all rules, this line)
+    # lint: disable-file=blanket-except                   (whole file, one rule)
+    # lint: disable-file                                  (whole file, all rules)
+
+The CI gate (``scripts/lint.sh`` / ``repro lint src``) requires the
+repo's own tree to lint clean, so every rule must either hold globally
+or be suppressed with an explicit, reviewable comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..obs import get_registry
+
+__all__ = [
+    "LintViolation", "LintRule", "register_rule", "available_rules",
+    "SourceFile", "lint_source", "lint_paths", "format_violations",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*(?P<scope>disable-file|disable)(?:=(?P<rules>[\w,-]+))?"
+)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` rendering."""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}{hint}"
+
+
+class SourceFile:
+    """A parsed source file plus its suppression directives."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self._line_disables: dict[int, set[str] | None] = {}
+        self._file_disables: set[str] = set()
+        self._file_all = False
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rules = match.group("rules")
+            names = set(rules.split(",")) if rules else None
+            if match.group("scope") == "disable-file":
+                if names is None:
+                    self._file_all = True
+                else:
+                    self._file_disables.update(names)
+            else:
+                self._line_disables[number] = names
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """Whether a rule is disabled at a line (or file-wide)."""
+        if self._file_all or rule in self._file_disables:
+            return True
+        if line in self._line_disables:
+            names = self._line_disables[line]
+            return names is None or rule in names
+        return False
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for lint rules.
+
+    Subclasses set ``name``/``description``/``hint``, implement
+    ``visit_*`` methods, and call :meth:`report` on offending nodes.
+    """
+
+    name = ""
+    description = ""
+    hint = ""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.violations: list[LintViolation] = []
+
+    def run(self, tree: ast.AST) -> list[LintViolation]:
+        """Collect this rule's violations over a parsed tree."""
+        self.visit(tree)
+        return self.violations
+
+    def report(self, node: ast.AST, message: str, hint: str | None = None) -> None:
+        """Record a violation anchored at ``node``."""
+        self.violations.append(LintViolation(
+            rule=self.name,
+            path=self.source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint if hint is None else hint,
+        ))
+
+
+RULES: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a rule name")
+    if cls.name in RULES:
+        raise ValueError(f"duplicate lint rule name {cls.name!r}")
+    RULES[cls.name] = cls
+    return cls
+
+
+def available_rules() -> list[tuple[str, str]]:
+    """(name, description) for every registered rule, sorted by name."""
+    _ensure_builtin_rules()
+    return sorted((name, cls.description) for name, cls in RULES.items())
+
+
+def _ensure_builtin_rules() -> None:
+    from . import rules as _builtin  # noqa: F401  (import registers the rules)
+
+
+def _select_rules(select: Iterable[str] | None) -> list[type[LintRule]]:
+    _ensure_builtin_rules()
+    if select is None:
+        return list(RULES.values())
+    chosen = []
+    for name in select:
+        if name not in RULES:
+            raise KeyError(f"unknown lint rule {name!r}; "
+                           f"available: {', '.join(sorted(RULES))}")
+        chosen.append(RULES[name])
+    return chosen
+
+
+def lint_source(text: str, path: str = "<string>",
+                select: Iterable[str] | None = None) -> list[LintViolation]:
+    """Lint one source string; returns violations sorted by location."""
+    source = SourceFile(path, text)
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [LintViolation(
+            rule="syntax-error", path=path, line=exc.lineno or 1,
+            col=exc.offset or 0, message=f"file does not parse: {exc.msg}",
+        )]
+    violations: list[LintViolation] = []
+    for rule_cls in _select_rules(select):
+        for violation in rule_cls(source).run(tree):
+            if not source.suppressed(violation.line, violation.rule):
+                violations.append(violation)
+    return sorted(violations, key=lambda v: (v.line, v.col, v.rule))
+
+
+def _python_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(
+                p for p in entry.rglob("*.py") if "__pycache__" not in p.parts
+            ))
+        else:
+            files.append(entry)
+    return files
+
+
+def lint_paths(paths: Sequence[str | Path],
+               select: Iterable[str] | None = None) -> list[LintViolation]:
+    """Lint files and directories (recursively); returns all violations."""
+    violations: list[LintViolation] = []
+    files = _python_files(paths)
+    for file_path in files:
+        text = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(text, path=str(file_path), select=select))
+    registry = get_registry()
+    registry.counter("analysis.lint.files").inc(len(files))
+    registry.counter("analysis.lint.violations").inc(len(violations))
+    return violations
+
+
+def format_violations(violations: Sequence[LintViolation]) -> str:
+    """Render violations one per line, with a trailing count."""
+    lines = [violation.format() for violation in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"{len(violations)} {noun}")
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Built-in lint rules enforcing this repo's invariants.
+
+Each rule documents *why* the invariant exists; the linter's job is to
+keep the properties the reproduction depends on (determinism, injectable
+clocks and RNGs, correctly registered modules) from regressing silently.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .lint import LintRule, register_rule
+
+__all__ = [
+    "GlobalNumpyRandomRule", "WallClockRule", "MutableDefaultRule",
+    "BlanketExceptRule", "ModuleSuperInitRule", "ForwardConventionsRule",
+]
+
+_NUMPY_ALIASES = {"np", "numpy"}
+# Constructing generators/annotations is fine; calling the legacy global
+# RNG (np.random.rand/seed/...) is what breaks run-to-run determinism.
+_ALLOWED_RANDOM_ATTRS = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "Philox", "RandomState",
+}
+_CLOCK_FUNCS = {"time", "perf_counter", "monotonic", "process_time", "clock"}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+@register_rule
+class GlobalNumpyRandomRule(LintRule):
+    """Experiments must be reseedable: every random draw goes through an
+    injected ``np.random.Generator``, never the process-global RNG."""
+
+    name = "global-numpy-random"
+    description = "forbid np.random.* global-RNG access (inject a Generator)"
+    hint = "accept rng: np.random.Generator and use np.random.default_rng(seed)"
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        if (isinstance(value, ast.Attribute) and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in _NUMPY_ALIASES
+                and node.attr not in _ALLOWED_RANDOM_ATTRS):
+            self.report(node, f"global RNG access np.random.{node.attr}")
+        self.generic_visit(node)
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """Hot paths must be clock-injectable (see the ``repro.obs`` design):
+    referencing ``time.perf_counter`` as a default is fine, *calling* the
+    wall clock inline is not."""
+
+    name = "wall-clock-call"
+    description = "forbid inline wall-clock calls (inject a clock instead)"
+    hint = "take clock: Callable[[], float] = time.perf_counter and call that"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = func.value
+            if (isinstance(owner, ast.Name) and owner.id == "time"
+                    and func.attr in _CLOCK_FUNCS):
+                self.report(node, f"inline wall-clock call time.{func.attr}()")
+            elif func.attr in _DATETIME_FUNCS:
+                base = owner
+                if isinstance(base, ast.Attribute):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in ("datetime", "date"):
+                    self.report(node, f"inline wall-clock call {func.attr}()")
+        self.generic_visit(node)
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """Mutable default arguments alias state across calls — a classic
+    source of cross-experiment contamination."""
+
+    name = "mutable-default-arg"
+    description = "forbid list/dict/set literals (or calls) as argument defaults"
+    hint = "default to None and create the container inside the function"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict"}
+
+    def _is_mutable(self, node: ast.AST | None) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else ""
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                self.report(default, "mutable default argument")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+    visit_Lambda = _check
+
+
+@register_rule
+class BlanketExceptRule(LintRule):
+    """Blanket handlers hide the exact silent-corruption bugs the auditor
+    exists to catch; handle specific exceptions or re-raise."""
+
+    name = "blanket-except"
+    description = "forbid bare except and except Exception/BaseException"
+    hint = "catch the specific exception types, or re-raise with a bare raise"
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(stmt, ast.Raise) and stmt.exc is None
+                   for stmt in ast.walk(handler))
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare except:")
+        elif isinstance(node.type, ast.Name) and \
+                node.type.id in ("Exception", "BaseException") and \
+                not self._reraises(node):
+            self.report(node, f"blanket except {node.type.id} without re-raise")
+        self.generic_visit(node)
+
+
+def _is_module_base(base: ast.expr) -> bool:
+    name = base.id if isinstance(base, ast.Name) else \
+        base.attr if isinstance(base, ast.Attribute) else ""
+    return name.endswith("Module") and name != ""
+
+
+def _is_super_init_call(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "__init__"
+            and isinstance(stmt.value.func.value, ast.Call)
+            and isinstance(stmt.value.func.value.func, ast.Name)
+            and stmt.value.func.value.func.id == "super")
+
+
+def _self_attribute_targets(stmt: ast.stmt) -> list[ast.Attribute]:
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    return [t for t in targets
+            if isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name)
+            and t.value.id == "self"]
+
+
+@register_rule
+class ModuleSuperInitRule(LintRule):
+    """A ``Module`` subclass that assigns attributes before (or without)
+    ``super().__init__()`` silently registers zero parameters — the exact
+    hazard ``Module.__setattr__`` now raises on at runtime."""
+
+    name = "module-super-init"
+    description = "Module subclasses must call super().__init__() before assigning attributes"
+    hint = "make super().__init__() the first statement of __init__"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not any(_is_module_base(base) for base in node.bases):
+            self.generic_visit(node)
+            return
+        init = next((item for item in node.body
+                     if isinstance(item, ast.FunctionDef)
+                     and item.name == "__init__"), None)
+        if init is not None:
+            if not any(_is_super_init_call(stmt) for stmt in init.body):
+                self.report(init, f"{node.name}.__init__ never calls super().__init__()")
+            else:
+                for stmt in init.body:
+                    if _is_super_init_call(stmt):
+                        break
+                    for target in _self_attribute_targets(stmt):
+                        self.report(
+                            target,
+                            f"self.{target.attr} assigned before super().__init__()",
+                        )
+        self.generic_visit(node)
+
+
+@register_rule
+class ForwardConventionsRule(LintRule):
+    """``forward`` is the module contract: an instance method invoked via
+    ``module(...)``, never called directly on another object."""
+
+    name = "forward-conventions"
+    description = "forward() must be a plain instance method; call modules, not .forward()"
+    hint = "define forward(self, x, ...) and invoke submodules as module(x)"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if any(_is_module_base(base) for base in node.bases):
+            forward = next((item for item in node.body
+                            if isinstance(item, ast.FunctionDef)
+                            and item.name == "forward"), None)
+            if forward is not None:
+                if any(isinstance(dec, ast.Name)
+                       and dec.id in ("staticmethod", "classmethod")
+                       for dec in forward.decorator_list):
+                    self.report(forward, "forward() must be an instance method")
+                elif not forward.args.args or forward.args.args[0].arg != "self":
+                    self.report(forward, "forward() must take self as its first parameter")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "forward"
+                and not (isinstance(func.value, ast.Name)
+                         and func.value.id == "self")):
+            self.report(node, "call the module directly instead of .forward()",
+                        hint="module(x) routes through __call__; .forward() skips it")
+        self.generic_visit(node)

@@ -1,0 +1,258 @@
+"""Symbolic shape propagation through ``repro.nn`` module trees.
+
+Shapes are tuples whose entries are either concrete ``int`` dimensions or
+symbolic names (``"B"`` for batch, ``"T"`` for sequence length).  A
+handler per layer type checks the incoming shape against the layer's
+metadata (``in_features``, ``d_model``, …) and produces the outgoing
+shape, so mismatches between adjacent layers surface *before* any
+forward pass runs — the class of bug that otherwise explodes deep inside
+training with an opaque numpy broadcasting error.
+
+Handlers are registered in a type-keyed table; adding support for a new
+layer is one :func:`shape_handler`-decorated function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Union
+
+from ..nn import (
+    BiLSTM, Dropout, Embedding, GELU, GRU, GradientReversal, LIFLayer, LSTM,
+    LayerNorm, Linear, Module, MultiHeadAttention, PositionalEncoding, ReLU,
+    Sequential, Sigmoid, Tanh, TransformerEncoder, TransformerEncoderLayer,
+)
+from .findings import Finding, Severity
+
+__all__ = ["Dim", "Shape", "shape_handler", "propagate", "symbolic_input", "format_shape"]
+
+Dim = Union[int, str]
+Shape = tuple  # tuple[Dim, ...]
+
+_BATCH, _SEQ = "B", "T"
+
+_HANDLERS: dict[type, Callable] = {}
+
+
+def shape_handler(*types: type):
+    """Register a propagation handler for one or more module types.
+
+    A handler has signature ``(module, shape, path) -> (Shape | None,
+    list[Finding])`` and should return ``None`` as the shape when it
+    cannot determine the output.
+    """
+
+    def decorator(fn):
+        for module_type in types:
+            _HANDLERS[module_type] = fn
+        return fn
+
+    return decorator
+
+
+def format_shape(shape: Shape) -> str:
+    """Render ``(B, 10, 64)``-style shape strings."""
+    return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+def _mismatch(path: str, module: Module, shape: Shape, expected: int,
+              what: str) -> Finding:
+    return Finding(
+        code="shape-mismatch",
+        severity=Severity.ERROR,
+        path=path or type(module).__name__,
+        message=(
+            f"{type(module).__name__} expects {what}={expected} but incoming "
+            f"shape is {format_shape(shape)}"
+        ),
+        hint="adjacent layer dimensions disagree; check the layer wiring",
+    )
+
+
+def _check_last(module: Module, shape: Shape, expected: int, path: str,
+                what: str) -> list[Finding]:
+    if not shape:
+        return [_mismatch(path, module, shape, expected, what)]
+    last = shape[-1]
+    if isinstance(last, int) and last != expected:
+        return [_mismatch(path, module, shape, expected, what)]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Handlers for the built-in layer vocabulary
+# ----------------------------------------------------------------------
+@shape_handler(Linear)
+def _linear(module: Linear, shape: Shape, path: str):
+    findings = _check_last(module, shape, module.in_features, path, "in_features")
+    if findings:
+        return None, findings
+    return shape[:-1] + (module.out_features,), []
+
+
+@shape_handler(LayerNorm)
+def _layer_norm(module: LayerNorm, shape: Shape, path: str):
+    findings = _check_last(module, shape, module.normalized_dim, path, "normalized_dim")
+    return (None if findings else shape), findings
+
+
+@shape_handler(ReLU, Tanh, Sigmoid, GELU, Dropout, GradientReversal)
+def _identity(module: Module, shape: Shape, path: str):
+    return shape, []
+
+
+@shape_handler(PositionalEncoding)
+def _positional(module: PositionalEncoding, shape: Shape, path: str):
+    if len(shape) >= 2 and isinstance(shape[1], int) and shape[1] > module.max_len:
+        return None, [Finding(
+            code="shape-mismatch",
+            severity=Severity.ERROR,
+            path=path or "PositionalEncoding",
+            message=f"sequence length {shape[1]} exceeds max_len {module.max_len}",
+            hint="raise max_len or shorten the window",
+        )]
+    return shape, []
+
+
+@shape_handler(Embedding)
+def _embedding(module: Embedding, shape: Shape, path: str):
+    return shape + (module.embedding_dim,), []
+
+
+@shape_handler(MultiHeadAttention)
+def _attention(module: MultiHeadAttention, shape: Shape, path: str):
+    findings = _check_last(module, shape, module.d_model, path, "d_model")
+    return (None if findings else shape), findings
+
+
+@shape_handler(TransformerEncoderLayer)
+def _encoder_layer(module: TransformerEncoderLayer, shape: Shape, path: str):
+    findings = _check_last(module, shape, module.attention.d_model, path, "d_model")
+    return (None if findings else shape), findings
+
+
+@shape_handler(TransformerEncoder)
+def _encoder(module: TransformerEncoder, shape: Shape, path: str):
+    findings = _check_last(module, shape, module.d_model, path, "d_model")
+    if not findings and len(shape) >= 2:
+        _, positional_findings = _positional(module.positional, shape,
+                                             f"{path}.positional" if path else "positional")
+        findings = positional_findings
+    return (None if findings else shape), findings
+
+
+def _recurrent_input_size(module: Module) -> int:
+    return module.cells[0].input_size
+
+
+@shape_handler(LSTM, GRU)
+def _recurrent(module: Module, shape: Shape, path: str):
+    expected = _recurrent_input_size(module)
+    findings = _check_last(module, shape, expected, path, "input_size")
+    if not findings and len(shape) != 3:
+        findings = [_mismatch(path, module, shape, expected, "rank-3 input_size")]
+    if findings:
+        return None, findings
+    return (shape[0], shape[1], module.hidden_size), []
+
+
+@shape_handler(BiLSTM)
+def _bilstm(module: BiLSTM, shape: Shape, path: str):
+    expected = _recurrent_input_size(module.forward_lstm)
+    findings = _check_last(module, shape, expected, path, "input_size")
+    if not findings and len(shape) != 3:
+        findings = [_mismatch(path, module, shape, expected, "rank-3 input_size")]
+    if findings:
+        return None, findings
+    return (shape[0], shape[1], 2 * module.hidden_size), []
+
+
+@shape_handler(LIFLayer)
+def _lif(module: LIFLayer, shape: Shape, path: str):
+    expected = module.projection.in_features
+    findings = _check_last(module, shape, expected, path, "input_size")
+    if findings:
+        return None, findings
+    return (shape[0], shape[1], module.hidden_size), []
+
+
+@shape_handler(Sequential)
+def _sequential(module: Sequential, shape: Shape, path: str):
+    findings: list[Finding] = []
+    current: Shape | None = shape
+    for index, layer in enumerate(module.layers):
+        child_path = f"{path}.layer{index}" if path else f"layer{index}"
+        current, child_findings = propagate(layer, current, path=child_path)
+        findings.extend(child_findings)
+        if current is None:
+            break
+    return current, findings
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _lookup(module: Module) -> Callable | None:
+    handler = _HANDLERS.get(type(module))
+    if handler is not None:
+        return handler
+    for base in type(module).__mro__[1:]:
+        if base in _HANDLERS:
+            return _HANDLERS[base]
+    return None
+
+
+def propagate(module: Module, shape: Shape | None,
+              path: str = "") -> tuple[Shape | None, list[Finding]]:
+    """Push a symbolic shape through ``module``.
+
+    Returns ``(output_shape, findings)``; the shape is ``None`` when the
+    module type has no registered handler or a mismatch made the output
+    undefined.
+    """
+    if shape is None:
+        return None, []
+    handler = _lookup(module)
+    if handler is None:
+        return None, [Finding(
+            code="shape-unknown",
+            severity=Severity.INFO,
+            path=path or type(module).__name__,
+            message=f"no symbolic shape rule for {type(module).__name__}",
+            hint="register one with repro.analysis.shapes.shape_handler",
+        )]
+    return handler(module, shape, path)
+
+
+def symbolic_input(module: Module) -> Shape | None:
+    """Infer a symbolic input shape for a module, if its type allows it."""
+    if isinstance(module, Linear):
+        return (_BATCH, module.in_features)
+    if isinstance(module, LayerNorm):
+        return (_BATCH, module.normalized_dim)
+    if isinstance(module, (MultiHeadAttention, TransformerEncoderLayer)):
+        d_model = (module.d_model if isinstance(module, MultiHeadAttention)
+                   else module.attention.d_model)
+        return (_BATCH, _SEQ, d_model)
+    if isinstance(module, TransformerEncoder):
+        return (_BATCH, _SEQ, module.d_model)
+    if isinstance(module, (LSTM, GRU)):
+        return (_BATCH, _SEQ, _recurrent_input_size(module))
+    if isinstance(module, BiLSTM):
+        return (_BATCH, _SEQ, _recurrent_input_size(module.forward_lstm))
+    if isinstance(module, LIFLayer):
+        return (_BATCH, _SEQ, module.projection.in_features)
+    if isinstance(module, Embedding):
+        return (_BATCH, _SEQ)
+    if isinstance(module, Sequential):
+        for layer in module.layers:
+            inferred = symbolic_input(layer)
+            if inferred is not None:
+                return inferred
+        return None
+    return None
+
+
+def iter_handlers() -> Iterator[tuple[str, str]]:
+    """(type name, handler name) pairs, for introspection/tests."""
+    for module_type, handler in _HANDLERS.items():
+        yield module_type.__name__, handler.__name__

@@ -23,6 +23,7 @@ import numpy as np
 from ..embedding.encoder import SentenceEncoder
 from ..embedding.pretrained import load_pretrained_encoder
 from ..logs.sequences import LogSequence
+from ..nn.module import Module
 from ..parsing.template_store import TemplateStore
 
 __all__ = ["BaselineDetector", "RawSequenceFeaturizer", "EventIdFeaturizer"]
@@ -122,6 +123,27 @@ class BaselineDetector(ABC):
     @abstractmethod
     def predict(self, sequences: list[LogSequence]) -> np.ndarray:
         """Binary anomaly predictions for target-system test sequences."""
+
+    def modules(self) -> dict[str, Module]:
+        """All ``nn.Module`` objects this detector owns (post-``fit``).
+
+        Scans instance attributes, including one level of list/tuple/dict
+        containers; used by the model auditor (``repro audit``) to find
+        the networks behind each detector.
+        """
+        found: dict[str, Module] = {}
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                found[name] = value
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        found[f"{name}[{index}]"] = item
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        found[f"{name}[{key!r}]"] = item
+        return found
 
     # Convenience shared by most subclasses -----------------------------
     @staticmethod

@@ -158,6 +158,45 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import available_rules, format_violations, lint_paths
+
+    if args.list_rules:
+        for name, description in available_rules():
+            print(f"{name}: {description}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    with _observability(args):
+        try:
+            violations = lint_paths(args.paths, select=select)
+        except (KeyError, OSError) as exc:
+            raise SystemExit(f"lint: {exc}")
+    if violations:
+        print(format_violations(violations))
+        return 1
+    print(f"lint: clean ({', '.join(args.paths)})")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .analysis import audit_spec
+
+    with _observability(args):
+        try:
+            reports = audit_spec(args.models, seed=args.seed,
+                                 gradcheck=args.gradcheck)
+        except KeyError as exc:
+            raise SystemExit(f"audit: {exc.args[0]}")
+    for report in reports:
+        print(report.format(verbose=args.verbose))
+    failed = [r.model for r in reports if not r.ok]
+    if failed:
+        print(f"audit: FAIL ({', '.join(failed)})")
+        return 1
+    print(f"audit: all {len(reports)} model(s) clean")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import read_jsonl, summarize_events
 
@@ -250,6 +289,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_flags(evaluate)
     _add_metrics_flag(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    lint = commands.add_parser("lint", help="lint source trees against repo invariants")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule names to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+    _add_metrics_flag(lint)
+    lint.set_defaults(func=_cmd_lint)
+
+    audit = commands.add_parser(
+        "audit", help="audit model autograd wiring (shapes, dead params, broken graphs)"
+    )
+    audit.add_argument("models", nargs="+",
+                       help="'logsynergy', a baseline name (e.g. DeepLog), or 'all'")
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--gradcheck", action="store_true",
+                       help="also verify small parameters against finite differences")
+    audit.add_argument("--verbose", action="store_true",
+                       help="include INFO findings in the report")
+    _add_metrics_flag(audit)
+    audit.set_defaults(func=_cmd_audit)
 
     stats = commands.add_parser("stats", help="summarize a --metrics-out JSONL file")
     stats.add_argument("metrics", help="JSONL file written by --metrics-out")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -68,9 +69,11 @@ class CrossSystemExperiment:
 
     def __init__(self, target: str, sources: list[str], scale: float = 0.01,
                  n_source: int = 2000, n_target: int = 200, max_test: int | None = 2000,
-                 seed: int = 0, datasets: dict[str, LogDataset] | None = None):
+                 seed: int = 0, datasets: dict[str, LogDataset] | None = None,
+                 clock: Callable[[], float] | None = None):
         if target in sources:
             raise ValueError("target cannot be one of the sources")
+        self._clock = clock or time.perf_counter
         self.target = target
         self.sources = list(sources)
         self.scale = scale
@@ -116,12 +119,12 @@ class CrossSystemExperiment:
         self.prepare()
         config = config or LogSynergyConfig(seed=self.seed)
         model = LogSynergy(config, **kwargs)
-        start = time.perf_counter()
+        start = self._clock()
         model.fit(self.source_train, self.target, self.target_train)
-        train_seconds = time.perf_counter() - start
-        start = time.perf_counter()
+        train_seconds = self._clock() - start
+        start = self._clock()
         predictions = model.predict(self.target_test)
-        predict_seconds = time.perf_counter() - start
+        predict_seconds = self._clock() - start
         return MethodResult(
             method=method_name,
             target=self.target,
@@ -136,12 +139,12 @@ class CrossSystemExperiment:
         detector = (
             make_baseline(baseline, **kwargs) if isinstance(baseline, str) else baseline
         )
-        start = time.perf_counter()
+        start = self._clock()
         detector.fit(self.source_train, self.target, self.target_train)
-        train_seconds = time.perf_counter() - start
-        start = time.perf_counter()
+        train_seconds = self._clock() - start
+        start = self._clock()
         predictions = detector.predict(self.target_test)
-        predict_seconds = time.perf_counter() - start
+        predict_seconds = self._clock() - start
         return MethodResult(
             method=detector.name,
             target=self.target,

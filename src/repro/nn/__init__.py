@@ -23,6 +23,7 @@ from .loss import (
 )
 from .optim import SGD, Adam, AdamW, LinearWarmupSchedule, Optimizer, clip_grad_norm
 from .data import ArrayDataset, DataLoader, train_test_split_continuous
+from .gradcheck import check_gradients, numeric_gradient, parameter_gradient_error
 
 __all__ = [
     "Tensor", "tensor", "zeros", "ones", "randn", "concatenate", "stack", "where", "no_grad",
@@ -36,4 +37,5 @@ __all__ = [
     "nll_loss", "mse_loss",
     "Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "LinearWarmupSchedule",
     "ArrayDataset", "DataLoader", "train_test_split_continuous",
+    "check_gradients", "numeric_gradient", "parameter_gradient_error",
 ]

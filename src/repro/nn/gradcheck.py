@@ -1,0 +1,93 @@
+"""Finite-difference gradient checking.
+
+Promoted from the test suite so the model auditor
+(:mod:`repro.analysis.audit`) and downstream users can validate autograd
+against central finite differences outside of pytest.  The test helper
+in ``tests/helpers.py`` is now a thin wrapper over these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "check_gradients", "parameter_gradient_error"]
+
+
+def numeric_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                     eps: float = 1e-3) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn`` at ``x``.
+
+    ``fn`` is called with ``x`` mutated in place one coordinate at a
+    time; it must read the array fresh on every call.
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(build_loss: Callable[[Tensor], Tensor], shape: tuple[int, ...],
+                    seed: int = 0, atol: float = 2e-2, rtol: float = 5e-2,
+                    rng: np.random.Generator | None = None) -> None:
+    """Assert autograd gradients match finite differences.
+
+    ``build_loss(tensor) -> Tensor`` must construct a scalar loss from a
+    (possibly multidimensional) input tensor.  Raises ``AssertionError``
+    on mismatch.
+    """
+    rng = rng or np.random.default_rng(seed)
+    x = rng.standard_normal(shape).astype(np.float32)
+
+    tensor = Tensor(x.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    assert loss.data.size == 1, "build_loss must return a scalar"
+    loss.backward()
+    analytic = tensor.grad.astype(np.float64)
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(build_loss(Tensor(arr.astype(np.float32))).data)
+
+    numeric = numeric_gradient(scalar_fn, x.astype(np.float64))
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def parameter_gradient_error(loss_value: Callable[[], float], param: Tensor,
+                             eps: float = 1e-2) -> float:
+    """Max abs difference between ``param.grad`` and finite differences.
+
+    ``loss_value`` recomputes the scalar loss from the current parameter
+    data (the auditor passes its probe closure).  ``param.grad`` must
+    already hold the analytic gradient from a prior ``backward()``.
+    """
+    if param.grad is None:
+        raise ValueError("param has no gradient; run backward() first")
+    original = param.data
+    numeric = np.zeros(param.data.shape, dtype=np.float64)
+    flat_numeric = numeric.reshape(-1)
+    try:
+        working = original.copy()
+        param.data = working
+        flat = working.reshape(-1)
+        for i in range(flat.size):
+            saved = flat[i]
+            flat[i] = saved + eps
+            plus = loss_value()
+            flat[i] = saved - eps
+            minus = loss_value()
+            flat[i] = saved
+            flat_numeric[i] = (plus - minus) / (2 * eps)
+    finally:
+        param.data = original
+    return float(np.max(np.abs(param.grad.astype(np.float64) - numeric)))

@@ -38,10 +38,23 @@ class Module:
 
     def __setattr__(self, name, value):
         if isinstance(value, Parameter):
-            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+            self._registry("_parameters", name, value)[name] = value
         elif isinstance(value, Module):
-            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+            self._registry("_modules", name, value)[name] = value
         object.__setattr__(self, name, value)
+
+    def _registry(self, kind: str, name: str, value) -> OrderedDict:
+        registry = self.__dict__.get(kind)
+        if registry is None:
+            # Silently creating the dict here would register the value on an
+            # object whose Module.__init__ never ran — parameters()/state_dict
+            # would then miss everything assigned later.  Fail loudly instead.
+            raise RuntimeError(
+                f"cannot assign {type(value).__name__} {name!r} to "
+                f"{type(self).__name__} before Module.__init__() runs; "
+                "call super().__init__() before assigning parameters/submodules"
+            )
+        return registry
 
     def forward(self, *args, **kwargs):
         """Run the module's forward computation."""

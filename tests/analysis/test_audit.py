@@ -1,0 +1,287 @@
+"""Auditor tests: planted defects must produce exactly the expected
+finding, and the repo's own models (LogSynergy + every registry
+baseline) must audit clean — the self-hosting gate."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import (
+    audit_logsynergy,
+    audit_model,
+    audit_spec,
+    build_probe,
+    shapes,
+)
+from repro.nn.tensor import Tensor
+from repro.obs import MetricsRegistry, use_registry
+
+
+def _input(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape).astype(np.float32))
+
+
+class TestPlantedDefects:
+    def test_dead_parameter(self):
+        class Dead(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(4, 2)
+                self.unused = nn.Parameter(np.zeros(3, dtype=np.float32))
+
+            def forward(self, x):
+                return self.fc(x)
+
+        model = Dead()
+        x = _input((2, 4))
+        report = audit_model(model, probe=lambda: model(x).sum())
+        assert [f.code for f in report.findings] == ["dead-parameter"]
+        assert report.findings[0].path == "unused"
+        assert not report.ok
+
+    def test_broken_graph_via_data_rewrap(self):
+        class Broken(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = nn.Linear(4, 4)
+                self.b = nn.Linear(4, 2)
+
+            def forward(self, x):
+                hidden = self.a(x)
+                hidden = Tensor(hidden.data)  # severs the autograd edge
+                return self.b(hidden)
+
+        model = Broken()
+        x = _input((2, 4))
+        report = audit_model(model, probe=lambda: model(x).sum())
+        assert {f.code for f in report.findings} == {"broken-graph"}
+        assert {f.path for f in report.findings} == {"a.weight", "a.bias"}
+
+    def test_detached_grl_branch(self):
+        # The failure mode that motivated the auditor: features reach the
+        # domain discriminator through a severed edge, so the adversarial
+        # gradient never shapes the feature extractor.
+        class DetachedGRL(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.features = nn.Linear(4, 8)
+                self.grl = nn.GradientReversal()
+                self.disc = nn.Linear(8, 2)
+
+            def forward(self, x):
+                hidden = self.features(x)
+                return self.disc(self.grl(Tensor(hidden.data)))
+
+        model = DetachedGRL()
+        x = _input((2, 4))
+        report = audit_model(model, probe=lambda: model(x).sum())
+        assert {f.code for f in report.findings} == {"broken-graph"}
+        assert {f.path for f in report.findings} == {
+            "features.weight", "features.bias",
+        }
+
+    def test_shape_mismatch(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.Linear(16, 2))
+        report = audit_model(model)
+        mismatches = report.by_code("shape-mismatch")
+        assert len(mismatches) == 1
+        assert not report.ok
+        assert not report.probed  # probe skipped once shapes already failed
+
+    def test_missing_super_init_root(self):
+        class NoSuper(nn.Module):
+            def __init__(self):
+                self.stash = [nn.Linear(4, 2)]  # plain list: no registration
+
+            def forward(self, x):
+                return self.stash[0](x)
+
+        report = audit_model(NoSuper())
+        assert [f.code for f in report.findings] == ["missing-super-init"]
+        assert not report.ok
+
+    def test_missing_super_init_nested(self):
+        class Inner(nn.Module):
+            def __init__(self):
+                self.extra = [nn.Linear(2, 2)]
+
+            def forward(self, x):
+                return self.extra[0](x)
+
+        class Outer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(2, 2)
+                self.inner = Inner()
+
+            def forward(self, x):
+                return self.inner(self.fc(x))
+
+        report = audit_model(Outer())
+        nested = report.by_code("missing-super-init")
+        assert len(nested) == 1
+        assert nested[0].path == "inner"
+
+
+class TestStructuralPass:
+    def test_unregistered_submodule(self):
+        class Hoarder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(4, 2)
+                self.hidden = {"extra": nn.Linear(4, 4)}  # dict: not registered
+
+            def forward(self, x):
+                return self.fc(x)
+
+        report = audit_model(Hoarder())
+        findings = report.by_code("unregistered-submodule")
+        assert len(findings) == 1
+        assert findings[0].path == "hidden['extra']"
+        assert not report.ok
+
+    def test_shared_parameter_warns(self):
+        class Tied(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = nn.Linear(4, 4)
+                self.b = nn.Linear(4, 4)
+                self.b.weight = self.a.weight
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        report = audit_model(Tied())
+        assert len(report.by_code("shared-parameter")) == 1
+        assert report.ok  # warning, not error: tying can be intentional
+
+    def test_non_finite_parameter(self):
+        model = nn.Linear(3, 2)
+        model.bias.data[0] = np.nan
+        report = audit_model(model)
+        assert len(report.by_code("non-finite-parameter")) == 1
+        assert not report.ok
+
+    def test_forward_failure_is_reported(self):
+        model = nn.Linear(3, 2)
+
+        def exploding_probe():
+            raise RuntimeError("boom")
+
+        report = audit_model(model, probe=exploding_probe)
+        failures = report.by_code("forward-failed")
+        assert len(failures) == 1
+        assert "boom" in failures[0].message
+
+
+class TestProbes:
+    def test_linear_probe_inferred(self):
+        report = audit_model(nn.Linear(5, 3))
+        assert report.probed and report.shape_checked and report.ok
+
+    def test_sequential_with_embedding_probe(self):
+        model = nn.Sequential(nn.Embedding(11, 6), nn.Linear(6, 2))
+        report = audit_model(model)
+        assert report.probed and report.ok
+
+    def test_unknown_module_skips_probe(self):
+        class Opaque(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.scale = nn.Parameter(np.ones(2, dtype=np.float32))
+
+            def forward(self, a, b, c):
+                return a * b * c
+
+        assert build_probe(Opaque()) is None
+        report = audit_model(Opaque())
+        assert not report.probed
+        assert report.by_code("probe-skipped")
+        assert report.ok  # nothing provably wrong, just unchecked
+
+    def test_gradcheck_mode_passes_on_small_model(self):
+        model = nn.Linear(3, 2)
+        report = audit_model(model, gradcheck=True)
+        assert report.ok
+        assert not report.by_code("gradient-mismatch")
+
+
+class TestShapePropagation:
+    def test_clean_chain(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        out, findings = shapes.propagate(model, ("B", 4))
+        assert out == ("B", 2)
+        assert findings == []
+
+    def test_mismatch_located(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.Linear(16, 2))
+        out, findings = shapes.propagate(model, ("B", 4))
+        assert out is None
+        assert [f.code for f in findings] == ["shape-mismatch"]
+        assert "layer1" in findings[0].path
+
+    def test_symbolic_input_inference(self):
+        assert shapes.symbolic_input(nn.Linear(7, 3)) == ("B", 7)
+        assert shapes.symbolic_input(nn.LSTM(5, 9)) == ("B", "T", 5)
+
+
+class TestSelfHosting:
+    def test_logsynergy_audits_clean(self):
+        report = audit_logsynergy()
+        assert report.ok, report.format(verbose=True)
+        assert report.probed
+        assert report.num_parameters > 0
+
+    def test_every_registry_baseline_audits_clean(self, tiny_experiment_data):
+        data = (
+            tiny_experiment_data["sources"],
+            tiny_experiment_data["target"],
+            tiny_experiment_data["target_train"],
+        )
+        reports = audit_spec(["all"], data=data)
+        failed = [r.format(verbose=True) for r in reports if not r.ok]
+        assert not failed, "\n".join(failed)
+        from repro.baselines.registry import BASELINES
+
+        audited = {r.model.split(".", 1)[0] for r in reports}
+        assert audited == {"LogSynergyModel", *BASELINES}
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError, match="unknown model spec"):
+            audit_spec(["NotAModel"])
+
+
+class TestObsIntegration:
+    def test_audit_counters(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            audit_model(nn.Linear(3, 2))
+        assert registry.counter("analysis.audit.models").value == 1
+        assert registry.counter("analysis.audit.errors").value == 0
+
+    def test_lint_counters(self, tmp_path):
+        from repro.analysis import lint_paths
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            lint_paths([bad])
+        assert registry.counter("analysis.lint.files").value == 1
+        assert registry.counter("analysis.lint.violations").value == 1
+
+
+class TestCli:
+    def test_audit_logsynergy_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["audit", "logsynergy"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "clean" in out
+
+    def test_audit_unknown_model_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown model spec"):
+            main(["audit", "NotAModel"])

@@ -1,0 +1,275 @@
+"""Linter tests: every rule fires on violating code and stays quiet on
+clean code, suppressions work at line and file scope, and the repo's own
+tree passes the gate (self-hosting)."""
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    available_rules,
+    format_violations,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from repro.analysis.lint import LintRule
+
+
+def codes(text: str, select=None) -> list[str]:
+    return [v.rule for v in lint_source(text, select=select)]
+
+
+class TestGlobalNumpyRandom:
+    def test_flags_global_rng(self):
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == [
+            "global-numpy-random"
+        ]
+
+    def test_flags_seed_and_full_module_name(self):
+        text = "import numpy\nnumpy.random.seed(0)\n"
+        assert codes(text) == ["global-numpy-random"]
+
+    def test_generator_construction_allowed(self):
+        text = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "gen: np.random.Generator = rng\n"
+            "x = rng.standard_normal(3)\n"
+        )
+        assert codes(text) == []
+
+
+class TestWallClock:
+    def test_flags_inline_calls(self):
+        text = "import time\nstart = time.perf_counter()\n"
+        assert codes(text) == ["wall-clock-call"]
+
+    def test_flags_datetime_now(self):
+        text = "import datetime\nstamp = datetime.datetime.now()\n"
+        assert codes(text) == ["wall-clock-call"]
+
+    def test_injectable_default_reference_allowed(self):
+        # Referencing the function (without calling) is the injection idiom.
+        text = (
+            "import time\n"
+            "def run(clock=None):\n"
+            "    clock = clock or time.perf_counter\n"
+            "    return clock()\n"
+        )
+        assert codes(text) == []
+
+
+class TestMutableDefault:
+    def test_flags_literal_and_call_defaults(self):
+        text = (
+            "def f(a=[]):\n    return a\n"
+            "def g(b=dict()):\n    return b\n"
+            "def h(*, c={1}):\n    return c\n"
+        )
+        assert codes(text) == ["mutable-default-arg"] * 3
+
+    def test_immutable_defaults_allowed(self):
+        text = "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n"
+        assert codes(text) == []
+
+
+class TestBlanketExcept:
+    def test_flags_bare_and_broad(self):
+        text = (
+            "try:\n    pass\nexcept:\n    pass\n"
+            "try:\n    pass\nexcept Exception:\n    pass\n"
+        )
+        assert codes(text) == ["blanket-except"] * 2
+
+    def test_reraise_allowed(self):
+        text = (
+            "try:\n    pass\n"
+            "except Exception:\n    cleanup = 1\n    raise\n"
+        )
+        assert codes(text) == []
+
+    def test_specific_exception_allowed(self):
+        text = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert codes(text) == []
+
+
+class TestModuleSuperInit:
+    def test_flags_assignment_before_super(self):
+        text = (
+            "class Net(Module):\n"
+            "    def __init__(self):\n"
+            "        self.w = 1\n"
+            "        super().__init__()\n"
+        )
+        assert codes(text) == ["module-super-init"]
+
+    def test_flags_missing_super_entirely(self):
+        text = (
+            "class Net(nn.Module):\n"
+            "    def __init__(self):\n"
+            "        self.w = 1\n"
+        )
+        assert codes(text) == ["module-super-init"]
+
+    def test_clean_module_and_non_module_classes(self):
+        text = (
+            "class Net(Module):\n"
+            "    def __init__(self):\n"
+            "        super().__init__()\n"
+            "        self.w = 1\n"
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.w = 1\n"
+        )
+        assert codes(text) == []
+
+
+class TestForwardConventions:
+    def test_flags_static_forward(self):
+        text = (
+            "class Net(Module):\n"
+            "    def __init__(self):\n"
+            "        super().__init__()\n"
+            "    @staticmethod\n"
+            "    def forward(x):\n"
+            "        return x\n"
+        )
+        assert codes(text) == ["forward-conventions"]
+
+    def test_flags_explicit_forward_call(self):
+        assert codes("y = layer.forward(x)\n") == ["forward-conventions"]
+
+    def test_self_forward_and_direct_call_allowed(self):
+        text = (
+            "class Net(Module):\n"
+            "    def __init__(self):\n"
+            "        super().__init__()\n"
+            "    def forward(self, x):\n"
+            "        return self.inner(x)\n"
+            "    def pooled(self, x):\n"
+            "        return self.forward(x)\n"
+        )
+        assert codes(text) == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        text = (
+            "import time\n"
+            "a = time.time()  # lint: disable=wall-clock-call\n"
+            "b = time.time()\n"
+        )
+        violations = lint_source(text)
+        assert [v.line for v in violations] == [3]
+
+    def test_line_suppression_all_rules(self):
+        text = "import time\na = time.time()  # lint: disable\n"
+        assert codes(text) == []
+
+    def test_file_suppression(self):
+        text = (
+            "# lint: disable-file=wall-clock-call\n"
+            "import time\n"
+            "a = time.time()\nb = time.time()\n"
+        )
+        assert codes(text) == []
+
+    def test_file_suppression_leaves_other_rules(self):
+        text = (
+            "# lint: disable-file=wall-clock-call\n"
+            "import time\n"
+            "a = time.time()\n"
+            "def f(x=[]):\n    return x\n"
+        )
+        assert codes(text) == ["mutable-default-arg"]
+
+
+class TestEngine:
+    def test_select_restricts_rules(self):
+        text = "import time\na = time.time()\ndef f(x=[]):\n    return x\n"
+        assert codes(text, select=["mutable-default-arg"]) == ["mutable-default-arg"]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="unknown lint rule"):
+            lint_source("x = 1\n", select=["no-such-rule"])
+
+    def test_syntax_error_is_a_violation(self):
+        violations = lint_source("def f(:\n")
+        assert [v.rule for v in violations] == ["syntax-error"]
+
+    def test_registry_lists_builtins(self):
+        names = {name for name, _ in available_rules()}
+        assert {
+            "global-numpy-random", "wall-clock-call", "mutable-default-arg",
+            "blanket-except", "module-super-init", "forward-conventions",
+        } <= names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            @register_rule
+            class Clash(LintRule):
+                name = "blanket-except"
+                description = "clash"
+
+    def test_custom_rule_roundtrip(self):
+        @register_rule
+        class NoPrint(LintRule):
+            name = "test-no-print"
+            description = "forbid print in tests of the rule engine"
+
+            def visit_Call(self, node):
+                import ast
+
+                if isinstance(node.func, ast.Name) and node.func.id == "print":
+                    self.report(node, "print call")
+                self.generic_visit(node)
+
+        try:
+            assert codes("print('hi')\n", select=["test-no-print"]) == [
+                "test-no-print"
+            ]
+        finally:
+            del RULES["test-no-print"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text("def f(x=[]):\n    return x\n")
+        (tmp_path / "pkg" / "good.py").write_text("def f(x=None):\n    return x\n")
+        violations = lint_paths([tmp_path])
+        assert len(violations) == 1
+        assert violations[0].path.endswith("bad.py")
+
+    def test_format_violations(self):
+        violations = lint_source("def f(x=[]):\n    return x\n", path="m.py")
+        rendered = format_violations(violations)
+        assert "m.py:1:" in rendered
+        assert "[mutable-default-arg]" in rendered
+        assert rendered.endswith("1 violation")
+
+
+class TestSelfHosting:
+    def test_src_tree_lints_clean(self):
+        violations = lint_paths(["src"])
+        assert violations == [], format_violations(violations)
+
+
+class TestCli:
+    def test_lint_clean_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "src/repro/analysis"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_violations_exit_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "mutable-default-arg" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        assert "blanket-except" in capsys.readouterr().out

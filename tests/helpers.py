@@ -1,46 +1,12 @@
-"""Shared test utilities: finite-difference gradient checking."""
+"""Shared test utilities: thin wrappers over :mod:`repro.nn.gradcheck`.
+
+The finite-difference gradient checker graduated into the public API
+(``repro.nn.gradcheck``) so the model auditor can reuse it; tests keep
+importing from here.
+"""
 
 from __future__ import annotations
 
-import numpy as np
+from repro.nn.gradcheck import check_gradients, numeric_gradient
 
-from repro.nn.tensor import Tensor
-
-
-def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
-    """Central finite-difference gradient of scalar ``fn`` at ``x``."""
-    grad = np.zeros_like(x, dtype=np.float64)
-    flat = x.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = fn(x)
-        flat[i] = original - eps
-        minus = fn(x)
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2 * eps)
-    return grad
-
-
-def check_gradients(build_loss, shape: tuple[int, ...], seed: int = 0,
-                    atol: float = 2e-2, rtol: float = 5e-2) -> None:
-    """Assert autograd gradients match finite differences.
-
-    ``build_loss(tensor) -> Tensor`` must construct a scalar loss from a
-    (possibly multidimensional) input tensor.
-    """
-    rng = np.random.default_rng(seed)
-    x = rng.standard_normal(shape).astype(np.float32)
-
-    tensor = Tensor(x.copy(), requires_grad=True)
-    loss = build_loss(tensor)
-    assert loss.data.size == 1, "build_loss must return a scalar"
-    loss.backward()
-    analytic = tensor.grad.astype(np.float64)
-
-    def scalar_fn(arr: np.ndarray) -> float:
-        return float(build_loss(Tensor(arr.astype(np.float32))).data)
-
-    numeric = numeric_gradient(scalar_fn, x.astype(np.float64))
-    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+__all__ = ["check_gradients", "numeric_gradient"]

@@ -1,0 +1,40 @@
+"""Tests for the public gradient-checking API (repro.nn.gradcheck)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import check_gradients, parameter_gradient_error
+
+
+class TestCheckGradients:
+    def test_passes_for_correct_graph(self):
+        check_gradients(lambda x: (x * x).sum(), (3, 4))
+
+    def test_fails_for_wrong_gradient(self):
+        def lossy(x):
+            # the squared term reaches the value but not the graph
+            hidden = nn.Tensor(x.data ** 2)
+            return (x * 3.0).sum() + hidden.sum()
+
+        with pytest.raises(AssertionError):
+            check_gradients(lossy, (2, 2))
+
+
+class TestParameterGradientError:
+    def test_small_error_for_correct_graph(self):
+        model = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        x = nn.Tensor(np.random.default_rng(1).standard_normal((4, 3)).astype(np.float32))
+
+        def loss_value():
+            with nn.no_grad():
+                return float(model(x).sum().data)
+
+        model(x).sum().backward()
+        error = parameter_gradient_error(loss_value, model.weight)
+        assert error < 1e-2
+
+    def test_requires_backward_first(self):
+        model = nn.Linear(3, 2)
+        with pytest.raises(ValueError, match="no gradient"):
+            parameter_gradient_error(lambda: 0.0, model.weight)

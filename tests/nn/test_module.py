@@ -104,3 +104,32 @@ class TestContainers:
     def test_forward_not_implemented(self):
         with pytest.raises(NotImplementedError):
             nn.Module()(1)
+
+
+class TestMissingSuperInit:
+    def test_submodule_assignment_raises(self):
+        class Bad(nn.Module):
+            def __init__(self):
+                self.linear = nn.Linear(2, 2)
+
+        with pytest.raises(RuntimeError, match=r"super\(\)\.__init__\(\)"):
+            Bad()
+
+    def test_parameter_assignment_raises(self):
+        class Bad(nn.Module):
+            def __init__(self):
+                self.scale = nn.Parameter(np.ones(2, dtype=np.float32))
+
+        with pytest.raises(RuntimeError, match=r"before Module.__init__"):
+            Bad()
+
+    def test_plain_attributes_still_allowed(self):
+        # Non-module attributes don't need the registries, so assigning
+        # them first is legal (if discouraged).
+        class Odd(nn.Module):
+            def __init__(self):
+                self.count = 3
+                super().__init__()
+                self.linear = nn.Linear(2, 2)
+
+        assert Odd().count == 3
