@@ -1,0 +1,141 @@
+"""Runtime scaling benchmark: sharded micro-batching vs a single lane.
+
+The sharded runtime exists because per-batch inference latency — an LLM
+endpoint or remote accelerator, the deployment bottleneck the paper's
+production setting implies — leaves the CPU idle.  This benchmark models
+that with a synthetic worker whose per-batch cost is a fixed sleep: one
+shard pays the cost serially; N threaded shards overlap it.  Measured on
+an 8-system interleaved stream at shards ∈ {1, 2, 4}: windows/second
+plus p50/p99 micro-batch scoring latency, written both as a result block
+(benchmarks/results/) and machine-readable as BENCH_runtime.json at the
+repo root.
+
+The acceptance bar is >= 2x windows/second at 4 shards vs 1.
+"""
+
+import dataclasses
+import time
+
+from repro.logs import LogGenerator
+from repro.obs import MetricsRegistry
+from repro.runtime import InferenceRuntime, SyntheticWorker, message_pattern
+
+from common import emit, emit_json
+
+SYSTEMS = 8
+LINES_PER_SYSTEM = 900
+MAX_BATCH = 16
+# Simulated per-batch inference latency (remote model round-trip).
+BATCH_COST_S = 0.008
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _workload():
+    """An interleaved multi-system stream; svc-NN names hash evenly onto
+    2 and 4 shards, so the comparison measures overlap, not skew."""
+    streams = []
+    for index in range(SYSTEMS):
+        records = LogGenerator("thunderbird", seed=100 + index,
+                               repeat_probability=0.5).generate(LINES_PER_SYSTEM)
+        streams.append([dataclasses.replace(record, system=f"svc-{index:02d}")
+                       for record in records])
+    return [record for group in zip(*streams) for record in group]
+
+
+def _merged_percentile(histograms, q: float) -> float:
+    """Percentile over same-boundary histograms merged bucket-wise."""
+    if not histograms:
+        return 0.0
+    boundaries = histograms[0].boundaries
+    counts = [0] * (len(boundaries) + 1)
+    for histogram in histograms:
+        for index, count in enumerate(histogram.bucket_counts):
+            counts[index] += count
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank:
+            if index < len(boundaries):
+                return boundaries[index]
+            break
+    return max(histogram.max for histogram in histograms)
+
+
+def _run(records, shards: int) -> dict:
+    registry = MetricsRegistry()
+    runtime = InferenceRuntime(
+        lambda index: SyntheticWorker(cost=lambda n: time.sleep(BATCH_COST_S)),
+        pattern_fn=message_pattern, shards=shards, max_batch=MAX_BATCH,
+        max_latency=0.05, threaded=True, queue_capacity=50_000,
+        registry=registry,
+    )
+    clock = registry.clock
+    runtime.start()
+    started = clock()
+    for record in records:
+        runtime.submit(record)
+    reports = runtime.stop()
+    elapsed = clock() - started
+    stats = runtime.stats
+    batch_histograms = [
+        metric for name, metric in registry.metrics().items()
+        if name.startswith("runtime.batch_seconds")
+    ]
+    return {
+        "shards": shards,
+        "elapsed_s": round(elapsed, 4),
+        "windows": stats.windows_seen,
+        "windows_per_s": round(stats.windows_seen / elapsed, 1),
+        "batches": stats.batches,
+        "reports": len(reports),
+        "batch_p50_s": round(_merged_percentile(batch_histograms, 0.50), 5),
+        "batch_p99_s": round(_merged_percentile(batch_histograms, 0.99), 5),
+        "degraded_windows": stats.degraded_windows,
+        "records_shed": stats.records_rejected + stats.records_dropped,
+    }
+
+
+def test_runtime_throughput_scaling():
+    records = _workload()
+    rows = [_run(records, shards) for shards in SHARD_COUNTS]
+    base = rows[0]["windows_per_s"]
+    speedup = rows[-1]["windows_per_s"] / base
+
+    lines = [
+        "Runtime scaling benchmark (sharded micro-batching inference)",
+        f"stream                      : {len(records)} records, "
+        f"{SYSTEMS} systems interleaved",
+        f"simulated inference cost    : {BATCH_COST_S * 1e3:.0f} ms per batch "
+        f"(max_batch={MAX_BATCH})",
+    ]
+    for row in rows:
+        lines.append(
+            f"shards={row['shards']}: {row['windows_per_s']:>8,.1f} windows/s "
+            f"({row['windows']} windows, {row['batches']} batches, "
+            f"batch p50 {row['batch_p50_s'] * 1e3:.1f} ms / "
+            f"p99 {row['batch_p99_s'] * 1e3:.1f} ms)"
+        )
+    lines.append(f"speedup (4 shards vs 1)     : {speedup:.2f}x (bar: >= 2.0x)")
+    emit("runtime_throughput", "\n".join(lines))
+    emit_json("runtime", {
+        "benchmark": "runtime_throughput",
+        "workload": {
+            "systems": SYSTEMS,
+            "records": len(records),
+            "max_batch": MAX_BATCH,
+            "batch_cost_s": BATCH_COST_S,
+            "shard_counts": list(SHARD_COUNTS),
+        },
+        "results": rows,
+        "speedup_4_vs_1": round(speedup, 3),
+    })
+
+    # Same detection work at every shard count, nothing shed or degraded.
+    assert len({row["windows"] for row in rows}) == 1
+    assert all(row["degraded_windows"] == 0 for row in rows)
+    assert all(row["records_shed"] == 0 for row in rows)
+    assert speedup >= 2.0, f"expected >=2x at 4 shards, got {speedup:.2f}x"

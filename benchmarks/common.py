@@ -9,12 +9,14 @@ EXPERIMENTS.md.  Each benchmark prints its rows and writes them to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.config import LogSynergyConfig
 from repro.evaluation.experiment import CrossSystemExperiment
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # --- Reduced-scale knobs (paper value -> here) -------------------------
 # Dataset scale: full logs -> 0.6 % of Table III line counts.
@@ -97,3 +99,12 @@ def emit(name: str, text: str) -> None:
     banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}"
     print(banner)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result as ``BENCH_<name>.json`` at the
+    repo root (the convention CI diffs run-over-run)."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path

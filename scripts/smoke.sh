@@ -1,10 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 smoke check: static gate (compileall + project linter), a fast
-# model audit, then the test suite.
+# model audit, a deterministic 2-shard runtime replay over the bundled
+# sample stream (must produce reports and non-empty metrics), then the
+# test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 bash scripts/lint.sh
 PYTHONPATH=src python -m repro.cli audit logsynergy
+
+replay_out="$(mktemp)"
+replay_metrics="$(mktemp)"
+trap 'rm -f "$replay_out" "$replay_metrics"' EXIT
+PYTHONPATH=src python -m repro.cli replay \
+    --logs examples/data/replay_sample.jsonl --shards 2 \
+    --out "$replay_out" --metrics-out "$replay_metrics"
+test -s "$replay_out" || { echo "smoke: replay produced no reports" >&2; exit 1; }
+test -s "$replay_metrics" || { echo "smoke: replay produced no metrics" >&2; exit 1; }
+
 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -14,6 +14,7 @@ from .lint import LintRule, register_rule
 __all__ = [
     "GlobalNumpyRandomRule", "WallClockRule", "MutableDefaultRule",
     "BlanketExceptRule", "ModuleSuperInitRule", "ForwardConventionsRule",
+    "DirectThreadRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -187,6 +188,38 @@ class ModuleSuperInitRule(LintRule):
                             target,
                             f"self.{target.attr} assigned before super().__init__()",
                         )
+        self.generic_visit(node)
+
+
+@register_rule
+class DirectThreadRule(LintRule):
+    """Concurrency is a subsystem, not a convenience: ad-hoc threads
+    bypass the runtime's queues, backpressure and supervision, and make
+    replay non-deterministic.  ``repro.runtime`` is the one sanctioned
+    construction site; everything else must submit work to it (or carry
+    an explicit, reviewable suppression)."""
+
+    name = "direct-thread"
+    description = "forbid threading.Thread(...) outside repro.runtime"
+    hint = "submit work to repro.runtime (or suppress with # lint: disable=direct-thread)"
+
+    # Path fragments (posix-normalized) exempt from the rule.
+    _ALLOWED_FRAGMENTS = ("repro/runtime/",)
+
+    def _exempt(self) -> bool:
+        path = self.source.path.replace("\\", "/")
+        return any(fragment in path for fragment in self._ALLOWED_FRAGMENTS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        constructed = (
+            (isinstance(func, ast.Attribute) and func.attr == "Thread"
+             and isinstance(func.value, ast.Name)
+             and func.value.id == "threading")
+            or (isinstance(func, ast.Name) and func.id == "Thread")
+        )
+        if constructed and not self._exempt():
+            self.report(node, "direct threading.Thread construction")
         self.generic_visit(node)
 
 

@@ -197,6 +197,98 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_runtime(args: argparse.Namespace, *, threaded: bool, **extra):
+    """Shared runtime construction for ``serve`` / ``replay``.
+
+    With ``--model-dir`` the runtime scores through a saved LogSynergy
+    pipeline; without it, a deterministic synthetic worker stands in so
+    the runtime path can be exercised with no trained artifacts.
+    """
+    from .runtime import InferenceRuntime, SyntheticWorker, message_pattern
+
+    common = dict(shards=args.shards, window=args.window, step=args.step,
+                  max_batch=args.max_batch, threaded=threaded, **extra)
+    if args.model_dir:
+        from .core import LogSynergy
+
+        model = LogSynergy.load_pipeline(args.model_dir)
+        return InferenceRuntime.from_model(model, **common)
+    return InferenceRuntime(
+        lambda index: SyntheticWorker(threshold=args.threshold),
+        pattern_fn=message_pattern, **common,
+    )
+
+
+def _print_runtime_summary(runtime, records: int, reports: int) -> None:
+    stats = runtime.stats
+    print(f"{records} records -> {stats.windows_seen} windows, "
+          f"{reports} reports ({stats.degraded_windows} degraded windows, "
+          f"model skip rate {stats.model_skip_rate:.2f})")
+    shed = stats.records_rejected + stats.records_dropped
+    if shed:
+        print(f"backpressure shed {shed} records "
+              f"({stats.records_rejected} rejected, "
+              f"{stats.records_dropped} dropped-oldest)")
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .logs import load_records
+    from .runtime import render_reports, report_sort_key
+
+    records = load_records(args.logs)
+    if not records:
+        raise SystemExit(f"{args.logs}: no records")
+    with _observability(args):
+        # Deterministic by construction: synchronous engine, no latency
+        # trigger — output is byte-identical for any --shards value.
+        runtime = _build_runtime(args, threaded=False, max_latency=None,
+                                 backpressure="block")
+        for record in records:
+            runtime.submit(record)
+        reports = runtime.drain()
+        reports.sort(key=report_sort_key)
+        rendered = render_reports(reports)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"wrote {len(reports)} reports to {args.out}")
+        else:
+            sys.stdout.write(rendered)
+        _print_runtime_summary(runtime, len(records), len(reports))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .logs import load_records
+    from .runtime import render_reports, report_sort_key
+
+    records = load_records(args.logs)
+    if not records:
+        raise SystemExit(f"{args.logs}: no records")
+    with _observability(args):
+        runtime = _build_runtime(
+            args, threaded=True, max_latency=args.max_latency,
+            backpressure=args.backpressure, queue_capacity=args.queue_capacity,
+        )
+        clock = runtime.registry.clock
+        runtime.start()
+        started = clock()
+        for record in records:
+            runtime.submit(record)
+        reports = runtime.stop()
+        elapsed = clock() - started
+        reports.sort(key=report_sort_key)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(render_reports(reports))
+            print(f"wrote {len(reports)} reports to {args.out}")
+        _print_runtime_summary(runtime, len(records), len(reports))
+        rate = len(records) / elapsed if elapsed > 0 else float("inf")
+        print(f"served {len(records)} records on {args.shards} shard(s) "
+              f"in {elapsed:.2f}s ({rate:,.0f} records/s)")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import read_jsonl, summarize_events
 
@@ -312,6 +404,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="include INFO findings in the report")
     _add_metrics_flag(audit)
     audit.set_defaults(func=_cmd_audit)
+
+    def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--logs", required=True, help="JSONL file to stream")
+        sub.add_argument("--model-dir", default=None,
+                         help="saved pipeline directory (omit for the "
+                              "deterministic synthetic worker)")
+        sub.add_argument("--shards", type=int, default=1)
+        sub.add_argument("--max-batch", type=int, default=16)
+        sub.add_argument("--threshold", type=float, default=0.5,
+                         help="anomaly threshold for the synthetic worker")
+        sub.add_argument("--out", default=None, metavar="PATH",
+                         help="write canonical report JSONL to this file")
+        _add_window_flags(sub)
+        _add_metrics_flag(sub)
+
+    replay = commands.add_parser(
+        "replay", help="deterministically replay a log file through the "
+                       "sharded runtime (byte-identical for any --shards)"
+    )
+    _add_runtime_flags(replay)
+    replay.set_defaults(func=_cmd_replay)
+
+    serve = commands.add_parser(
+        "serve", help="stream a log file through the threaded sharded runtime"
+    )
+    _add_runtime_flags(serve)
+    serve.add_argument("--max-latency", type=float, default=0.05,
+                       help="micro-batch latency budget in seconds")
+    serve.add_argument("--backpressure", default="block",
+                       choices=["block", "reject", "drop-oldest"])
+    serve.add_argument("--queue-capacity", type=int, default=10_000)
+    serve.set_defaults(func=_cmd_serve)
 
     stats = commands.add_parser("stats", help="summarize a --metrics-out JSONL file")
     stats.add_argument("metrics", help="JSONL file written by --metrics-out")

@@ -1,7 +1,18 @@
 """Transport buffer (§VI-A): a bounded FIFO standing in for Kafka.
 
 Single-process deployment simulation: producers ``offer`` records, the
-formatter ``poll``s batches.  Capacity bounds model broker backpressure.
+formatter ``poll``s batches.  Capacity bounds model broker backpressure,
+and the overflow behaviour is a named policy:
+
+* ``reject`` (default) — a full buffer refuses the new record, matching
+  a broker that answers producers with an error.
+* ``drop-oldest`` — the oldest queued record is evicted to admit the new
+  one, matching a retention-bounded topic tailing live traffic.
+
+Shed records are counted on the instance and through the active
+``repro.obs`` registry (``deploy.buffer_rejected`` /
+``deploy.buffer_dropped``), so load shedding is visible in exported
+metrics, not just to callers that kept the buffer handle.
 """
 
 from __future__ import annotations
@@ -9,21 +20,36 @@ from __future__ import annotations
 from collections import deque
 from typing import Generic, TypeVar
 
+from ..obs import get_registry
+
 T = TypeVar("T")
 
-__all__ = ["BoundedBuffer"]
+__all__ = ["BoundedBuffer", "OVERFLOW_POLICIES"]
+
+OVERFLOW_POLICIES = ("reject", "drop-oldest")
 
 
 class BoundedBuffer(Generic[T]):
-    """Bounded FIFO queue with batch polling."""
+    """Bounded FIFO queue with batch polling and a named overflow policy."""
 
-    def __init__(self, capacity: int = 10_000):
+    def __init__(self, capacity: int = 10_000, policy: str = "reject",
+                 registry=None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {policy!r}; "
+                f"expected one of {', '.join(OVERFLOW_POLICIES)}"
+            )
         self.capacity = capacity
+        self.policy = policy
         self._queue: deque[T] = deque()
         self.total_offered = 0
         self.total_rejected = 0
+        self.total_dropped = 0
+        registry = registry if registry is not None else get_registry()
+        self._rejected_metric = registry.counter("deploy.buffer_rejected")
+        self._dropped_metric = registry.counter("deploy.buffer_dropped")
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -34,11 +60,20 @@ class BoundedBuffer(Generic[T]):
         return len(self._queue) >= self.capacity
 
     def offer(self, item: T) -> bool:
-        """Enqueue one item; returns ``False`` (rejected) when full."""
+        """Enqueue one item; returns ``False`` only when rejected.
+
+        Under ``drop-oldest`` the offer always succeeds — the cost is
+        paid by the oldest queued record, which is evicted and counted.
+        """
         self.total_offered += 1
         if self.is_full:
-            self.total_rejected += 1
-            return False
+            if self.policy == "reject":
+                self.total_rejected += 1
+                self._rejected_metric.inc()
+                return False
+            self._queue.popleft()
+            self.total_dropped += 1
+            self._dropped_metric.inc()
         self._queue.append(item)
         return True
 

@@ -4,9 +4,13 @@ collection (Filebeat) -> buffering (Kafka) -> formatting (LogStash)
 -> pattern-library gate -> LogSynergy model -> alert routing.
 
 ``OnlineService.process`` pushes a batch of raw records through every
-stage and returns the anomaly reports raised.  Detection is batch-first:
-all windows the pattern library cannot answer are scored in one
-``detect_stream_batch`` call.  Per-stage statistics live in a
+stage and returns the anomaly reports raised.  Detection runs on the
+``repro.runtime`` sharded inference engine in synchronous mode
+(deterministic, shard-count invariant): windowing, the pattern-library
+gate, micro-batched ``detect_stream_batch`` scoring and graceful
+degradation all live there; this class keeps the ingestion stages and
+the stable public surface (``stats``, ``collector``, ``buffer``,
+``library``, alert routing).  Per-stage statistics live in a
 ``repro.obs`` metrics registry — the service joins the globally
 installed registry when observability is enabled and otherwise keeps a
 private one, so :class:`ServiceStats` always reads live numbers.
@@ -21,8 +25,6 @@ from ..obs import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from .alerting import AlertRouter
 from .buffer import BoundedBuffer
 from .collector import LogCollector
-from .formatter import LogFormatter, UnifiedLog
-from .pattern_library import PatternLibrary
 
 __all__ = ["ServiceStats", "OnlineService"]
 
@@ -69,20 +71,42 @@ class ServiceStats:
         )
 
 
+class _LibraryView:
+    """Aggregate read-view over the runtime's per-system pattern libraries."""
+
+    def __init__(self, runtime):
+        self._runtime = runtime
+
+    def _libraries(self) -> list:
+        return [library
+                for shard in self._runtime.shards
+                for library in shard.libraries.values()]
+
+    def __len__(self) -> int:
+        return sum(len(library) for library in self._libraries())
+
+    def known_anomalous_patterns(self) -> int:
+        """Count of remembered patterns judged anomalous, all systems."""
+        return sum(library.known_anomalous_patterns()
+                   for library in self._libraries())
+
+
 class OnlineService:
     """Production-shaped online anomaly detection around a fitted model."""
 
     def __init__(self, model: LogSynergy, router: AlertRouter | None = None,
                  buffer_capacity: int = 50_000, window: int = 10, step: int = 5,
                  max_patterns: int = 100_000,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 shards: int = 1, max_batch: int = 16):
         if model.model is None:
             raise ValueError("OnlineService requires a fitted LogSynergy model")
+        # Import here, not at module level: repro.runtime is a downstream
+        # consumer of this package's submodules (formatter, pattern
+        # library), so the package imports must stay one-directional.
+        from ..runtime import InferenceRuntime
+
         self.model = model
-        self.buffer: BoundedBuffer[LogRecord] = BoundedBuffer(buffer_capacity)
-        self.collector = LogCollector(self.buffer)
-        self.formatter = LogFormatter(self.buffer, window=window, step=step)
-        self.library = PatternLibrary(max_patterns=max_patterns)
         self.router = router or AlertRouter()
         if registry is None:
             active = get_registry()
@@ -90,85 +114,43 @@ class OnlineService:
             # fall back to a private registry rather than the no-op one.
             registry = active if active.enabled else MetricsRegistry()
         self.registry = registry
+        self.buffer: BoundedBuffer[LogRecord] = BoundedBuffer(
+            buffer_capacity, registry=registry
+        )
+        self.collector = LogCollector(self.buffer)
         self.stats = ServiceStats(registry)
+        self.window = window
+        self.step = step
         self._latency = registry.histogram(
             "service.window_seconds", boundaries=LATENCY_BUCKETS
         )
-        self._clock = registry.clock
+        self.runtime = InferenceRuntime.from_model(
+            model, shards=shards, window=window, step=step,
+            max_batch=max_batch, max_latency=None,
+            queue_capacity=buffer_capacity, backpressure="block",
+            max_patterns=max_patterns, registry=registry, prefix="service",
+        )
+        self._library_view = _LibraryView(self.runtime)
 
-    # ------------------------------------------------------------------
-    def _pattern_of(self, window: list[UnifiedLog]) -> tuple[int, ...]:
-        featurizer = self.model._featurizer(self.model.target_system)
-        ids = [featurizer.event_id_of(entry.message) for entry in window]
-        # Patterns are keyed by the distinct-event set: real streams repeat
-        # the same event mixes with permuted interleavings and varying run
-        # lengths, and the library's job is to absorb exactly that
-        # redundancy (§VI-A).
-        return tuple(sorted(set(ids)))
+    @property
+    def library(self) -> _LibraryView:
+        """Aggregate view of the remembered patterns across all systems."""
+        return self._library_view
 
     # ------------------------------------------------------------------
     def process(self, records: list[LogRecord]) -> list[AnomalyReport]:
         """Run a batch of raw records through the full pipeline.
 
-        Windows the pattern library can answer are resolved immediately;
-        the rest are deduplicated by pattern and scored in a single
-        ``detect_stream_batch`` call, preserving the verdicts (and the
-        skip-rate accounting) of the per-window flow.
+        Collection and buffering feed the inference runtime, which gates
+        windows through per-system pattern libraries and scores the rest
+        in micro-batched ``detect_stream_batch`` calls.  Anomalous
+        reports are routed and returned in emission order.
         """
         self.collector.ship(records)
-        windows = self.formatter.pump(max_items=len(records) + self.formatter.window)
-
-        # Stage 1 — pattern-library gate.
-        patterns: list[tuple[int, ...]] = []
-        verdicts: list[bool | None] = []
-        latencies: list[float] = []
-        to_score: list[int] = []
-        first_of_pattern: set[tuple[int, ...]] = set()
-        for index, window in enumerate(windows):
-            start = self._clock()
-            self.stats._windows.inc()
-            pattern = self._pattern_of(window)
-            patterns.append(pattern)
-            cached = self.library.lookup(pattern)
-            if cached is None and pattern not in first_of_pattern:
-                first_of_pattern.add(pattern)
-                to_score.append(index)
-            elif cached is not None:
-                self.stats._library_hits.inc()
-            verdicts.append(cached)
-            latencies.append(self._clock() - start)
-
-        # Stage 2 — one batched model call for all unknown patterns.
-        scored_reports: dict[int, AnomalyReport] = {}
-        if to_score:
-            start = self._clock()
-            batch_reports = self.model.detect_stream_batch(
-                [[entry.message for entry in windows[i]] for i in to_score],
-                [[entry.timestamp for entry in windows[i]] for i in to_score],
-            )
-            share = (self._clock() - start) / len(to_score)
-            self.stats._invocations.inc(len(to_score))
-            for index, report in zip(to_score, batch_reports):
-                scored_reports[index] = report
-                self.library.remember(patterns[index], report.is_anomalous)
-                latencies[index] += share
-
-        # Stage 3 — resolve verdicts and route alerts in window order.
-        reports: list[AnomalyReport] = []
-        for index in range(len(windows)):
-            verdict = verdicts[index]
-            if verdict is None:
-                # Either scored above, or a duplicate of a pattern scored
-                # above — the library knows the answer now.
-                verdict = (
-                    scored_reports[index].is_anomalous
-                    if index in scored_reports
-                    else bool(self.library.lookup(patterns[index]))
-                )
-            report = scored_reports.get(index)
-            if verdict and report is not None:
-                self.router.route(report)
-                self.stats._anomalies.inc()
-                reports.append(report)
-            self._latency.observe(latencies[index])
+        for record in self.buffer.drain():
+            self.runtime.submit(record)
+        reports = [report for report in self.runtime.drain()
+                   if report.is_anomalous]
+        for report in reports:
+            self.router.route(report)
         return reports

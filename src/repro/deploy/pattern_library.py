@@ -65,6 +65,14 @@ class PatternLibrary:
             return  # library full: keep answering from what we have
         self._verdicts[pattern] = is_anomalous
 
+    def snapshot(self) -> dict[tuple[int, ...], bool]:
+        """Copy of the remembered pattern -> verdict mapping.
+
+        Used by the runtime's degraded-mode fallback to derive its
+        known-pattern heuristic without touching hit/miss accounting.
+        """
+        return dict(self._verdicts)
+
     def known_anomalous_patterns(self) -> int:
         """Count of remembered patterns judged anomalous."""
         return sum(1 for v in self._verdicts.values() if v)

@@ -1,0 +1,53 @@
+"""``repro.runtime`` — sharded micro-batching inference runtime.
+
+The paper deploys LogSynergy as an online service over ISP log streams
+(collector -> buffer -> detector -> alerting, §VI-A); this package is the
+layer that lets that service approach production volume.  It sits between
+``repro.deploy`` ingestion and the model's batch-first
+``predict_proba``/``detect_stream_batch`` path:
+
+* :class:`ShardRouter` — stable system-id hashing over N shards; a
+  system's records always land on the same shard, so each shard owns its
+  windowing state and results are independent of the shard count.
+* :class:`ShardQueue` — bounded ingress queue per shard with explicit
+  backpressure policies (``block`` / ``reject`` / ``drop-oldest``) and
+  load-shedding counters.
+* :class:`MicroBatchScheduler` — accumulates windows per system lane and
+  flushes them under a max-batch-size / max-latency budget (injectable
+  clock).  Lanes are chunked at exactly ``max_batch`` so batch
+  boundaries — and therefore model outputs — are byte-identical for any
+  shard count.
+* :class:`WorkerSupervisor` — timeout accounting, bounded retry with
+  backoff, and a health state machine.  While a shard's model worker is
+  unhealthy its traffic falls back to the :class:`PatternFallback`
+  known-pattern fast path instead of dropping detections.
+* :class:`InferenceRuntime` — the engine tying it together, with a
+  deterministic synchronous mode (``submit``/``pump``/``drain``, used by
+  ``repro replay``) and a threaded mode (``start``/``stop``, used by
+  ``repro serve``) whose shard workers are the only threads this project
+  is allowed to construct (see the ``direct-thread`` lint rule).
+
+Every stage reports through ``repro.obs``: queue-depth gauges,
+batch-size/latency histograms, shed/degraded counters and per-shard
+flush spans.
+"""
+
+from .engine import InferenceRuntime, RuntimeStats
+from .fallback import PatternFallback
+from .queues import OFFER_DROPPED, OFFER_FULL, OFFER_OK, OFFER_REJECTED, ShardQueue
+from .replay import render_reports, replay_records, report_sort_key
+from .router import ShardRouter
+from .scheduler import MicroBatchScheduler, PendingWindow
+from .supervisor import WorkerSupervisor
+from .worker import FlakyWorker, ModelWorker, SyntheticWorker, WorkerError, message_pattern
+
+__all__ = [
+    "InferenceRuntime", "RuntimeStats",
+    "ShardRouter",
+    "ShardQueue", "OFFER_OK", "OFFER_REJECTED", "OFFER_DROPPED", "OFFER_FULL",
+    "MicroBatchScheduler", "PendingWindow",
+    "WorkerSupervisor", "WorkerError",
+    "ModelWorker", "SyntheticWorker", "FlakyWorker", "message_pattern",
+    "PatternFallback",
+    "replay_records", "render_reports", "report_sort_key",
+]

@@ -1,0 +1,369 @@
+"""The inference runtime engine: router + queues + shards + supervision.
+
+:class:`InferenceRuntime` runs in one of two modes:
+
+**Synchronous** (default) — ``submit`` / ``pump`` / ``drain`` on the
+caller's thread.  Records are admitted to their shard's bounded queue and
+``pump`` consumes them in *global submission order* (a k-way merge on the
+sequence number across shard queues).  That ordering — together with the
+scheduler's exact-``max_batch`` lane chunking, per-system pattern
+libraries and a canonical end-of-stream drain order — makes the output a
+pure function of the input stream: ``repro replay --shards N`` is
+byte-identical for every N.  This mode backs
+:class:`~repro.deploy.online.OnlineService` and ``repro replay``.
+
+**Threaded** (``threaded=True``) — ``start`` / ``stop``; one worker
+thread per shard consumes its own queue, so simulated/remote inference
+latency overlaps across shards (``repro serve``).  Determinism is traded
+for throughput: global ordering is not enforced and per-shard metric
+names get a ``.shard<i>`` scope suffix so concurrent shards never race
+on one counter object.  These shard threads are the only
+``threading.Thread`` constructions the project permits (the
+``direct-thread`` lint rule enforces this).
+
+Backpressure is explicit: the queue's ``block`` policy never sheds (the
+synchronous engine pumps inline to make room; threaded producers wait),
+while ``reject`` / ``drop-oldest`` shed and count through
+``<prefix>.records_rejected`` / ``<prefix>.records_dropped``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..core.report import AnomalyReport
+from ..obs import MetricsRegistry, get_registry
+from .queues import OFFER_DROPPED, OFFER_FULL, OFFER_OK, OFFER_REJECTED, ShardQueue
+from .router import ShardRouter
+from .shard import ShardState
+from .supervisor import WorkerSupervisor
+from .worker import InferenceWorker, ModelWorker
+
+__all__ = ["InferenceRuntime", "RuntimeStats"]
+
+
+class RuntimeStats:
+    """Read-view over an engine's registry counters.
+
+    Sums the flat name and any ``.shard<i>``-scoped variants, so one
+    accessor works for both synchronous and threaded engines.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str = "runtime"):
+        self.registry = registry
+        self.prefix = prefix
+
+    def _sum(self, stem: str) -> float:
+        flat = f"{self.prefix}.{stem}"
+        scoped = f"{flat}.shard"
+        total = 0.0
+        for name, metric in self.registry.metrics().items():
+            if name == flat or name.startswith(scoped):
+                total += metric.value
+        return total
+
+    @property
+    def windows_seen(self) -> int:
+        return int(self._sum("windows_seen"))
+
+    @property
+    def model_invocations(self) -> int:
+        return int(self._sum("model_invocations"))
+
+    @property
+    def library_hits(self) -> int:
+        return int(self._sum("library_hits"))
+
+    @property
+    def anomalies_raised(self) -> int:
+        return int(self._sum("anomalies_raised"))
+
+    @property
+    def degraded_windows(self) -> int:
+        return int(self._sum("degraded_windows"))
+
+    @property
+    def batches(self) -> int:
+        return int(self._sum("batches"))
+
+    @property
+    def records_rejected(self) -> int:
+        return int(self._sum("records_rejected"))
+
+    @property
+    def records_dropped(self) -> int:
+        return int(self._sum("records_dropped"))
+
+    @property
+    def worker_failures(self) -> int:
+        return int(self._sum("worker_failures"))
+
+    @property
+    def unhealthy_transitions(self) -> int:
+        return int(self._sum("unhealthy_transitions"))
+
+    @property
+    def worker_recoveries(self) -> int:
+        return int(self._sum("worker_recoveries"))
+
+    @property
+    def model_skip_rate(self) -> float:
+        """Fraction of windows answered without a model invocation."""
+        seen = self.windows_seen
+        if seen == 0:
+            return 0.0
+        return 1.0 - self.model_invocations / seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RuntimeStats(windows_seen={self.windows_seen}, "
+                f"model_invocations={self.model_invocations}, "
+                f"degraded_windows={self.degraded_windows})")
+
+
+class InferenceRuntime:
+    """Sharded micro-batching front-end over inference workers."""
+
+    def __init__(self, worker_factory: Callable[[int], InferenceWorker], *,
+                 pattern_fn: Callable[[list], tuple[int, ...]],
+                 normalize: Callable | None = None,
+                 shards: int = 1, window: int = 10, step: int = 5,
+                 max_batch: int = 16, max_latency: float | None = None,
+                 queue_capacity: int = 10_000, backpressure: str = "block",
+                 threaded: bool = False, poll_interval: float = 0.05,
+                 supervisor_options: dict | None = None,
+                 fallback_threshold: float = 0.5,
+                 max_patterns: int = 100_000,
+                 registry: MetricsRegistry | None = None,
+                 prefix: str = "runtime", spans: bool | None = None,
+                 on_report: Callable[[AnomalyReport], None] | None = None):
+        if registry is None:
+            active = get_registry()
+            # Stats must stay readable with observability off, so fall
+            # back to a private registry rather than the no-op one.
+            registry = active if active.enabled else MetricsRegistry()
+        if normalize is None:
+            # Submodule import keeps this cycle-safe: repro.deploy's
+            # package __init__ builds on this engine.
+            from ..deploy.formatter import LogFormatter
+            normalize = LogFormatter._normalize
+        self.router = ShardRouter(shards)
+        self.threaded = threaded
+        self.registry = registry
+        self.prefix = prefix
+        self.poll_interval = poll_interval
+        self.stats = RuntimeStats(registry, prefix)
+        self._clock = registry.clock
+        self._on_report = on_report
+        self._reports: list[AnomalyReport] = []
+        self._report_lock = threading.Lock()
+        self._seq = 0
+        self._started = False
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.shard_errors: list[BaseException] = []
+        # Tracer spans are stack-based and not thread-safe; default them
+        # on only for synchronous engines.
+        spans = (not threaded) if spans is None else spans
+        options = dict(supervisor_options or {})
+        options.setdefault("clock", registry.clock)
+        self.queues: list[ShardQueue] = []
+        self.shards: list[ShardState] = []
+        self._depth_gauges = []
+        for index in range(shards):
+            scope = f".shard{index}" if threaded else ""
+            supervisor = WorkerSupervisor(
+                worker_factory(index), registry=registry,
+                prefix=prefix, scope=scope, **options,
+            )
+            self.queues.append(ShardQueue(queue_capacity, policy=backpressure))
+            self.shards.append(ShardState(
+                index, supervisor,
+                pattern_fn=pattern_fn, emit=self._emit, normalize=normalize,
+                registry=registry, clock=registry.clock,
+                window=window, step=step,
+                max_batch=max_batch, max_latency=max_latency,
+                fallback_threshold=fallback_threshold,
+                max_patterns=max_patterns,
+                prefix=prefix, scope=scope, spans=spans,
+            ))
+            self._depth_gauges.append(
+                registry.gauge(f"{prefix}.queue_depth.shard{index}")
+            )
+        self._rejected = registry.counter(f"{prefix}.records_rejected")
+        self._dropped = registry.counter(f"{prefix}.records_dropped")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, **kwargs) -> "InferenceRuntime":
+        """Build a runtime over a fitted LogSynergy model.
+
+        Wires the featurizer-based window pattern (distinct event-id
+        set, as the online service gates) and a :class:`ModelWorker`
+        per shard.  In threaded mode one lock is shared by the pattern
+        function and every worker, because both paths may ingest novel
+        templates into the featurizer's store, which is not thread-safe.
+        """
+        if model.model is None:
+            raise ValueError("InferenceRuntime requires a fitted LogSynergy model")
+        featurizer = model._featurizer(model.target_system)
+
+        def raw_pattern(window: list) -> tuple[int, ...]:
+            ids = {featurizer.event_id_of(entry.message) for entry in window}
+            return tuple(sorted(ids))
+
+        if kwargs.get("threaded"):
+            lock = threading.Lock()
+
+            def pattern_fn(window: list) -> tuple[int, ...]:
+                with lock:
+                    return raw_pattern(window)
+        else:
+            lock = None
+            pattern_fn = raw_pattern
+        return cls(lambda index: ModelWorker(model, lock=lock),
+                   pattern_fn=pattern_fn, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _emit(self, report: AnomalyReport) -> None:
+        with self._report_lock:
+            self._reports.append(report)
+        if self._on_report is not None:
+            self._on_report(report)
+
+    def take_reports(self) -> list[AnomalyReport]:
+        """Pop every report emitted since the last call."""
+        with self._report_lock:
+            reports = self._reports
+            self._reports = []
+        return reports
+
+    def queue_depths(self) -> list[int]:
+        return [len(queue) for queue in self.queues]
+
+    def pending_windows(self) -> int:
+        return sum(shard.pending_windows() for shard in self.shards)
+
+    # -- synchronous mode ----------------------------------------------
+    def submit(self, record) -> str:
+        """Route one record to its shard queue; returns the admission
+        outcome (one of the ``OFFER_*`` constants)."""
+        index = self.router.shard_of(record.system)
+        queue = self.queues[index]
+        self._seq += 1
+        item = (self._seq, record)
+        if self.threaded:
+            outcome = queue.offer(item) if queue.policy == "block" \
+                else queue.try_offer(item)
+        else:
+            outcome = queue.try_offer(item)
+            if outcome == OFFER_FULL:
+                # block policy, queue full: the producer *is* the
+                # consumer here, so make room by pumping inline.
+                self.pump()
+                outcome = queue.try_offer(item)
+        if outcome == OFFER_REJECTED:
+            self._rejected.inc()
+        elif outcome == OFFER_DROPPED:
+            self._dropped.inc()
+        self._depth_gauges[index].set(len(queue))
+        return outcome
+
+    def pump(self) -> None:
+        """Consume every queued record in global submission order.
+
+        The k-way merge on sequence numbers reproduces exactly the order
+        ``submit`` saw, whatever the shard count — the keystone of
+        deterministic replay.  Full batches flush inline as lanes fill.
+        """
+        if self.threaded:
+            raise RuntimeError("pump() is for synchronous mode; "
+                               "threaded runtimes consume via start()/stop()")
+        while True:
+            best_index = -1
+            best_seq = None
+            for index, queue in enumerate(self.queues):
+                head = queue.peek()
+                if head is not None and (best_seq is None or head[0] < best_seq):
+                    best_seq = head[0]
+                    best_index = index
+            if best_index < 0:
+                return
+            (_seq, record), = self.queues[best_index].poll(1)
+            shard = self.shards[best_index]
+            shard.ingest(record)
+            shard.flush_ready(self._clock())
+            self._depth_gauges[best_index].set(len(self.queues[best_index]))
+
+    def drain(self) -> list[AnomalyReport]:
+        """Pump what is queued, flush every residual batch, and return
+        the reports emitted since the last ``take_reports``.
+
+        Residual (partial) batches flush in one canonical order — lanes
+        sorted by system name across all shards — so end-of-stream
+        output is shard-count independent too.
+        """
+        self.pump()
+        residual: list[tuple[str, int, list]] = []
+        for shard in self.shards:
+            for system, batch in shard.drain_batches():
+                residual.append((system, shard.index, batch))
+        residual.sort(key=lambda entry: entry[0])
+        for _system, index, batch in residual:
+            self.shards[index].score_batch(batch)
+        return self.take_reports()
+
+    # -- threaded mode -------------------------------------------------
+    def start(self) -> None:
+        """Spawn one consumer thread per shard (threaded mode only)."""
+        if not self.threaded:
+            raise RuntimeError("start() requires threaded=True")
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        self._stop.clear()
+        # The one sanctioned construction site for threads in this
+        # project — everything else must go through this runtime.
+        self._threads = [
+            threading.Thread(target=self._shard_loop, args=(index,),
+                             name=f"repro-shard-{index}", daemon=True)
+            for index in range(len(self.shards))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _shard_loop(self, index: int) -> None:
+        queue = self.queues[index]
+        shard = self.shards[index]
+        gauge = self._depth_gauges[index]
+        try:
+            while True:
+                items = queue.poll_wait(shard.scheduler.max_batch * 4,
+                                        timeout=self.poll_interval)
+                for _seq, record in items:
+                    shard.ingest(record)
+                shard.flush_ready(self._clock())
+                gauge.set(len(queue))
+                if self._stop.is_set() and not len(queue):
+                    break
+            for _system, batch in shard.drain_batches():
+                shard.score_batch(batch)
+        except Exception as exc:  # lint: disable=blanket-except
+            # A dying shard thread must leave a trace for stop() to
+            # surface instead of hanging the whole runtime silently.
+            self.shard_errors.append(exc)
+
+    def stop(self, timeout: float | None = 30.0) -> list[AnomalyReport]:
+        """Signal shards to finish, join them, and return the reports."""
+        if not self._started:
+            return self.take_reports()
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        self._started = False
+        if self.shard_errors:
+            raise RuntimeError(
+                f"{len(self.shard_errors)} shard thread(s) failed"
+            ) from self.shard_errors[0]
+        return self.take_reports()

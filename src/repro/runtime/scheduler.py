@@ -1,0 +1,108 @@
+"""Per-shard micro-batch scheduling under a size / latency budget.
+
+Windows wait in per-system *lanes*.  A lane flushes when it holds
+``max_batch`` windows, when its oldest window has waited ``max_latency``
+seconds (injectable clock — the scheduler never reads wall time itself),
+or unconditionally on ``drain``.
+
+Batches are always consecutive ``max_batch``-sized chunks of one lane.
+Because a lane's arrival order depends only on that system's stream —
+never on which shard it runs on or when triggers fire — the sequence of
+batches handed to the model is identical for any shard count.  That
+chunk-boundary invariant is what makes ``repro replay --shards N``
+byte-identical for every N (a lane flushed early by the latency trigger
+still emits the same prefix chunks it would have emitted later).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PendingWindow", "MicroBatchScheduler"]
+
+
+@dataclass
+class PendingWindow:
+    """One window awaiting model scoring.
+
+    ``index`` is the per-system window ordinal (the stable window id is
+    ``f"{system}:{index}"``); ``gate_seconds`` carries the pattern-gate
+    latency so the per-window latency histogram can add the batch share
+    when the window is finally scored.
+    """
+
+    system: str
+    index: int
+    window: list = field(default_factory=list)
+    pattern: tuple = ()
+    enqueued_at: float = 0.0
+    gate_seconds: float = 0.0
+
+    @property
+    def window_id(self) -> str:
+        return f"{self.system}:{self.index}"
+
+
+class MicroBatchScheduler:
+    """Accumulates :class:`PendingWindow`s and emits flush batches."""
+
+    def __init__(self, max_batch: int = 16, max_latency: float | None = None):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_latency is not None and max_latency < 0:
+            raise ValueError(f"max_latency must be >= 0, got {max_latency}")
+        self.max_batch = max_batch
+        self.max_latency = max_latency
+        self._lanes: dict[str, list[PendingWindow]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def add(self, pending: PendingWindow) -> None:
+        """Queue one window in its system lane."""
+        self._lanes.setdefault(pending.system, []).append(pending)
+
+    def _pop_chunks(self, lane: list[PendingWindow],
+                    include_partial: bool) -> list[list[PendingWindow]]:
+        batches: list[list[PendingWindow]] = []
+        while len(lane) >= self.max_batch:
+            batches.append(lane[: self.max_batch])
+            del lane[: self.max_batch]
+        if include_partial and lane:
+            batches.append(lane[:])
+            lane.clear()
+        return batches
+
+    def ready_batches(self, now: float) -> list[list[PendingWindow]]:
+        """Batches due under the size or latency trigger.
+
+        Full ``max_batch`` chunks are always due.  When the latency
+        budget of a lane's oldest window has expired, the lane's
+        remainder flushes too (as a final partial chunk).
+        """
+        batches: list[list[PendingWindow]] = []
+        for system in sorted(self._lanes):
+            lane = self._lanes[system]
+            if not lane:
+                continue
+            expired = (self.max_latency is not None
+                       and now - lane[0].enqueued_at >= self.max_latency)
+            batches.extend(self._pop_chunks(lane, include_partial=expired))
+        return batches
+
+    def drain(self) -> list[list[PendingWindow]]:
+        """Flush everything, including partial lanes (end of stream)."""
+        batches: list[list[PendingWindow]] = []
+        for system in sorted(self._lanes):
+            batches.extend(self._pop_chunks(self._lanes[system],
+                                            include_partial=True))
+        return batches
+
+    def oldest_deadline(self) -> float | None:
+        """Earliest instant any lane's latency budget expires (or None)."""
+        if self.max_latency is None:
+            return None
+        heads = [lane[0].enqueued_at for lane in self._lanes.values() if lane]
+        if not heads:
+            return None
+        return min(heads) + self.max_latency

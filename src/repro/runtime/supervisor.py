@@ -1,0 +1,163 @@
+"""Worker supervision: retries, timeout accounting, health, recovery.
+
+The supervisor wraps one shard's inference worker and decides, per
+batch, whether the model path is trustworthy:
+
+* **Bounded retry with backoff** — a failing ``score_batch`` is retried
+  up to ``max_retries`` times with exponential backoff (the sleep is
+  injectable; the synchronous engine injects a no-op so determinism and
+  tests never wait on wall time).
+* **Timeout accounting** — execution is cooperative, so a slow batch
+  cannot be preempted; instead its duration (from the injected clock) is
+  compared against ``timeout`` after the fact.  The result is still
+  used — detections are never discarded — but the overrun counts toward
+  the health streak, so a persistently slow worker degrades.
+* **Health state machine** — ``unhealthy_after`` consecutive bad batches
+  (exhausted retries or overruns) mark the worker unhealthy.  While
+  unhealthy, ``score_batch`` returns ``None`` immediately and the owning
+  shard serves traffic from the pattern-library fast path.  After
+  ``cooldown`` seconds the next batch becomes a recovery probe: one
+  attempt, no retries; success restores the worker, failure doubles the
+  cooldown (capped at 16x).
+
+All transitions are counted through ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.report import AnomalyReport
+from ..obs import get_registry
+from .scheduler import PendingWindow
+from .worker import InferenceWorker
+
+__all__ = ["WorkerSupervisor"]
+
+
+def _no_sleep(_seconds: float) -> None:
+    return None
+
+
+class WorkerSupervisor:
+    """Health-aware wrapper around one shard's inference worker."""
+
+    def __init__(self, worker: InferenceWorker, *,
+                 clock: Callable[[], float] | None = None,
+                 max_retries: int = 2, backoff_base: float = 0.05,
+                 backoff_cap: float = 1.0, timeout: float | None = None,
+                 unhealthy_after: int = 3, cooldown: float = 1.0,
+                 sleep: Callable[[float], None] | None = None,
+                 registry=None, prefix: str = "runtime", scope: str = ""):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if unhealthy_after <= 0:
+            raise ValueError(f"unhealthy_after must be positive, got {unhealthy_after}")
+        registry = registry if registry is not None else get_registry()
+        self.worker = worker
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self.unhealthy_after = unhealthy_after
+        self.cooldown = cooldown
+        self._clock = clock or registry.clock
+        self._sleep = sleep or _no_sleep
+        self.healthy = True
+        self.last_error: BaseException | None = None
+        self._bad_streak = 0
+        self._probe_failures = 0
+        self._retry_at = 0.0
+        # ``scope`` isolates per-shard counters in threaded engines (see
+        # ShardState); flat names when empty.
+        self._retries = registry.counter(f"{prefix}.worker_retries{scope}")
+        self._failures = registry.counter(f"{prefix}.worker_failures{scope}")
+        self._timeouts = registry.counter(f"{prefix}.worker_timeouts{scope}")
+        self._transitions = registry.counter(f"{prefix}.unhealthy_transitions{scope}")
+        self._recoveries = registry.counter(f"{prefix}.worker_recoveries{scope}")
+
+    # ------------------------------------------------------------------
+    def force_unhealthy(self, cooldown: float | None = None) -> None:
+        """Fault injection / operator override: degrade immediately."""
+        if self.healthy:
+            self.healthy = False
+            self._transitions.inc()
+        self._probe_failures = 0
+        self._retry_at = self._clock() + (self.cooldown if cooldown is None
+                                          else cooldown)
+
+    def _mark_unhealthy(self, now: float) -> None:
+        self.healthy = False
+        self._probe_failures = 0
+        self._retry_at = now + self.cooldown
+        self._transitions.inc()
+
+    def _attempt(self, batch: list[PendingWindow]) -> tuple[list[AnomalyReport], float]:
+        start = self._clock()
+        reports = self.worker.score_batch(batch)
+        return reports, self._clock() - start
+
+    # ------------------------------------------------------------------
+    def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport] | None:
+        """Score through the worker; ``None`` means *degraded* — the
+        caller must answer the batch from the pattern fallback."""
+        now = self._clock()
+        if not self.healthy:
+            if now < self._retry_at:
+                return None
+            return self._probe(batch, now)
+
+        attempts = 1 + self.max_retries
+        for attempt in range(attempts):
+            try:
+                reports, elapsed = self._attempt(batch)
+            except Exception as exc:  # lint: disable=blanket-except
+                # The supervisor is the containment boundary: any worker
+                # failure must degrade gracefully, never crash the shard.
+                self._failures.inc()
+                self.last_error = exc
+                if attempt + 1 < attempts:
+                    self._retries.inc()
+                    self._sleep(min(self.backoff_base * (2 ** attempt),
+                                    self.backoff_cap))
+                continue
+            if self.timeout is not None and elapsed > self.timeout:
+                # Cooperative timeout: keep the (late) result, count the
+                # overrun toward the health streak.
+                self._timeouts.inc()
+                self._bad_streak += 1
+                if self._bad_streak >= self.unhealthy_after:
+                    self._mark_unhealthy(self._clock())
+            else:
+                self._bad_streak = 0
+            return reports
+
+        self._bad_streak += 1
+        if self._bad_streak >= self.unhealthy_after:
+            self._mark_unhealthy(self._clock())
+        return None
+
+    def _probe(self, batch: list[PendingWindow], now: float) -> list[AnomalyReport] | None:
+        """Single-attempt recovery probe after the cooldown elapsed."""
+        try:
+            reports, elapsed = self._attempt(batch)
+        except Exception as exc:  # lint: disable=blanket-except
+            # Probe failed: stay degraded, back the cooldown off.
+            self._failures.inc()
+            self.last_error = exc
+            self._probe_failures += 1
+            backoff = self.cooldown * min(2 ** self._probe_failures, 16)
+            self._retry_at = self._clock() + backoff
+            return None
+        if self.timeout is not None and elapsed > self.timeout:
+            self._timeouts.inc()
+            self._probe_failures += 1
+            self._retry_at = self._clock() + self.cooldown * min(
+                2 ** self._probe_failures, 16)
+            return reports
+        self.healthy = True
+        self._bad_streak = 0
+        self._probe_failures = 0
+        self.last_error = None
+        self._recoveries.inc()
+        return reports

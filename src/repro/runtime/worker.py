@@ -1,0 +1,133 @@
+"""Inference workers: the units a shard's supervisor drives.
+
+A worker turns one micro-batch of :class:`~repro.runtime.scheduler.PendingWindow`
+into one :class:`~repro.core.report.AnomalyReport` per window, in order.
+Three implementations:
+
+* :class:`ModelWorker` — the production path over a fitted
+  :class:`~repro.core.pipeline.LogSynergy` (``detect_stream_batch``).
+  An optional shared lock serializes calls when shards run threaded,
+  because the featurizer's Drain store mutates on novel templates.
+* :class:`SyntheticWorker` — deterministic content-hash scoring with an
+  injectable per-batch cost, for tests and the runtime benchmark (the
+  cost stands in for LLM/accelerator inference latency, which LogLLM and
+  LogGPT identify as the production bottleneck).
+* :class:`FlakyWorker` — fault injection: raises
+  :class:`WorkerError` for a scripted number of calls, then delegates.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Callable, Protocol
+
+from ..core.report import AnomalyReport, build_report
+from .scheduler import PendingWindow
+
+__all__ = [
+    "WorkerError", "InferenceWorker", "ModelWorker", "SyntheticWorker",
+    "FlakyWorker", "message_pattern",
+]
+
+
+class WorkerError(RuntimeError):
+    """A worker failed to score a batch (retryable by the supervisor)."""
+
+
+class InferenceWorker(Protocol):
+    """One report per pending window, in batch order."""
+
+    def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        ...  # pragma: no cover - protocol
+
+
+def message_pattern(window: list) -> tuple[int, ...]:
+    """Featurizer-free window pattern: distinct CRC32 message buckets.
+
+    Mirrors the event-id-set pattern the online service computes from the
+    model's featurizer, for runtimes driven by a :class:`SyntheticWorker`.
+    """
+    return tuple(sorted({
+        zlib.crc32(entry.message.encode("utf-8")) % 4096 for entry in window
+    }))
+
+
+class ModelWorker:
+    """Scores batches through LogSynergy's batch-first detection path."""
+
+    def __init__(self, model, lock: threading.Lock | None = None):
+        if model.model is None:
+            raise ValueError("ModelWorker requires a fitted LogSynergy model")
+        self.model = model
+        # Shared across shards in threaded mode: detect_stream_batch may
+        # ingest novel templates into the Drain store, which is not
+        # thread-safe.  Synchronous engines pass None.
+        self._lock = lock
+
+    def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        messages = [[entry.message for entry in p.window] for p in batch]
+        timestamps = [[entry.timestamp for entry in p.window] for p in batch]
+        if self._lock is None:
+            return self.model.detect_stream_batch(messages, timestamps)
+        with self._lock:
+            return self.model.detect_stream_batch(messages, timestamps)
+
+
+class SyntheticWorker:
+    """Deterministic scorer with a simulated per-batch inference cost.
+
+    ``cost`` is called once per batch with the batch size; inject
+    ``lambda n: time.sleep(...)`` to model fixed inference latency, or
+    leave ``None`` for free scoring in unit tests.  Scores are a pure
+    function of window content, so results are reproducible and
+    shard-count independent.
+    """
+
+    def __init__(self, threshold: float = 0.5,
+                 cost: Callable[[int], None] | None = None):
+        self.threshold = threshold
+        self.cost = cost
+        self.batches_scored = 0
+
+    def _score(self, window: list) -> float:
+        digest = zlib.crc32(
+            "\n".join(entry.message for entry in window).encode("utf-8")
+        )
+        return (digest % 1000) / 999.0
+
+    def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        if self.cost is not None:
+            self.cost(len(batch))
+        self.batches_scored += 1
+        reports = []
+        for pending in batch:
+            reports.append(build_report(
+                system=pending.system,
+                score=self._score(pending.window),
+                threshold=self.threshold,
+                messages=[entry.message for entry in pending.window],
+                interpretations=[entry.message for entry in pending.window],
+                timestamps=[entry.timestamp for entry in pending.window],
+            ))
+        return reports
+
+
+class FlakyWorker:
+    """Fault injection wrapper: fail the next N calls, then delegate."""
+
+    def __init__(self, inner: InferenceWorker, failures: int = 0):
+        self.inner = inner
+        self.failures_remaining = failures
+        self.calls = 0
+
+    def fail_next(self, count: int) -> None:
+        """Arm ``count`` consecutive injected failures."""
+        self.failures_remaining = count
+
+    def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        self.calls += 1
+        if self.failures_remaining > 0:
+            self.failures_remaining -= 1
+            raise WorkerError("injected worker fault")
+        return self.inner.score_batch(batch)

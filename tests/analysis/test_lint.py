@@ -152,6 +152,42 @@ class TestForwardConventions:
         assert codes(text) == []
 
 
+class TestDirectThread:
+    def test_flags_attribute_form(self):
+        text = (
+            "import threading\n"
+            "t = threading.Thread(target=work)\n"
+        )
+        assert codes(text) == ["direct-thread"]
+
+    def test_flags_bare_name_form(self):
+        text = (
+            "from threading import Thread\n"
+            "t = Thread(target=work)\n"
+        )
+        assert codes(text) == ["direct-thread"]
+
+    def test_runtime_package_is_exempt(self):
+        text = "import threading\nt = threading.Thread(target=work)\n"
+        assert lint_source(text, path="src/repro/runtime/engine.py") == []
+
+    def test_other_threading_primitives_allowed(self):
+        text = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "event = threading.Event()\n"
+        )
+        assert codes(text) == []
+
+    def test_line_suppression_is_the_escape_hatch(self):
+        text = (
+            "import threading\n"
+            "t = threading.Thread(target=work)"
+            "  # lint: disable=direct-thread\n"
+        )
+        assert codes(text) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         text = (
@@ -202,6 +238,7 @@ class TestEngine:
         assert {
             "global-numpy-random", "wall-clock-call", "mutable-default-arg",
             "blanket-except", "module-super-init", "forward-conventions",
+            "direct-thread",
         } <= names
 
     def test_duplicate_registration_rejected(self):

@@ -1,7 +1,12 @@
 """Online service behaviour under buffer overflow and empty input."""
 
+import pytest
+
 from repro.deploy import OnlineService
+from repro.deploy.buffer import OVERFLOW_POLICIES, BoundedBuffer
+from repro.deploy.online import ServiceStats
 from repro.logs.generator import LogGenerator
+from repro.obs import MetricsRegistry
 
 
 class TestOverflow:
@@ -18,6 +23,49 @@ class TestOverflow:
         service = OnlineService(fitted_logsynergy)
         assert service.process([]) == []
         assert service.stats.windows_seen == 0
+
+
+class TestOverflowPolicies:
+    def test_policy_registry_is_complete(self):
+        assert OVERFLOW_POLICIES == ("reject", "drop-oldest")
+
+    def test_reject_counts_through_the_registry(self):
+        registry = MetricsRegistry()
+        buffer = BoundedBuffer(capacity=2, registry=registry)
+        assert buffer.offer("a") and buffer.offer("b")
+        assert not buffer.offer("c")
+        assert buffer.total_rejected == 1
+        assert registry.counter("deploy.buffer_rejected").value == 1
+        assert buffer.drain() == ["a", "b"]
+
+    def test_drop_oldest_evicts_the_head_and_counts(self):
+        registry = MetricsRegistry()
+        buffer = BoundedBuffer(capacity=2, policy="drop-oldest",
+                               registry=registry)
+        assert buffer.offer("a") and buffer.offer("b")
+        assert buffer.offer("c")  # admitted: the cost falls on "a"
+        assert buffer.total_dropped == 1
+        assert buffer.total_rejected == 0
+        assert registry.counter("deploy.buffer_dropped").value == 1
+        assert buffer.drain() == ["b", "c"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown overflow policy"):
+            BoundedBuffer(capacity=2, policy="spill")
+
+
+class TestServiceStats:
+    def test_skip_rate_is_zero_before_any_window(self):
+        stats = ServiceStats(MetricsRegistry())
+        assert stats.windows_seen == 0
+        assert stats.model_skip_rate == 0.0  # no ZeroDivisionError
+
+    def test_skip_rate_reflects_library_absorption(self):
+        registry = MetricsRegistry()
+        stats = ServiceStats(registry)
+        registry.counter("service.windows_seen").inc(10)
+        registry.counter("service.model_invocations").inc(4)
+        assert stats.model_skip_rate == pytest.approx(0.6)
 
 
 class TestEmptyPrediction:

@@ -1,0 +1,49 @@
+"""Runtime test helpers: fake clocks and synthetic multi-system streams."""
+
+import dataclasses
+from datetime import datetime
+from types import SimpleNamespace
+
+import pytest
+
+from repro.logs.generator import LogGenerator
+
+
+class FakeClock:
+    """Manually advanced clock for deterministic scheduler/supervisor tests."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+def entry(message: str, timestamp: datetime | None = None) -> SimpleNamespace:
+    """A minimal normalized log entry (what shard windows hold)."""
+    return SimpleNamespace(
+        message=message, timestamp=timestamp or datetime(2026, 1, 1),
+    )
+
+
+def multi_system_stream(systems: int = 6, lines: int = 120,
+                        seed: int = 0) -> list:
+    """Interleaved records across ``systems`` synthetic services.
+
+    Service names follow ``svc-NN``, which hash evenly onto 2 and 4
+    shards under the CRC32 router.
+    """
+    streams = []
+    for index in range(systems):
+        records = LogGenerator("thunderbird", seed=seed + index).generate(lines)
+        streams.append([dataclasses.replace(record, system=f"svc-{index:02d}")
+                       for record in records])
+    return [record for group in zip(*streams) for record in group]

@@ -1,0 +1,102 @@
+"""Shard queue backpressure policies and shed accounting."""
+
+import threading
+
+import pytest
+
+from repro.runtime import (
+    OFFER_DROPPED, OFFER_FULL, OFFER_OK, OFFER_REJECTED, ShardQueue,
+)
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        queue = ShardQueue(10)
+        for value in range(5):
+            assert queue.try_offer(value) == OFFER_OK
+        assert queue.poll(10) == [0, 1, 2, 3, 4]
+
+    def test_block_policy_reports_full_without_shedding(self):
+        queue = ShardQueue(2, policy="block")
+        assert queue.try_offer("a") == OFFER_OK
+        assert queue.try_offer("b") == OFFER_OK
+        assert queue.try_offer("c") == OFFER_FULL
+        assert queue.total_rejected == 0
+        assert queue.total_dropped == 0
+        assert queue.poll(10) == ["a", "b"]  # nothing was lost
+
+    def test_reject_policy_sheds_the_new_record(self):
+        queue = ShardQueue(2, policy="reject")
+        queue.try_offer("a")
+        queue.try_offer("b")
+        assert queue.try_offer("c") == OFFER_REJECTED
+        assert queue.total_rejected == 1
+        assert queue.poll(10) == ["a", "b"]
+
+    def test_drop_oldest_policy_evicts_the_head(self):
+        queue = ShardQueue(2, policy="drop-oldest")
+        queue.try_offer("a")
+        queue.try_offer("b")
+        assert queue.try_offer("c") == OFFER_DROPPED
+        assert queue.total_dropped == 1
+        assert queue.poll(10) == ["b", "c"]
+
+    def test_offered_counter_counts_admissions(self):
+        queue = ShardQueue(1, policy="reject")
+        queue.try_offer("a")
+        queue.try_offer("b")
+        assert queue.total_offered == 2
+
+
+class TestBlockingOffer:
+    def test_offer_times_out_when_no_consumer(self):
+        queue = ShardQueue(1, policy="block")
+        queue.try_offer("a")
+        assert queue.offer("b", timeout=0.01) == OFFER_FULL
+
+    def test_offer_unblocks_when_consumer_polls(self):
+        queue = ShardQueue(1, policy="block")
+        queue.try_offer("a")
+        admitted = []
+
+        def producer():
+            admitted.append(queue.offer("b", timeout=5.0))
+
+        # lint: disable=direct-thread  (exercising the queue's blocking path)
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert queue.poll_wait(1, timeout=1.0) == ["a"]
+        thread.join(timeout=5.0)
+        assert admitted == [OFFER_OK]
+        assert queue.poll(10) == ["b"]
+
+
+class TestPolling:
+    def test_poll_respects_max_items(self):
+        queue = ShardQueue(10)
+        for value in range(6):
+            queue.try_offer(value)
+        assert queue.poll(4) == [0, 1, 2, 3]
+        assert len(queue) == 2
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_poll_rejects_non_positive_max_items(self, bad):
+        with pytest.raises(ValueError):
+            ShardQueue(4).poll(bad)
+
+    def test_peek_is_non_destructive(self):
+        queue = ShardQueue(4)
+        assert queue.peek() is None
+        queue.try_offer("a")
+        assert queue.peek() == "a"
+        assert len(queue) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ShardQueue(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown backpressure policy"):
+            ShardQueue(4, policy="spill")

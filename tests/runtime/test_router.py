@@ -1,0 +1,40 @@
+"""Shard router: stable hashing, full coverage, validation."""
+
+import zlib
+
+import pytest
+
+from repro.runtime import ShardRouter
+
+
+class TestShardRouter:
+    def test_deterministic_across_instances(self):
+        systems = [f"svc-{i:02d}" for i in range(32)] + ["bgl", "spirit"]
+        first = ShardRouter(4)
+        second = ShardRouter(4)
+        assert [first.shard_of(s) for s in systems] == \
+            [second.shard_of(s) for s in systems]
+
+    def test_matches_crc32(self):
+        router = ShardRouter(8)
+        assert router.shard_of("web-frontend") == \
+            zlib.crc32(b"web-frontend") % 8
+
+    def test_all_records_of_a_system_land_on_one_shard(self):
+        router = ShardRouter(3)
+        assignments = {router.shard_of("auth-service") for _ in range(100)}
+        assert len(assignments) == 1
+
+    def test_every_shard_reachable(self):
+        router = ShardRouter(4)
+        hit = {router.shard_of(f"svc-{i:02d}") for i in range(64)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_single_shard_maps_everything_to_zero(self):
+        router = ShardRouter(1)
+        assert router.shard_of("anything") == 0
+
+    @pytest.mark.parametrize("shards", [0, -1])
+    def test_rejects_non_positive_shard_count(self, shards):
+        with pytest.raises(ValueError):
+            ShardRouter(shards)

@@ -118,3 +118,49 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "LogSynergy" in out
         assert "F1%" in out
+
+
+class TestReplayServe:
+    SAMPLE = "examples/data/replay_sample.jsonl"
+
+    def test_replay_is_shard_invariant(self, tmp_path, capsys):
+        outputs = []
+        for shards in (2, 4):
+            out = tmp_path / f"reports_{shards}.jsonl"
+            assert main(["replay", "--logs", self.SAMPLE,
+                         "--shards", str(shards), "--out", str(out)]) == 0
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        assert outputs[0]  # the bundled sample raises reports
+        assert "records ->" in capsys.readouterr().out
+
+    def test_replay_writes_metrics_jsonl(self, tmp_path):
+        out = tmp_path / "reports.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["replay", "--logs", self.SAMPLE, "--shards", "2",
+                     "--out", str(out), "--metrics-out", str(metrics)]) == 0
+        assert metrics.stat().st_size > 0
+
+    def test_replay_stdout_matches_file_output(self, tmp_path, capsys):
+        out = tmp_path / "reports.jsonl"
+        assert main(["replay", "--logs", self.SAMPLE, "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["replay", "--logs", self.SAMPLE]) == 0
+        stdout = capsys.readouterr().out
+        assert out.read_text() in stdout
+
+    def test_serve_threaded_matches_replay(self, tmp_path, capsys):
+        replay_out = tmp_path / "replay.jsonl"
+        serve_out = tmp_path / "serve.jsonl"
+        assert main(["replay", "--logs", self.SAMPLE, "--shards", "2",
+                     "--out", str(replay_out)]) == 0
+        assert main(["serve", "--logs", self.SAMPLE, "--shards", "2",
+                     "--out", str(serve_out)]) == 0
+        assert serve_out.read_bytes() == replay_out.read_bytes()
+        assert "served" in capsys.readouterr().out
+
+    def test_replay_rejects_empty_logs(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="no records"):
+            main(["replay", "--logs", str(empty)])
