@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 smoke check: static gate (compileall + project linter), a fast
-# model audit, a deterministic 2-shard runtime replay over the bundled
-# sample stream (must produce reports and non-empty metrics), then the
-# test suite.
+# model audit, a quick op-profiler run, a seconds-scale fused-kernel
+# throughput sanity pass, a deterministic 2-shard runtime replay over
+# the bundled sample stream (must produce reports and non-empty
+# metrics), then the test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 bash scripts/lint.sh
 PYTHONPATH=src python -m repro.cli audit logsynergy
+
+# Op profiler must produce a ranked hot-op table on a tiny fit.
+profile_out="$(PYTHONPATH=src python -m repro.cli profile \
+    --sequences 48 --epochs 1 --window 4 --embedding-dim 16 \
+    --feature-dim 8 --d-model 16 --num-heads 2 --d-ff 32 --top 5)"
+grep -q "fwd self" <<<"$profile_out" \
+    || { echo "smoke: repro profile produced no hot-op table" >&2; exit 1; }
+
+# Fused kernels must not be slower than the seed composition.
+PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
 
 replay_out="$(mktemp)"
 replay_metrics="$(mktemp)"

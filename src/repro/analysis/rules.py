@@ -14,7 +14,7 @@ from .lint import LintRule, register_rule
 __all__ = [
     "GlobalNumpyRandomRule", "WallClockRule", "MutableDefaultRule",
     "BlanketExceptRule", "ModuleSuperInitRule", "ForwardConventionsRule",
-    "DirectThreadRule",
+    "DirectThreadRule", "PerTimestepLoopRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -221,6 +221,82 @@ class DirectThreadRule(LintRule):
         if constructed and not self._exempt():
             self.report(node, "direct threading.Thread construction")
         self.generic_visit(node)
+
+
+@register_rule
+class PerTimestepLoopRule(LintRule):
+    """BPTT recurrences belong in :mod:`repro.nn.kernels`, where one fused
+    autograd node replays the whole sequence; a Python loop over a tensor
+    time axis anywhere else rebuilds the per-timestep graph the kernel
+    layer exists to eliminate (PR 4's ≥2x training-throughput win)."""
+
+    name = "per-timestep-loop"
+    description = "forbid per-timestep Python loops over a tensor time axis outside repro.nn.kernels"
+    hint = "route the recurrence through repro.nn.kernels (or suppress with # lint: disable=per-timestep-loop)"
+
+    # Path fragments (posix-normalized) exempt from the rule.
+    _ALLOWED_FRAGMENTS = ("repro/nn/kernels.py",)
+
+    def _exempt(self) -> bool:
+        path = self.source.path.replace("\\", "/")
+        return any(fragment in path for fragment in self._ALLOWED_FRAGMENTS)
+
+    @staticmethod
+    def _is_shape_attr(node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "shape"
+
+    @staticmethod
+    def _axis_at_least_one(index: ast.expr) -> bool:
+        return (isinstance(index, ast.Constant) and isinstance(index.value, int)
+                and index.value >= 1)
+
+    def _collect_time_axis_names(self, tree: ast.Module) -> set[str]:
+        """Names bound to a non-leading ``.shape`` axis anywhere in the file.
+
+        Catches both ``batch, seq, _ = x.shape`` (tuple positions >= 1) and
+        ``seq = x.shape[1]``-style bindings.
+        """
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            for target in node.targets:
+                if isinstance(target, ast.Tuple) and self._is_shape_attr(value):
+                    for position, element in enumerate(target.elts):
+                        if position >= 1 and isinstance(element, ast.Name):
+                            names.add(element.id)
+                elif (isinstance(target, ast.Name) and isinstance(value, ast.Subscript)
+                        and self._is_shape_attr(value.value)
+                        and self._axis_at_least_one(value.slice)):
+                    names.add(target.id)
+        return names
+
+    def _is_time_range(self, iterator: ast.expr, time_names: set[str]) -> bool:
+        if not (isinstance(iterator, ast.Call) and isinstance(iterator.func, ast.Name)
+                and iterator.func.id == "range" and len(iterator.args) == 1
+                and not iterator.keywords):
+            return False
+        arg = iterator.args[0]
+        if isinstance(arg, ast.Name):
+            return arg.id in time_names
+        return (isinstance(arg, ast.Subscript) and self._is_shape_attr(arg.value)
+                and self._axis_at_least_one(arg.slice))
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if self._exempt():
+            return
+        time_names = self._collect_time_axis_names(node)
+        for child in ast.walk(node):
+            if isinstance(child, ast.For):
+                iterators = [child.iter]
+            elif isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                    ast.GeneratorExp)):
+                iterators = [gen.iter for gen in child.generators]
+            else:
+                continue
+            if any(self._is_time_range(it, time_names) for it in iterators):
+                self.report(child, "per-timestep Python loop over a tensor time axis")
 
 
 @register_rule

@@ -289,6 +289,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .config import LogSynergyConfig
+    from .core import LogSynergyModel, LogSynergyTrainer, TrainingBatch
+    from .nn import OpProfiler
+    from .nn.kernels import use_fused_kernels
+
+    config = LogSynergyConfig(
+        d_model=args.d_model, num_heads=args.num_heads, num_layers=args.num_layers,
+        d_ff=args.d_ff, feature_dim=args.feature_dim, embedding_dim=args.embedding_dim,
+        epochs=args.epochs, batch_size=args.batch_size, window=args.window,
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(config.seed)
+    count = args.sequences
+    data = TrainingBatch(
+        sequences=rng.standard_normal(
+            (count, config.window, config.embedding_dim)
+        ).astype(np.float32),
+        anomaly_labels=(rng.random(count) < 0.2).astype(np.float32),
+        system_labels=rng.integers(0, 2, size=count),
+        domain_labels=rng.integers(0, 2, size=count),
+    )
+    profiler = OpProfiler()
+    with _observability(args) as registry:
+        model = LogSynergyModel(config, num_systems=2)
+        trainer = LogSynergyTrainer(model, config)
+        with use_fused_kernels(not args.unfused):
+            trainer.fit(data, profiler=profiler)
+        if registry is not None:
+            profiler.publish(registry)
+    mode = "seed (unfused)" if args.unfused else "fused"
+    print(f"profiled {count} sequences x {config.epochs} epoch(s) with {mode} kernels")
+    print(profiler.table(limit=args.top))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import read_jsonl, summarize_events
 
@@ -436,6 +472,28 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["block", "reject", "drop-oldest"])
     serve.add_argument("--queue-capacity", type=int, default=10_000)
     serve.set_defaults(func=_cmd_serve)
+
+    profile = commands.add_parser(
+        "profile", help="rank autograd ops by wall time over a small synthetic fit"
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--sequences", type=int, default=192,
+                         help="synthetic training sequences to fit on")
+    profile.add_argument("--window", type=int, default=8)
+    profile.add_argument("--epochs", type=int, default=1)
+    profile.add_argument("--batch-size", type=int, default=32)
+    profile.add_argument("--d-model", type=int, default=32)
+    profile.add_argument("--num-heads", type=int, default=4)
+    profile.add_argument("--num-layers", type=int, default=1)
+    profile.add_argument("--d-ff", type=int, default=64)
+    profile.add_argument("--feature-dim", type=int, default=16)
+    profile.add_argument("--embedding-dim", type=int, default=32)
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows to show in the hot-op table")
+    profile.add_argument("--unfused", action="store_true",
+                         help="profile the seed composition instead of the fused kernels")
+    _add_metrics_flag(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     stats = commands.add_parser("stats", help="summarize a --metrics-out JSONL file")
     stats.add_argument("metrics", help="JSONL file written by --metrics-out")

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..nn import kernels
 from ..nn.tensor import Tensor
 
 __all__ = ["CLUBEstimator"]
@@ -44,6 +45,8 @@ class CLUBEstimator(nn.Module):
         """Per-sample ``log q(s|u)`` (up to the constant term)."""
         mu = self.mu_net(u)
         logvar = self.logvar_net(u)
+        if kernels.fused_kernels_enabled():
+            return kernels.gaussian_log_likelihood(s, mu, logvar)
         diff = s - mu
         return (-(diff * diff) / (logvar.exp() * 2.0) - logvar * 0.5).sum(axis=-1)
 

@@ -12,6 +12,7 @@ Per batch the trainer alternates two phases:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -175,8 +176,13 @@ class LogSynergyTrainer:
 
     # ------------------------------------------------------------------
     def fit(self, data: TrainingBatch, epochs: int | None = None,
-            verbose: bool = False) -> TrainingHistory:
-        """Train on the full (source + target) training set."""
+            verbose: bool = False, profiler=None) -> TrainingHistory:
+        """Train on the full (source + target) training set.
+
+        ``profiler`` optionally takes an :class:`repro.nn.OpProfiler`; it is
+        entered around the whole training loop so every autograd op in the
+        fit lands in its ranked hot-op table (the ``repro profile`` path).
+        """
         epochs = epochs if epochs is not None else self.config.epochs
         pos_weight = (
             self.pos_weight if self.pos_weight is not None
@@ -185,6 +191,14 @@ class LogSynergyTrainer:
         total_steps = max(1, epochs * max(1, len(data.anomaly_labels) // self.config.batch_size))
         step = 0
         self.model.train()
+        profile_scope = profiler if profiler is not None else contextlib.nullcontext()
+        with profile_scope:
+            self._fit_epochs(data, epochs, pos_weight, total_steps, step, verbose)
+        self.model.eval()
+        return self.history
+
+    def _fit_epochs(self, data: TrainingBatch, epochs: int, pos_weight: float,
+                    total_steps: int, step: int, verbose: bool) -> None:
         for epoch in range(epochs):
             sums = {"total": 0.0, "anomaly": 0.0, "system": 0.0, "mi": 0.0, "da": 0.0}
             count = 0
@@ -219,5 +233,3 @@ class LogSynergyTrainer:
                 print(f"epoch {epoch + 1}/{epochs}: " + ", ".join(
                     f"{k}={v:.4f}" for k, v in self.history.last().items()
                 ))
-        self.model.eval()
-        return self.history

@@ -7,7 +7,7 @@ skip-gram word vectors, SIF sentence encoding, TF-IDF, and a cached
 
 from .vocab import Vocabulary, tokenize
 from .corpus import build_corpus
-from .cooccurrence import WordVectors, train_word_vectors
+from .cooccurrence import WordVectors, clear_word_vector_cache, train_word_vectors
 from .word2vec_lite import train_skipgram
 from .tfidf import TfidfVectorizer
 from .encoder import SentenceEncoder
@@ -17,7 +17,7 @@ from .pretrained import DEFAULT_EMBEDDING_DIM, load_pretrained_encoder
 __all__ = [
     "Vocabulary", "tokenize",
     "build_corpus",
-    "WordVectors", "train_word_vectors", "train_skipgram",
+    "WordVectors", "train_word_vectors", "clear_word_vector_cache", "train_skipgram",
     "TfidfVectorizer",
     "SentenceEncoder",
     "load_pretrained_encoder", "DEFAULT_EMBEDDING_DIM",

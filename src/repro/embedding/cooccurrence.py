@@ -9,11 +9,36 @@ makes it the right "pre-trained model" substitute here.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
+from ..obs import get_registry
 from .vocab import Vocabulary, tokenize
 
-__all__ = ["WordVectors", "train_word_vectors"]
+__all__ = ["WordVectors", "train_word_vectors", "clear_word_vector_cache"]
+
+# Benchmark sweeps and CrossSystemExperiment call train_word_vectors with
+# identical corpora many times; the SVD dominates, so completed results are
+# memoized by content hash.  Bounded FIFO — a sweep rarely revisits more
+# than a handful of (corpus, dim, window, min_count) combinations.
+_CACHE_CAPACITY = 32
+_WORDVEC_CACHE: OrderedDict[str, WordVectors] = OrderedDict()
+
+
+def _cache_key(corpus: list[str], dim: int, window: int, min_count: int) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(f"{dim}|{window}|{min_count}".encode("utf-8"))
+    for sentence in corpus:
+        hasher.update(b"\x00")
+        hasher.update(sentence.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def clear_word_vector_cache() -> None:
+    """Drop all memoized :func:`train_word_vectors` results."""
+    _WORDVEC_CACHE.clear()
 
 
 class WordVectors:
@@ -86,15 +111,30 @@ def _ppmi(counts: np.ndarray) -> np.ndarray:
 
 
 def train_word_vectors(corpus: list[str], dim: int = 64, window: int = 4,
-                       min_count: int = 2) -> WordVectors:
+                       min_count: int = 2, use_cache: bool = True) -> WordVectors:
     """Train PPMI-SVD vectors on raw sentences.
 
     The returned dimensionality is ``min(dim, rank)``; callers should read
     :attr:`WordVectors.dim` rather than assume the request was honored
     exactly (tiny corpora can have lower rank).
+
+    Results are memoized by a hash of (corpus, dim, window, min_count);
+    repeated fits in benchmark sweeps get the same :class:`WordVectors`
+    object back, so treat it as read-only.  ``use_cache=False`` bypasses
+    both lookup and insertion.  Hits and misses are counted on
+    ``embedding.wordvectors.cache_{hits,misses}``.
     """
     if dim <= 0:
         raise ValueError(f"dim must be positive, got {dim}")
+    if use_cache:
+        key = _cache_key(corpus, dim, window, min_count)
+        registry = get_registry()
+        cached = _WORDVEC_CACHE.get(key)
+        if cached is not None:
+            _WORDVEC_CACHE.move_to_end(key)
+            registry.counter("embedding.wordvectors.cache_hits").inc()
+            return cached
+        registry.counter("embedding.wordvectors.cache_misses").inc()
     sentences = [tokenize(s) for s in corpus]
     vocabulary = Vocabulary(min_count=min_count)
     for tokens in sentences:
@@ -108,4 +148,9 @@ def train_word_vectors(corpus: list[str], dim: int = 64, window: int = 4,
     vectors = u[:, :k] * np.sqrt(s[:k])[None, :]
     if k < dim:
         vectors = np.pad(vectors, ((0, 0), (0, dim - k)))
-    return WordVectors(vocabulary, vectors.astype(np.float32))
+    result = WordVectors(vocabulary, vectors.astype(np.float32))
+    if use_cache:
+        _WORDVEC_CACHE[key] = result
+        while len(_WORDVEC_CACHE) > _CACHE_CAPACITY:
+            _WORDVEC_CACHE.popitem(last=False)
+    return result

@@ -13,6 +13,7 @@ import hashlib
 
 import numpy as np
 
+from ..obs import get_registry
 from .cooccurrence import WordVectors
 from .vocab import tokenize
 
@@ -39,18 +40,31 @@ class SentenceEncoder:
         SIF smoothing constant; weight of token t is ``a / (a + p(t))``.
     oov_scale:
         Magnitude of hash vectors for out-of-vocabulary tokens.
+    oov_cache_size:
+        Capacity of the OOV hash-vector cache.  A stream of novel tokens
+        under ``repro serve`` previously grew it without bound; now the
+        oldest entry is evicted (FIFO — hash vectors are cheap to rebuild,
+        so recency tracking isn't worth the bookkeeping) and counted on
+        ``embedding.encoder.oov_evictions``.
     """
 
-    def __init__(self, word_vectors: WordVectors, sif_a: float = 1e-3, oov_scale: float = 0.3):
+    def __init__(self, word_vectors: WordVectors, sif_a: float = 1e-3, oov_scale: float = 0.3,
+                 oov_cache_size: int = 4096):
+        if oov_cache_size < 1:
+            raise ValueError(f"oov_cache_size must be >= 1, got {oov_cache_size}")
         self.word_vectors = word_vectors
         self.dim = word_vectors.dim
         self.sif_a = sif_a
         self.oov_scale = oov_scale
+        self.oov_cache_size = oov_cache_size
         total = sum(word_vectors.vocabulary.counts.values()) or 1
         self._probabilities = {
             token: count / total for token, count in word_vectors.vocabulary.counts.items()
         }
         self._oov_cache: dict[str, np.ndarray] = {}
+        registry = get_registry()
+        self._oov_evictions = registry.counter("embedding.encoder.oov_evictions")
+        self._dedup_hits = registry.counter("embedding.encoder.batch_dedup_hits")
 
     def _token_vector(self, token: str) -> np.ndarray:
         if token in self.word_vectors.vocabulary:
@@ -58,6 +72,9 @@ class SentenceEncoder:
         cached = self._oov_cache.get(token)
         if cached is None:
             cached = _hash_vector(token, self.dim) * self.oov_scale
+            while len(self._oov_cache) >= self.oov_cache_size:
+                self._oov_cache.pop(next(iter(self._oov_cache)))
+                self._oov_evictions.inc()
             self._oov_cache[token] = cached
         return cached
 
@@ -78,7 +95,21 @@ class SentenceEncoder:
         return vec
 
     def encode_batch(self, sentences: list[str]) -> np.ndarray:
-        """Encode many sentences into an ``(n, dim)`` matrix."""
+        """Encode many sentences into an ``(n, dim)`` matrix.
+
+        Log windows repeat a small template set, so each distinct sentence
+        is encoded once and scattered to every position it occupies; the
+        saved encodes are counted on ``embedding.encoder.batch_dedup_hits``.
+        """
         if not sentences:
             return np.zeros((0, self.dim), dtype=np.float32)
-        return np.stack([self.encode(s) for s in sentences])
+        positions: dict[str, list[int]] = {}
+        for i, sentence in enumerate(sentences):
+            positions.setdefault(sentence, []).append(i)
+        duplicates = len(sentences) - len(positions)
+        if duplicates:
+            self._dedup_hits.inc(duplicates)
+        out = np.empty((len(sentences), self.dim), dtype=np.float32)
+        for sentence, indices in positions.items():
+            out[indices] = self.encode(sentence)
+        return out

@@ -24,6 +24,8 @@ from .loss import (
 from .optim import SGD, Adam, AdamW, LinearWarmupSchedule, Optimizer, clip_grad_norm
 from .data import ArrayDataset, DataLoader, train_test_split_continuous
 from .gradcheck import check_gradients, numeric_gradient, parameter_gradient_error
+from .kernels import fused_kernels_enabled, set_fused_kernels, use_fused_kernels
+from .profiler import OpProfiler, OpStats, active_profiler, profiled_op
 
 __all__ = [
     "Tensor", "tensor", "zeros", "ones", "randn", "concatenate", "stack", "where", "no_grad",
@@ -38,4 +40,6 @@ __all__ = [
     "Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "LinearWarmupSchedule",
     "ArrayDataset", "DataLoader", "train_test_split_continuous",
     "check_gradients", "numeric_gradient", "parameter_gradient_error",
+    "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
+    "OpProfiler", "OpStats", "active_profiler", "profiled_op",
 ]

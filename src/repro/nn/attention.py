@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
@@ -52,14 +53,25 @@ class MultiHeadAttention(Module):
         k = self._split_heads(self.w_key(key), batch, seq_k)
         v = self._split_heads(self.w_value(value), batch, seq_k)
 
-        scores = q.matmul(k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(self.d_head))
+        scale = 1.0 / np.sqrt(self.d_head)
+        additive = None
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
             # (batch, seq_k) -> broadcast over heads and query positions.
             additive = np.where(mask[:, None, None, :], 0.0, _NEG_INF).astype(np.float32)
-            scores = scores + Tensor(additive)
-        weights = scores.softmax(axis=-1)
-        weights = self.dropout(weights)
-        context = weights.matmul(v)  # (batch, heads, seq_q, d_head)
+
+        if kernels.fused_kernels_enabled():
+            dropout_p = self.dropout.p if self.dropout.training else 0.0
+            context = kernels.attention(
+                q, k, v, scale, additive_mask=additive,
+                dropout_p=dropout_p, dropout_rng=self.dropout.rng,
+            )
+        else:
+            scores = q.matmul(k.transpose((0, 1, 3, 2))) * scale
+            if additive is not None:
+                scores = scores + Tensor(additive)
+            weights = scores.softmax(axis=-1)
+            weights = self.dropout(weights)
+            context = weights.matmul(v)  # (batch, heads, seq_q, d_head)
         merged = context.transpose((0, 2, 1, 3)).reshape(batch, seq_q, self.d_model)
         return self.w_out(merged)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import init
+from . import init, kernels
 from .module import Module, Parameter
 from .tensor import Tensor
 
@@ -29,6 +29,8 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """Run the module's forward computation."""
+        if kernels.fused_kernels_enabled():
+            return kernels.linear(x, self.weight, self.bias)
         out = x.matmul(self.weight.transpose())
         if self.bias is not None:
             out = out + self.bias
@@ -74,6 +76,8 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """Run the module's forward computation."""
+        if kernels.fused_kernels_enabled():
+            return kernels.layer_norm(x, self.gamma, self.beta, self.eps)
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         normalized = (x - mean) / (var + self.eps).sqrt()
@@ -94,6 +98,8 @@ class Dropout(Module):
         """Run the module's forward computation."""
         if not self.training or self.p == 0.0:
             return x
+        if kernels.fused_kernels_enabled():
+            return kernels.dropout(x, self.p, self.rng)
         keep = 1.0 - self.p
         mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
         return x * Tensor(mask)
@@ -127,5 +133,7 @@ class GELU(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """Run the module's forward computation."""
+        if kernels.fused_kernels_enabled():
+            return kernels.gelu(x)
         inner = (x + x * x * x * 0.044715) * self._COEFF
         return x * (inner.tanh() + 1.0) * 0.5

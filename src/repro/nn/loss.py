@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .tensor import Tensor
 
 __all__ = [
@@ -30,6 +31,10 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets, pos_weight: float 
     ratios run from 0.17 % to 10.7 %).
     """
     targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    # The fused node treats targets as constant; fall back to the seed
+    # composition when a caller differentiates through them.
+    if kernels.fused_kernels_enabled() and not targets.requires_grad:
+        return kernels.bce_with_logits(logits, targets.data, pos_weight)
     # log sigmoid(z) = -softplus(-z); log(1 - sigmoid(z)) = -softplus(z),
     # with softplus(x) = max(x, 0) + log(1 + exp(-|x|)).
     abs_logits = logits.abs()
@@ -51,6 +56,8 @@ def binary_cross_entropy(probabilities: Tensor, targets) -> Tensor:
 def cross_entropy(logits: Tensor, class_ids: np.ndarray) -> Tensor:
     """Categorical cross-entropy on raw logits with integer class targets."""
     class_ids = np.asarray(class_ids, dtype=np.int64)
+    if kernels.fused_kernels_enabled():
+        return kernels.cross_entropy(logits, class_ids)
     log_probs = logits.log_softmax(axis=-1)
     rows = np.arange(len(class_ids))
     picked = log_probs[rows, class_ids]

@@ -1,0 +1,227 @@
+"""Op-level autograd profiler for the :mod:`repro.nn` training path.
+
+Every autograd op (tensor primitives, the fused kernels, the fused loss
+nodes) is wrapped in :func:`profiled_op` at definition time.  The wrapper
+is a single global-load-and-``None``-check when no profiler is active —
+no timing, no allocation — so instrumentation costs nothing in
+production.  While an :class:`OpProfiler` is installed (``with
+OpProfiler() as prof: ...``) each op records:
+
+* **forward wall time**, split into *total* and *self* time (time spent
+  in nested ops — e.g. ``mean`` calling ``sum`` and ``mul`` — is
+  attributed to the child and subtracted from the parent),
+* **backward wall time**, captured by wrapping the op's ``_backward``
+  closure so BPTT cost lands on the op that created the node,
+* **call counts** and **allocated output bytes**.
+
+Results integrate with :mod:`repro.obs` via :meth:`OpProfiler.publish`
+(counters/gauges under ``nn.profile.*``, exported by ``--metrics-out``)
+and render as a ranked hot-op table via :meth:`OpProfiler.table` — the
+output of the ``repro profile`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable
+
+__all__ = ["OpStats", "OpProfiler", "profiled_op", "active_profiler"]
+
+# The currently installed profiler (None = instrumentation disabled).
+_ACTIVE: "OpProfiler | None" = None
+
+
+def active_profiler() -> "OpProfiler | None":
+    """The profiler currently recording ops, or None."""
+    return _ACTIVE
+
+
+class OpStats:
+    """Accumulated statistics for one op name."""
+
+    __slots__ = ("name", "calls", "forward_seconds", "forward_self_seconds",
+                 "backward_calls", "backward_seconds", "output_bytes")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.forward_seconds = 0.0
+        self.forward_self_seconds = 0.0
+        self.backward_calls = 0
+        self.backward_seconds = 0.0
+        self.output_bytes = 0
+
+    @property
+    def hot_seconds(self) -> float:
+        """Ranking key: exclusive forward time plus backward time."""
+        return self.forward_self_seconds + self.backward_seconds
+
+    def as_dict(self) -> dict:
+        """Plain-data view (JSON-able)."""
+        return {
+            "op": self.name,
+            "calls": self.calls,
+            "forward_seconds": self.forward_seconds,
+            "forward_self_seconds": self.forward_self_seconds,
+            "backward_calls": self.backward_calls,
+            "backward_seconds": self.backward_seconds,
+            "output_bytes": self.output_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpStats({self.name}: n={self.calls}, fwd={self.forward_seconds:.6f}s)"
+
+
+def _op_name(fn: Callable) -> str:
+    """``__add__`` -> ``add``; plain names pass through."""
+    return fn.__name__.strip("_")
+
+
+def profiled_op(fn: Callable) -> Callable:
+    """Wrap an autograd op so an active :class:`OpProfiler` records it.
+
+    With no profiler installed the wrapper short-circuits to the raw op
+    after one global read, so the disabled cost is effectively zero.
+    """
+    name = _op_name(fn)
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        profiler = _ACTIVE
+        if profiler is None:
+            return fn(*args, **kwargs)
+        return profiler._run(name, fn, args, kwargs)
+
+    wrapper.__profiled_op__ = name
+    return wrapper
+
+
+class OpProfiler:
+    """Records per-op forward/backward wall time, calls and bytes.
+
+    Use as a context manager around the code to profile::
+
+        profiler = OpProfiler()
+        with profiler:
+            trainer.fit(data)
+        print(profiler.table())
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    ``time.perf_counter``).  Only one profiler is active at a time;
+    nesting restores the previous one on exit.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock or time.perf_counter
+        self.stats: dict[str, OpStats] = {}
+        # Stack of child-time accumulators for self-time attribution.
+        self._stack: list[float] = []
+        self._previous: OpProfiler | None = None
+
+    # -- activation ------------------------------------------------------
+    def __enter__(self) -> "OpProfiler":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        self._previous = None
+        return False
+
+    # -- recording -------------------------------------------------------
+    def _stat(self, name: str) -> OpStats:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = OpStats(name)
+            self.stats[name] = stat
+        return stat
+
+    def _run(self, name: str, fn: Callable, args: tuple, kwargs: dict):
+        clock = self.clock
+        self._stack.append(0.0)
+        started = clock()
+        out = fn(*args, **kwargs)
+        elapsed = clock() - started
+        child_time = self._stack.pop()
+        if self._stack:
+            self._stack[-1] += elapsed
+        stat = self._stat(name)
+        stat.calls += 1
+        stat.forward_seconds += elapsed
+        stat.forward_self_seconds += elapsed - child_time
+        for result in (out if isinstance(out, tuple) else (out,)):
+            data = getattr(result, "data", None)
+            if data is not None and hasattr(data, "nbytes"):
+                stat.output_bytes += int(data.nbytes)
+            backward = getattr(result, "_backward", None)
+            if backward is not None:
+                result._backward = self._timed_backward(stat, backward)
+        return out
+
+    def _timed_backward(self, stat: OpStats, inner: Callable) -> Callable:
+        clock = self.clock
+
+        def timed(grad):
+            started = clock()
+            inner(grad)
+            stat.backward_calls += 1
+            stat.backward_seconds += clock() - started
+
+        return timed
+
+    # -- reporting -------------------------------------------------------
+    def ranked(self) -> list[OpStats]:
+        """Stats sorted hottest first (self forward + backward time)."""
+        return sorted(self.stats.values(),
+                      key=lambda s: (-s.hot_seconds, s.name))
+
+    def table(self, limit: int | None = None) -> str:
+        """Ranked hot-op table as a fixed-width string."""
+        rows = self.ranked()
+        if limit is not None:
+            rows = rows[:limit]
+        header = (f"{'op':<18} {'calls':>7} {'fwd total':>10} {'fwd self':>10} "
+                  f"{'bwd calls':>9} {'bwd total':>10} {'out MB':>8}")
+        lines = [header, "-" * len(header)]
+        for stat in rows:
+            lines.append(
+                f"{stat.name:<18} {stat.calls:>7} {stat.forward_seconds:>10.4f} "
+                f"{stat.forward_self_seconds:>10.4f} {stat.backward_calls:>9} "
+                f"{stat.backward_seconds:>10.4f} {stat.output_bytes / 1e6:>8.2f}"
+            )
+        total_fwd = sum(s.forward_seconds - (s.forward_seconds - s.forward_self_seconds)
+                        for s in self.stats.values())
+        total_bwd = sum(s.backward_seconds for s in self.stats.values())
+        total_calls = sum(s.calls for s in self.stats.values())
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total (self)':<18} {total_calls:>7} {'':>10} {total_fwd:>10.4f} "
+            f"{'':>9} {total_bwd:>10.4f} "
+            f"{sum(s.output_bytes for s in self.stats.values()) / 1e6:>8.2f}"
+        )
+        return "\n".join(lines)
+
+    def as_rows(self) -> list[dict]:
+        """Ranked stats as plain dicts (JSON-able)."""
+        return [stat.as_dict() for stat in self.ranked()]
+
+    def publish(self, registry) -> None:
+        """Write accumulated stats into a :mod:`repro.obs` registry.
+
+        Emits ``nn.profile.<op>.calls`` / ``.backward_calls`` /
+        ``.output_bytes`` counters and ``.forward_seconds`` /
+        ``.forward_self_seconds`` / ``.backward_seconds`` gauges so a
+        ``--metrics-out`` JSONL export carries the full profile.
+        """
+        for stat in self.ranked():
+            prefix = f"nn.profile.{stat.name}"
+            registry.counter(f"{prefix}.calls").inc(stat.calls)
+            registry.counter(f"{prefix}.backward_calls").inc(stat.backward_calls)
+            registry.counter(f"{prefix}.output_bytes").inc(stat.output_bytes)
+            registry.gauge(f"{prefix}.forward_seconds").set(stat.forward_seconds)
+            registry.gauge(f"{prefix}.forward_self_seconds").set(stat.forward_self_seconds)
+            registry.gauge(f"{prefix}.backward_seconds").set(stat.backward_seconds)

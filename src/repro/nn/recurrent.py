@@ -2,17 +2,20 @@
 
 DeepLog/LogAnomaly/LogTAD/LogTransfer use LSTMs, MetaLog uses GRUs, and
 LogRobust uses a bidirectional LSTM with attention; all are built on the
-cells here.  Sequences are processed step by step over axis 1 of a
-``(batch, seq, features)`` input.
+cells here.  The layer modules run their recurrence through
+:mod:`repro.nn.kernels` — one fused BPTT autograd node per layer over a
+``(batch, seq, features)`` input — while the cells stay the source of
+truth for parameters (and the seed per-timestep composition, used when
+fusion is off).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from . import init
+from . import init, kernels
 from .module import Module, Parameter
-from .tensor import Tensor, concatenate, stack
+from .tensor import Tensor, concatenate
 
 __all__ = ["LSTMCell", "GRUCell", "LSTM", "GRU", "BiLSTM"]
 
@@ -88,19 +91,10 @@ class LSTM(Module):
 
     def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
         """Return (outputs, last_hidden): outputs is (batch, seq, hidden)."""
-        batch, seq, _ = x.shape
-        layer_input = [x[:, t, :] for t in range(seq)]
-        last_hidden = None
+        outputs = x
         for cell in self.cells:
-            h = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
-            c = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
-            outputs = []
-            for step in layer_input:
-                h, c = cell(step, (h, c))
-                outputs.append(h)
-            layer_input = outputs
-            last_hidden = h
-        return stack(layer_input, axis=1), last_hidden
+            outputs = kernels.lstm_layer(outputs, cell)
+        return outputs, outputs[:, -1, :]
 
 
 class GRU(Module):
@@ -120,19 +114,11 @@ class GRU(Module):
         )
 
     def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
-        """Run the module's forward computation."""
-        batch, seq, _ = x.shape
-        layer_input = [x[:, t, :] for t in range(seq)]
-        last_hidden = None
+        """Return (outputs, last_hidden): outputs is (batch, seq, hidden)."""
+        outputs = x
         for cell in self.cells:
-            h = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
-            outputs = []
-            for step in layer_input:
-                h = cell(step, h)
-                outputs.append(h)
-            layer_input = outputs
-            last_hidden = h
-        return stack(layer_input, axis=1), last_hidden
+            outputs = kernels.gru_layer(outputs, cell)
+        return outputs, outputs[:, -1, :]
 
 
 class BiLSTM(Module):

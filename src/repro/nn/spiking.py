@@ -61,7 +61,9 @@ class LIFLayer(Module):
         batch, seq, _ = x.shape
         membrane = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
         spike_train = []
-        for t in range(seq):
+        # The LIF recurrence stays unfused: spike/reset dynamics are not a
+        # kernels.py shape, and SpikeLog runs at toy scale here.
+        for t in range(seq):  # lint: disable=per-timestep-loop
             current = self.projection(x[:, t, :])
             membrane = membrane * self.beta + current
             spikes = spike_function(membrane, self.threshold)

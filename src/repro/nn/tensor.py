@@ -17,6 +17,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .profiler import profiled_op
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones", "randn"]
 
 _GRAD_ENABLED = True
@@ -196,6 +198,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Elementwise arithmetic
     # ------------------------------------------------------------------
+    @profiled_op
     def __add__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out = self._make_child(self.data + other.data, (self, other), "add")
@@ -211,6 +214,7 @@ class Tensor:
 
     __radd__ = __add__
 
+    @profiled_op
     def __neg__(self) -> "Tensor":
         out = self._make_child(-self.data, (self,), "neg")
 
@@ -221,6 +225,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def __sub__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         return self + (-other)
@@ -228,6 +233,7 @@ class Tensor:
     def __rsub__(self, other) -> "Tensor":
         return (-self) + other
 
+    @profiled_op
     def __mul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out = self._make_child(self.data * other.data, (self, other), "mul")
@@ -243,6 +249,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
+    @profiled_op
     def __truediv__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out = self._make_child(self.data / other.data, (self, other), "div")
@@ -261,6 +268,7 @@ class Tensor:
     def __rtruediv__(self, other) -> "Tensor":
         return Tensor(other) / self
 
+    @profiled_op
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log")
@@ -287,6 +295,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Nonlinearities and transcendental functions
     # ------------------------------------------------------------------
+    @profiled_op
     def exp(self) -> "Tensor":
         """Elementwise exponential."""
         value = np.exp(self.data)
@@ -299,6 +308,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def log(self) -> "Tensor":
         """Elementwise natural log."""
         out = self._make_child(np.log(self.data), (self,), "log")
@@ -310,10 +320,12 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def sqrt(self) -> "Tensor":
         """Elementwise square root."""
         return self**0.5
 
+    @profiled_op
     def tanh(self) -> "Tensor":
         """Elementwise tanh."""
         value = np.tanh(self.data)
@@ -326,6 +338,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def sigmoid(self) -> "Tensor":
         """Elementwise logistic sigmoid."""
         value = 1.0 / (1.0 + np.exp(-self.data))
@@ -338,6 +351,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def relu(self) -> "Tensor":
         """Elementwise max(x, 0)."""
         mask = self.data > 0
@@ -350,6 +364,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values into [low, high]."""
         mask = (self.data >= low) & (self.data <= high)
@@ -362,6 +377,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def abs(self) -> "Tensor":
         """Elementwise absolute value."""
         sign = np.sign(self.data)
@@ -377,6 +393,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
+    @profiled_op
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Sum reduction."""
         out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
@@ -394,6 +411,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Mean reduction."""
         if axis is None:
@@ -403,11 +421,13 @@ class Tensor:
             count = int(np.prod([self.data.shape[a] for a in axes]))
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
+    @profiled_op
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Variance reduction (biased)."""
         centered = self - self.mean(axis=axis, keepdims=True)
         return (centered * centered).mean(axis=axis, keepdims=keepdims)
 
+    @profiled_op
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Max reduction (ties share gradient)."""
         value = self.data.max(axis=axis, keepdims=keepdims)
@@ -434,6 +454,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Linear algebra and shape manipulation
     # ------------------------------------------------------------------
+    @profiled_op
     def matmul(self, other: "Tensor") -> "Tensor":
         """Matrix product over the last two axes (batched)."""
         other = other if isinstance(other, Tensor) else Tensor(other)
@@ -452,6 +473,7 @@ class Tensor:
 
     __matmul__ = matmul
 
+    @profiled_op
     def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
         """Permute axes (reverse by default)."""
         out = self._make_child(np.transpose(self.data, axes), (self,), "transpose")
@@ -464,6 +486,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def swapaxes(self, a: int, b: int) -> "Tensor":
         """Swap two axes."""
         out = self._make_child(np.swapaxes(self.data, a, b), (self,), "swapaxes")
@@ -475,6 +498,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def reshape(self, *shape) -> "Tensor":
         """Reshape preserving element order."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -489,6 +513,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def __getitem__(self, index) -> "Tensor":
         out = self._make_child(self.data[index], (self,), "getitem")
 
@@ -504,6 +529,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Softmax family (fused for numerical stability)
     # ------------------------------------------------------------------
+    @profiled_op
     def softmax(self, axis: int = -1) -> "Tensor":
         """Numerically stable softmax along an axis."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
@@ -519,6 +545,7 @@ class Tensor:
         out._backward = _backward if out.requires_grad else None
         return out
 
+    @profiled_op
     def log_softmax(self, axis: int = -1) -> "Tensor":
         """Numerically stable log-softmax along an axis."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
@@ -559,6 +586,7 @@ def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = 
     return Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=requires_grad)
 
 
+@profiled_op
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = list(tensors)
@@ -580,6 +608,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+@profiled_op
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = list(tensors)
@@ -598,6 +627,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+@profiled_op
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select with gradient support (condition is a raw mask)."""
     a = a if isinstance(a, Tensor) else Tensor(a)

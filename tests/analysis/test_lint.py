@@ -310,3 +310,63 @@ class TestCli:
 
         assert main(["lint", "--list-rules"]) == 0
         assert "blanket-except" in capsys.readouterr().out
+
+
+class TestPerTimestepLoop:
+    def test_flags_loop_over_unpacked_seq_axis(self):
+        text = (
+            "batch, seq, dim = x.shape\n"
+            "for t in range(seq):\n"
+            "    step(x[:, t])\n"
+        )
+        assert codes(text, select=["per-timestep-loop"]) == ["per-timestep-loop"]
+
+    def test_flags_loop_over_shape_subscript_binding(self):
+        text = (
+            "seq_len = x.shape[1]\n"
+            "for t in range(seq_len):\n"
+            "    step(x[:, t])\n"
+        )
+        assert codes(text, select=["per-timestep-loop"]) == ["per-timestep-loop"]
+
+    def test_flags_direct_shape_range(self):
+        text = "for t in range(x.shape[1]):\n    step(x[:, t])\n"
+        assert codes(text, select=["per-timestep-loop"]) == ["per-timestep-loop"]
+
+    def test_flags_comprehension(self):
+        text = (
+            "batch, seq = x.shape\n"
+            "outputs = [step(x[:, t]) for t in range(seq)]\n"
+        )
+        assert codes(text, select=["per-timestep-loop"]) == ["per-timestep-loop"]
+
+    def test_batch_axis_loop_allowed(self):
+        # Position 0 of the shape unpack is the batch axis, not time.
+        text = (
+            "batch, seq = x.shape\n"
+            "for b in range(batch):\n"
+            "    step(x[b])\n"
+        )
+        assert codes(text, select=["per-timestep-loop"]) == []
+
+    def test_plain_len_loop_allowed(self):
+        text = "for i in range(len(items)):\n    use(items[i])\n"
+        assert codes(text, select=["per-timestep-loop"]) == []
+
+    def test_kernels_module_exempt(self):
+        text = (
+            "batch, seq, dim = x.shape\n"
+            "for t in range(seq):\n"
+            "    step(x[:, t])\n"
+        )
+        assert lint_source(
+            text, path="src/repro/nn/kernels.py", select=["per-timestep-loop"]
+        ) == []
+
+    def test_line_suppression(self):
+        text = (
+            "batch, seq, dim = x.shape\n"
+            "for t in range(seq):  # lint: disable=per-timestep-loop\n"
+            "    step(x[:, t])\n"
+        )
+        assert codes(text, select=["per-timestep-loop"]) == []

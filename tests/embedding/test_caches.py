@@ -1,0 +1,116 @@
+"""Cache-behaviour tests for the embedding layer: bounded OOV hash-vector
+cache, batch dedup in the sentence encoder, and the memoized
+train_word_vectors results."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import clear_word_vector_cache
+from repro.embedding.cooccurrence import train_word_vectors
+from repro.embedding.encoder import SentenceEncoder
+from repro.obs import MetricsRegistry, use_registry
+
+_CORPUS = [
+    "network connection interrupted to remote endpoint",
+    "network session dropped to remote peer",
+    "disk write failure on storage device",
+    "disk read error on storage device",
+] * 5
+
+
+@pytest.fixture()
+def word_vectors():
+    return train_word_vectors(_CORPUS, dim=8, min_count=1, use_cache=False)
+
+
+class TestOovCache:
+    def test_capacity_enforced(self, word_vectors):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            encoder = SentenceEncoder(word_vectors, oov_cache_size=2)
+        for token in ("zorblat", "vexmor", "quuxol", "fnord"):
+            encoder.encode(token)
+        assert len(encoder._oov_cache) <= 2
+        assert registry.counter("embedding.encoder.oov_evictions").value == 2.0
+
+    def test_evicted_token_rebuilds_identically(self, word_vectors):
+        encoder = SentenceEncoder(word_vectors, oov_cache_size=1)
+        first = encoder.encode("zorblat").copy()
+        encoder.encode("vexmor")  # evicts zorblat
+        assert "zorblat" not in encoder._oov_cache
+        np.testing.assert_allclose(encoder.encode("zorblat"), first)
+
+    def test_no_eviction_under_capacity(self, word_vectors):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            encoder = SentenceEncoder(word_vectors, oov_cache_size=16)
+        encoder.encode("zorblat vexmor")
+        assert registry.counter("embedding.encoder.oov_evictions").value == 0.0
+
+    def test_rejects_non_positive_capacity(self, word_vectors):
+        with pytest.raises(ValueError):
+            SentenceEncoder(word_vectors, oov_cache_size=0)
+
+
+class TestBatchDedup:
+    def test_duplicates_counted_and_results_match(self, word_vectors):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            encoder = SentenceEncoder(word_vectors)
+        sentences = [
+            "network connection interrupted",
+            "disk write failure",
+            "network connection interrupted",
+            "network connection interrupted",
+        ]
+        batch = encoder.encode_batch(sentences)
+        assert registry.counter("embedding.encoder.batch_dedup_hits").value == 2.0
+        for row, sentence in zip(batch, sentences):
+            np.testing.assert_allclose(row, encoder.encode(sentence))
+
+    def test_all_distinct_counts_nothing(self, word_vectors):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            encoder = SentenceEncoder(word_vectors)
+        encoder.encode_batch(["network connection", "disk failure"])
+        assert registry.counter("embedding.encoder.batch_dedup_hits").value == 0.0
+
+
+class TestWordVectorCache:
+    def setup_method(self):
+        clear_word_vector_cache()
+
+    def teardown_method(self):
+        clear_word_vector_cache()
+
+    def test_hit_returns_same_object(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            first = train_word_vectors(_CORPUS, dim=8, min_count=1)
+            second = train_word_vectors(_CORPUS, dim=8, min_count=1)
+        assert second is first
+        assert registry.counter("embedding.wordvectors.cache_misses").value == 1.0
+        assert registry.counter("embedding.wordvectors.cache_hits").value == 1.0
+
+    def test_different_params_miss(self):
+        first = train_word_vectors(_CORPUS, dim=8, min_count=1)
+        other = train_word_vectors(_CORPUS, dim=4, min_count=1)
+        assert other is not first
+        assert other.dim != first.dim
+
+    def test_bypass_flag_skips_cache(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            first = train_word_vectors(_CORPUS, dim=8, min_count=1, use_cache=False)
+            second = train_word_vectors(_CORPUS, dim=8, min_count=1, use_cache=False)
+        assert second is not first
+        assert registry.counter("embedding.wordvectors.cache_hits").value == 0.0
+        assert registry.counter("embedding.wordvectors.cache_misses").value == 0.0
+        np.testing.assert_allclose(first.matrix, second.matrix)
+
+    def test_clear_forces_recompute(self):
+        first = train_word_vectors(_CORPUS, dim=8, min_count=1)
+        clear_word_vector_cache()
+        second = train_word_vectors(_CORPUS, dim=8, min_count=1)
+        assert second is not first
+        np.testing.assert_allclose(first.matrix, second.matrix)

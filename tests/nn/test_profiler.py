@@ -1,0 +1,177 @@
+"""Op profiler tests: attribution, nesting self-time, backward timing,
+zero recording when disabled, obs publishing and the ranked table."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.profiler import OpProfiler, active_profiler, profiled_op
+from repro.nn.tensor import Tensor
+from repro.obs import MetricsRegistry
+
+
+def _fake_clock(step=1.0):
+    """Deterministic clock: every read advances by ``step`` seconds."""
+    state = {"now": 0.0}
+
+    def clock():
+        value = state["now"]
+        state["now"] += step
+        return value
+
+    return clock
+
+
+def _tensor(shape=(3, 4), seed=0, requires_grad=False):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape).astype(np.float32),
+                  requires_grad=requires_grad)
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_profiler() is None
+
+    def test_context_installs_and_restores(self):
+        profiler = OpProfiler()
+        with profiler:
+            assert active_profiler() is profiler
+        assert active_profiler() is None
+
+    def test_nested_profilers_restore_previous(self):
+        outer, inner = OpProfiler(), OpProfiler()
+        with outer:
+            with inner:
+                assert active_profiler() is inner
+            assert active_profiler() is outer
+        assert active_profiler() is None
+
+    def test_no_recording_when_disabled(self):
+        profiler = OpProfiler()
+        with profiler:
+            pass
+        (_tensor() * 2.0).sum()  # runs after exit: must not be recorded
+        assert profiler.stats == {}
+
+
+class TestAttribution:
+    def test_op_names_and_calls(self):
+        a, b = _tensor(seed=1), _tensor(seed=2)
+        with OpProfiler() as profiler:
+            a.matmul(b.transpose((1, 0)))
+            a + b
+            a + b
+        assert profiler.stats["matmul"].calls == 1
+        assert profiler.stats["add"].calls == 2
+        assert profiler.stats["transpose"].calls == 1
+
+    def test_output_bytes(self):
+        x = _tensor(shape=(4, 8))
+        with OpProfiler() as profiler:
+            x * 2.0
+        assert profiler.stats["mul"].output_bytes == 4 * 8 * 4  # float32
+
+    def test_nested_self_time(self):
+        """``mean`` = ``sum`` + ``mul``: child time lands on the children
+        and is subtracted from the parent's self time."""
+        x = _tensor()
+        with OpProfiler(clock=_fake_clock()) as profiler:
+            x.mean()
+        mean = profiler.stats["mean"]
+        children = profiler.stats["sum"], profiler.stats["mul"]
+        # Each clock read ticks 1s, two reads per op: children take 1s each.
+        for child in children:
+            assert child.forward_seconds == 1.0
+            assert child.forward_self_seconds == 1.0
+        assert mean.forward_seconds == 5.0  # spans both children + own reads
+        assert mean.forward_self_seconds == mean.forward_seconds - 2.0
+
+    def test_fused_kernel_recorded_as_one_op(self):
+        lstm = nn.LSTM(3, 4, rng=np.random.default_rng(0))
+        with OpProfiler() as profiler:
+            lstm(_tensor(shape=(2, 5, 3)))
+        assert profiler.stats["lstm_layer"].calls == 1
+        # The recurrence is inside the node: no per-timestep sigmoid/tanh ops.
+        assert "sigmoid" not in profiler.stats
+
+
+class TestBackward:
+    def test_backward_calls_and_time(self):
+        x = _tensor(requires_grad=True)
+        with OpProfiler(clock=_fake_clock()) as profiler:
+            ((x * x).sum()).backward()
+        assert profiler.stats["mul"].backward_calls == 1
+        assert profiler.stats["sum"].backward_calls == 1
+        assert profiler.stats["mul"].backward_seconds > 0.0
+
+    def test_backward_attributed_to_creating_op(self):
+        lstm = nn.LSTM(3, 4, rng=np.random.default_rng(0))
+        x = _tensor(shape=(2, 5, 3), requires_grad=True)
+        with OpProfiler() as profiler:
+            outputs, _ = lstm(x)
+            ((outputs * outputs).sum()).backward()
+        assert profiler.stats["lstm_layer"].backward_calls == 1
+        assert x.grad is not None
+
+    def test_no_backward_without_call(self):
+        x = _tensor(requires_grad=True)
+        with OpProfiler() as profiler:
+            x * 2.0
+        assert profiler.stats["mul"].backward_calls == 0
+
+
+class TestReporting:
+    def _profiled(self):
+        x = _tensor(requires_grad=True)
+        with OpProfiler(clock=_fake_clock()) as profiler:
+            ((x * x).sum()).backward()
+        return profiler
+
+    def test_ranked_hottest_first(self):
+        profiler = self._profiled()
+        ranked = profiler.ranked()
+        hot = [s.hot_seconds for s in ranked]
+        assert hot == sorted(hot, reverse=True)
+
+    def test_table_contains_ops_and_header(self):
+        table = self._profiled().table()
+        assert "op" in table and "fwd self" in table and "bwd total" in table
+        assert "mul" in table and "sum" in table
+        assert "total (self)" in table
+
+    def test_table_limit(self):
+        table = self._profiled().table(limit=1)
+        # header + rule + 1 row + rule + total row
+        assert len(table.splitlines()) == 5
+
+    def test_as_rows_json_able(self):
+        rows = self._profiled().as_rows()
+        assert {row["op"] for row in rows} == {"mul", "sum"}
+        assert all(isinstance(row["calls"], int) for row in rows)
+
+    def test_publish_to_registry(self):
+        profiler = self._profiled()
+        registry = MetricsRegistry()
+        profiler.publish(registry)
+        assert registry.counter("nn.profile.mul.calls").value == 1.0
+        assert registry.counter("nn.profile.mul.backward_calls").value == 1.0
+        assert registry.gauge("nn.profile.mul.forward_seconds").value > 0.0
+
+
+class TestDecorator:
+    def test_names_strip_dunders(self):
+        @profiled_op
+        def __frob__():
+            return None
+
+        assert __frob__.__profiled_op__ == "frob"
+
+    def test_plain_function_untouched_when_inactive(self):
+        calls = []
+
+        @profiled_op
+        def op(value):
+            calls.append(value)
+            return value
+
+        assert op(3) == 3
+        assert calls == [3]

@@ -164,3 +164,29 @@ class TestReplayServe:
         empty.write_text("")
         with pytest.raises(SystemExit, match="no records"):
             main(["replay", "--logs", str(empty)])
+
+
+class TestProfile:
+    FAST = ["profile", "--sequences", "48", "--epochs", "1", "--window", "4",
+            "--embedding-dim", "16", "--feature-dim", "8", "--d-model", "16",
+            "--num-heads", "2", "--d-ff", "32"]
+
+    def test_prints_ranked_table(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "fused kernels" in out
+        assert "fwd self" in out and "bwd total" in out
+        assert "lstm_layer" in out or "attention" in out or "matmul" in out
+
+    def test_unfused_mode(self, capsys):
+        assert main(self.FAST + ["--unfused", "--top", "5"]) == 0
+        assert "seed (unfused)" in capsys.readouterr().out
+
+    def test_metrics_out_exports_profile(self, tmp_path, capsys):
+        metrics = tmp_path / "profile.jsonl"
+        assert main(self.FAST + ["--metrics-out", str(metrics)]) == 0
+        from repro.obs import read_jsonl
+
+        names = {event.get("name", "") for event in read_jsonl(metrics)}
+        assert any(name.startswith("nn.profile.") for name in names)
+        assert any(name.endswith(".backward_seconds") for name in names)
