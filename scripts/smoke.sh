@@ -3,7 +3,9 @@
 # model audit, a quick op-profiler run, a seconds-scale fused-kernel
 # throughput sanity pass, a deterministic 2-shard runtime replay over
 # the bundled sample stream (must produce reports and non-empty
-# metrics), then the test suite.
+# metrics), a seeded fault-injection fuzz pass (twice — the violation
+# report must be byte-identical, with the unarmed-hook overhead guard),
+# then the test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,11 +25,24 @@ PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
 
 replay_out="$(mktemp)"
 replay_metrics="$(mktemp)"
-trap 'rm -f "$replay_out" "$replay_metrics"' EXIT
+fuzz_a="$(mktemp)"
+fuzz_b="$(mktemp)"
+trap 'rm -f "$replay_out" "$replay_metrics" "$fuzz_a" "$fuzz_b"' EXIT
 PYTHONPATH=src python -m repro.cli replay \
     --logs examples/data/replay_sample.jsonl --shards 2 \
     --out "$replay_out" --metrics-out "$replay_metrics"
 test -s "$replay_out" || { echo "smoke: replay produced no reports" >&2; exit 1; }
 test -s "$replay_metrics" || { echo "smoke: replay produced no metrics" >&2; exit 1; }
+
+# Fault-injection fuzz: every invariant must hold (exit 1 on violation;
+# episode seeds are printed so a failure replays with
+# `repro fuzz --episodes 1 --seed <episode seed>`), the unarmed hooks
+# must stay free, and a second run must render byte-identically.
+PYTHONPATH=src python -m repro.cli fuzz --episodes 2 --seed 7 \
+    --out "$fuzz_a" --bench-overhead
+PYTHONPATH=src python -m repro.cli fuzz --episodes 2 --seed 7 \
+    --out "$fuzz_b" >/dev/null
+cmp -s "$fuzz_a" "$fuzz_b" \
+    || { echo "smoke: fuzz report not deterministic across runs" >&2; exit 1; }
 
 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -13,8 +13,9 @@ from .lint import LintRule, register_rule
 
 __all__ = [
     "GlobalNumpyRandomRule", "WallClockRule", "MutableDefaultRule",
-    "BlanketExceptRule", "ModuleSuperInitRule", "ForwardConventionsRule",
-    "DirectThreadRule", "PerTimestepLoopRule",
+    "BlanketExceptRule", "SilentExceptRule", "ModuleSuperInitRule",
+    "ForwardConventionsRule", "DirectThreadRule", "PerTimestepLoopRule",
+    "FaultPointAllowlistRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -130,6 +131,78 @@ class BlanketExceptRule(LintRule):
                 node.type.id in ("Exception", "BaseException") and \
                 not self._reraises(node):
             self.report(node, f"blanket except {node.type.id} without re-raise")
+        self.generic_visit(node)
+
+
+@register_rule
+class SilentExceptRule(LintRule):
+    """The partner of ``blanket-except``: even a *specific* exception type
+    handled by ``pass`` alone erases the failure — recovery paths must
+    leave evidence (a counter, a log, a fallback value), or the fault
+    harness can prove nothing about them."""
+
+    name = "silent-except"
+    description = "forbid except blocks whose body does nothing (swallowed errors)"
+    hint = "count/log the failure or use contextlib.suppress at the call site"
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        return isinstance(stmt, ast.Pass) or (
+            isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if all(self._is_noop(stmt) for stmt in node.body):
+            self.report(node, "except block silently swallows the error")
+        self.generic_visit(node)
+
+
+@register_rule
+class FaultPointAllowlistRule(LintRule):
+    """Fault points are reviewed hooks, not a free-for-all: every
+    ``fault_point(...)`` call must use a name registered in
+    :data:`repro.testing.faultpoints.FAULT_POINTS`, planted in the one
+    module that registration names.  A hook in unreviewed code is an
+    injection surface nobody audits."""
+
+    name = "fault-point-outside-allowlist"
+    description = "fault_point(...) must use a registered name inside its registered module"
+    hint = "register the point in repro.testing.faultpoints.FAULT_POINTS (name -> hosting module)"
+
+    # The harness itself (benchmarks, the injector) and tests may touch
+    # hooks freely; the allowlist binds production modules only.
+    _EXEMPT_FRAGMENTS = ("repro/testing/", "tests/")
+
+    def _exempt(self) -> bool:
+        path = self.source.path.replace("\\", "/")
+        return any(fragment in path for fragment in self._EXEMPT_FRAGMENTS)
+
+    @staticmethod
+    def _registry() -> dict[str, str]:
+        from ..testing.faultpoints import FAULT_POINTS
+
+        return FAULT_POINTS
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        named = (isinstance(func, ast.Name) and func.id == "fault_point") or (
+            isinstance(func, ast.Attribute) and func.attr == "fault_point"
+        )
+        if named and not self._exempt():
+            first = node.args[0] if node.args else None
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                self.report(node, "fault_point name must be a string literal")
+            else:
+                registered = self._registry().get(first.value)
+                path = self.source.path.replace("\\", "/")
+                if registered is None:
+                    self.report(node, f"unregistered fault point {first.value!r}")
+                elif registered not in path:
+                    self.report(
+                        node,
+                        f"fault point {first.value!r} planted outside its "
+                        f"registered module {registered}",
+                    )
         self.generic_visit(node)
 
 

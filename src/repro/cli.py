@@ -325,6 +325,43 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import (BREAKABLE_RECOVERIES, measure_fault_point_overhead,
+                          run_episodes)
+
+    with _observability(args):
+        try:
+            report = run_episodes(
+                args.episodes, args.seed, suite=args.suite,
+                broken=tuple(args.break_paths or ()),
+            )
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"fuzz: {exc}")
+    rendered = report.render()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote fuzz report to {args.out}")
+    sys.stdout.write(rendered)
+
+    code = 0 if report.ok else 1
+    if args.bench_overhead:
+        overhead = measure_fault_point_overhead()
+        print(overhead.render())
+        if overhead.overhead_ns > args.overhead_limit_ns:
+            print(f"fuzz: FAIL unarmed fault_point overhead "
+                  f"{overhead.overhead_ns:.1f} ns/call exceeds "
+                  f"--overhead-limit-ns {args.overhead_limit_ns:.0f}")
+            code = 1
+    if not report.ok and args.break_paths:
+        # Self-test mode: violations under --break prove the harness can
+        # see the defects it exists for.
+        print(f"fuzz: {len(report.violations)} violation(s) with broken "
+              f"recovery path(s) {', '.join(args.break_paths)} "
+              f"(breakable: {', '.join(BREAKABLE_RECOVERIES)})")
+    return code
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import read_jsonl, summarize_events
 
@@ -494,6 +531,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="profile the seed composition instead of the fused kernels")
     _add_metrics_flag(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="run seeded fault-injection fuzz episodes against an "
+                     "invariant suite (exit 1 on any violation)"
+    )
+    fuzz.add_argument("--episodes", type=int, default=5,
+                      help="seeded episodes to run")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed; episode seeds derive deterministically")
+    fuzz.add_argument("--suite", default="all",
+                      choices=["all", "replay", "llm", "trainer", "fuzzer"],
+                      help="invariant suite to check each episode against")
+    fuzz.add_argument("--out", default=None, metavar="PATH",
+                      help="write the (byte-deterministic) report here too")
+    fuzz.add_argument("--break", dest="break_paths", action="append",
+                      default=None, metavar="RECOVERY",
+                      choices=["retry", "quarantine", "review", "nan-guard"],
+                      help="disable a recovery path (repeatable); violations "
+                           "then PROVE the harness detects the defect")
+    fuzz.add_argument("--bench-overhead", action="store_true",
+                      help="also benchmark the unarmed fault_point hook and "
+                           "fail when it exceeds --overhead-limit-ns")
+    fuzz.add_argument("--overhead-limit-ns", type=float, default=500.0,
+                      help="max tolerated unarmed-hook overhead per call")
+    _add_metrics_flag(fuzz)
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     stats = commands.add_parser("stats", help="summarize a --metrics-out JSONL file")
     stats.add_argument("metrics", help="JSONL file written by --metrics-out")

@@ -21,6 +21,7 @@ from .. import nn
 from ..config import LogSynergyConfig
 from ..nn.tensor import Tensor
 from ..obs import get_registry
+from ..testing.faultpoints import fault_point
 from .club import CLUBEstimator
 from .daan import DAANModule
 from .model import LogSynergyModel
@@ -74,18 +75,22 @@ class LogSynergyTrainer:
 
     def __init__(self, model: LogSynergyModel, config: LogSynergyConfig | None = None,
                  use_sufe: bool | None = None, use_da: bool | None = None,
-                 pos_weight: float | None = None):
+                 pos_weight: float | None = None, skip_nonfinite: bool = True):
         self.model = model
         self.config = config or model.config
         self.use_sufe = self.config.use_sufe if use_sufe is None else use_sufe
         self.use_da = self.config.use_da if use_da is None else use_da
         self.pos_weight = pos_weight
+        # Guard against NaN/Inf batch losses (bad batch, numeric blow-up):
+        # skip the optimizer step instead of poisoning every parameter.
+        self.skip_nonfinite = skip_nonfinite
         # Observability handles are captured at construction; enable a
         # registry before building the trainer to collect its metrics.
         registry = get_registry()
         self._obs = registry
         self._epoch_counter = registry.counter("trainer.epochs")
         self._batch_counter = registry.counter("trainer.batches")
+        self._nonfinite_counter = registry.counter("trainer.nonfinite_batches")
         self._estimator_timer = registry.histogram("trainer.estimator_step_seconds")
         self._main_timer = registry.histogram("trainer.main_step_seconds")
         self._batch_timer = registry.histogram("trainer.batch_seconds")
@@ -139,7 +144,8 @@ class LogSynergyTrainer:
         nn.clip_grad_norm(self.club.parameters(), self.config.grad_clip)
         self.club_optimizer.step()
 
-    def _train_main(self, batch: TrainingBatch, alpha: float, pos_weight: float) -> dict[str, float]:
+    def _train_main(self, batch: TrainingBatch, alpha: float,
+                    pos_weight: float) -> dict[str, float] | None:
         unified, specific = self.model.extract_features(batch.sequences)
         anomaly_logits = self.model.anomaly_logits(unified)
         loss_anomaly = nn.binary_cross_entropy_with_logits(
@@ -164,6 +170,13 @@ class LogSynergyTrainer:
             loss_da = self.daan(unified, batch.domain_labels, class_probs)
             loss = loss + loss_da * self.config.lambda_da
             parts["da"] = float(loss_da.data)
+
+        loss = fault_point("core.trainer.loss", loss)
+        if self.skip_nonfinite and not np.isfinite(float(loss.data)):
+            # Skip the step entirely: backprop through a non-finite loss
+            # would poison every parameter in one update.
+            self._nonfinite_counter.inc()
+            return None
 
         self.optimizer.zero_grad()
         self.club_optimizer.zero_grad()  # discard MI gradients into the estimator
@@ -211,6 +224,12 @@ class LogSynergyTrainer:
                         alpha = DAANModule.schedule_alpha(step / total_steps)
                         with self._main_timer.time():
                             parts = self._train_main(batch, alpha, pos_weight)
+                    if parts is None:
+                        # Non-finite loss skipped its step; keep the alpha
+                        # schedule moving and leave the epoch averages clean.
+                        step += 1
+                        self._batch_counter.inc()
+                        continue
                     for key in sums:
                         sums[key] += parts[key]
                     count += 1

@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
+from typing import Callable
 
 from ..obs import get_registry
+from ..testing.faultpoints import fault_point
 from .interface import LLMClient
 
 __all__ = ["CachedLLM"]
@@ -43,30 +46,73 @@ class CachedLLM:
         Persist after every new completion (safe default); set ``False``
         and use the context-manager form (or call :meth:`save`) for bulk
         runs.
+    quarantine:
+        On a malformed/truncated cache file (torn write, disk fault),
+        rename it aside as ``<name>.corrupt-<ts>`` and start from an
+        empty cache — entries regenerate on demand.  Set ``False`` to
+        get the old fail-stop ``ValueError`` (forensics workflows).
+    clock:
+        Timestamp source for quarantine filenames (injectable for
+        deterministic tests).
 
     Hit/miss/invalidation totals are mirrored into the active
     ``repro.obs`` registry as ``llm.cache.hits`` / ``llm.cache.misses``
-    / ``llm.cache.invalidations``.
+    / ``llm.cache.invalidations``; each quarantined file increments
+    ``llm.cache.quarantined``.
     """
 
-    def __init__(self, inner: LLMClient, path: str | Path, autosave: bool = True):
+    def __init__(self, inner: LLMClient, path: str | Path, autosave: bool = True,
+                 *, quarantine: bool = True,
+                 clock: Callable[[], float] = time.time):
         self.inner = inner
         self.path = Path(path)
         self.autosave = autosave
+        self.quarantine = quarantine
         self.hits = 0
         self.misses = 0
+        self._clock = clock
         registry = get_registry()
         self._hit_counter = registry.counter("llm.cache.hits")
         self._miss_counter = registry.counter("llm.cache.misses")
         self._invalidation_counter = registry.counter("llm.cache.invalidations")
+        self._quarantine_counter = registry.counter("llm.cache.quarantined")
         self._cache: dict[str, str] = {}
         if self.path.exists():
-            try:
-                self._cache = json.loads(self.path.read_text(encoding="utf-8"))
-            except (json.JSONDecodeError, OSError) as exc:
-                raise ValueError(f"corrupt interpretation cache at {self.path}") from exc
-            if not isinstance(self._cache, dict):
-                raise ValueError(f"corrupt interpretation cache at {self.path}")
+            self._cache = self.load()
+
+    def load(self) -> dict[str, str]:
+        """Parse the cache file, quarantining it when corrupt.
+
+        Returns the cached completions; a malformed or truncated file is
+        renamed aside (``quarantine=True``) and an empty cache returned,
+        or raises ``ValueError`` (``quarantine=False``).
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"unreadable interpretation cache at {self.path}") from exc
+        text = fault_point("llm.cache.load", text)
+        try:
+            cache = json.loads(text)
+        except json.JSONDecodeError:
+            cache = None
+        if isinstance(cache, dict):
+            return cache
+        if not self.quarantine:
+            raise ValueError(f"corrupt interpretation cache at {self.path}")
+        self.path.rename(self._quarantine_target())
+        self._quarantine_counter.inc()
+        return {}
+
+    def _quarantine_target(self) -> Path:
+        stamp = int(self._clock())
+        candidate = self.path.with_name(f"{self.path.name}.corrupt-{stamp}")
+        serial = 0
+        while candidate.exists():
+            serial += 1
+            candidate = self.path.with_name(
+                f"{self.path.name}.corrupt-{stamp}-{serial}")
+        return candidate
 
     def __len__(self) -> int:
         return len(self._cache)

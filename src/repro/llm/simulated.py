@@ -28,6 +28,7 @@ import re
 import numpy as np
 
 from ..logs.events import CONCEPTS, EventConcept
+from ..testing.faultpoints import fault_point
 from .prompts import extract_log_from_prompt
 
 __all__ = ["SimulatedLLM", "normalize_tokens"]
@@ -135,5 +136,7 @@ class SimulatedLLM:
         else:
             interpretation = self._fallback_rewrite(message)
         if self.hallucination_rate > 0 and self._rng.random() < self.hallucination_rate:
-            return self._hallucinate(interpretation)
-        return interpretation
+            interpretation = self._hallucinate(interpretation)
+        # Injected hallucination bursts corrupt the completion here, past
+        # the matcher, the way a hosted model garbles output at the wire.
+        return fault_point("llm.simulated.complete", interpretation)

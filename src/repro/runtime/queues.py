@@ -21,6 +21,8 @@ import threading
 from collections import deque
 from typing import Callable, Generic, TypeVar
 
+from ..testing.faultpoints import DROPPED, fault_point
+
 T = TypeVar("T")
 
 __all__ = [
@@ -69,6 +71,11 @@ class ShardQueue(Generic[T]):
     # ------------------------------------------------------------------
     def _admit_locked(self, item: T) -> str:
         """Apply the overflow policy; caller holds the lock."""
+        if fault_point("runtime.queues.admit", item) is DROPPED:
+            # Injected silent ingress loss: the producer sees OFFER_OK but
+            # the record never lands (what the invariants must catch).
+            self.total_offered += 1
+            return OFFER_OK
         self.total_offered += 1
         if len(self._items) < self.capacity:
             self._items.append(item)

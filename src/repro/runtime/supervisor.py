@@ -29,6 +29,7 @@ from typing import Callable
 
 from ..core.report import AnomalyReport
 from ..obs import get_registry
+from ..testing.faultpoints import fault_point
 from .scheduler import PendingWindow
 from .worker import InferenceWorker
 
@@ -94,6 +95,9 @@ class WorkerSupervisor:
 
     def _attempt(self, batch: list[PendingWindow]) -> tuple[list[AnomalyReport], float]:
         start = self._clock()
+        # Between the two clock reads on purpose: a ``timeout`` fault here
+        # skews the injected clock so this attempt overruns its budget.
+        fault_point("runtime.supervisor.attempt")
         reports = self.worker.score_batch(batch)
         return reports, self._clock() - start
 

@@ -23,6 +23,7 @@ import zlib
 from typing import Callable, Protocol
 
 from ..core.report import AnomalyReport, build_report
+from ..testing.faultpoints import DROPPED, fault_point
 from .scheduler import PendingWindow
 
 __all__ = [
@@ -66,12 +67,18 @@ class ModelWorker:
         self._lock = lock
 
     def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        fault_point("runtime.worker.score")
         messages = [[entry.message for entry in p.window] for p in batch]
         timestamps = [[entry.timestamp for entry in p.window] for p in batch]
         if self._lock is None:
-            return self.model.detect_stream_batch(messages, timestamps)
-        with self._lock:
-            return self.model.detect_stream_batch(messages, timestamps)
+            reports = self.model.detect_stream_batch(messages, timestamps)
+        else:
+            with self._lock:
+                reports = self.model.detect_stream_batch(messages, timestamps)
+        reports = fault_point("runtime.worker.result", reports)
+        # A dropped result degrades the batch (the supervisor treats a
+        # missing result like an exhausted retry budget).
+        return None if reports is DROPPED else reports
 
 
 class SyntheticWorker:
@@ -97,6 +104,7 @@ class SyntheticWorker:
         return (digest % 1000) / 999.0
 
     def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        fault_point("runtime.worker.score")
         if self.cost is not None:
             self.cost(len(batch))
         self.batches_scored += 1
@@ -110,7 +118,8 @@ class SyntheticWorker:
                 interpretations=[entry.message for entry in pending.window],
                 timestamps=[entry.timestamp for entry in pending.window],
             ))
-        return reports
+        reports = fault_point("runtime.worker.result", reports)
+        return None if reports is DROPPED else reports
 
 
 class FlakyWorker:

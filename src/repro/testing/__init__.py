@@ -1,0 +1,60 @@
+"""Deterministic fault-injection and fuzzing harness.
+
+The correctness substrate for the ROADMAP's production-scale north
+star: seeded log-stream fuzzing with planted ground truth
+(:mod:`~repro.testing.fuzzer`), scheduled fault injection through named
+hooks in the runtime/LLM/trainer (:mod:`~repro.testing.faultpoints`,
+:mod:`~repro.testing.plan`), metamorphic/differential invariants over
+fuzz episodes (:mod:`~repro.testing.invariants`), and the episode
+runner behind ``repro fuzz`` (:mod:`~repro.testing.harness`).
+
+Attribute access is lazy (PEP 562): production modules import
+``repro.testing.faultpoints`` (stdlib-only) for their hooks, and that
+import must not drag in the invariant library — which itself imports the
+runtime/LLM/trainer modules hosting the hooks.  Eager re-exports here
+would close that cycle.
+"""
+
+from .faultpoints import (DROPPED, FAULT_POINTS, active_injector,
+                          allowed_module, fault_point, register_fault_point)
+
+_LAZY = {
+    # plan
+    "FAULT_KINDS": "plan", "InjectedFault": "plan", "FaultSpec": "plan",
+    "FaultPlan": "plan", "FaultInjector": "plan",
+    # fuzzer
+    "PlantedAnomaly": "fuzzer", "FuzzedStream": "fuzzer",
+    "LogStreamFuzzer": "fuzzer",
+    # invariants
+    "BREAKABLE_RECOVERIES": "invariants", "CheckContext": "invariants",
+    "InvariantResult": "invariants", "CHECKERS": "invariants",
+    "SUITES": "invariants", "suite_checkers": "invariants",
+    "ConceptMatcher": "invariants",
+    # harness
+    "EPISODE_SEED_STRIDE": "harness", "episode_seed": "harness",
+    "default_fuzzer": "harness", "EpisodeResult": "harness",
+    "Violation": "harness", "FuzzReport": "harness",
+    "run_episodes": "harness", "OverheadReport": "harness",
+    "measure_fault_point_overhead": "harness",
+}
+
+__all__ = [
+    "DROPPED", "FAULT_POINTS", "fault_point", "active_injector",
+    "register_fault_point", "allowed_module", *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

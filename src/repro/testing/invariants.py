@@ -1,0 +1,380 @@
+"""Metamorphic and differential invariant checks over fuzz episodes.
+
+Each invariant states a property the system must keep under a specific
+injected fault, checked *differentially* against a fault-free golden run
+or against the fuzzer's planted ground truth:
+
+* ``shard-invariance`` — a replay renders byte-identically for any shard
+  count (the runtime's keystone determinism claim).
+* ``transient-fault-equivalence`` — transient worker raises within the
+  retry budget plus one timeout overrun leave the rendered verdicts
+  byte-identical to the golden run (retries and late results must be
+  invisible in output).
+* ``degraded-flagged-not-remembered`` — with the model path down hard,
+  every emitted verdict carries the ``degraded`` flag and nothing is
+  written into the pattern libraries (the model must re-judge after
+  recovery).
+* ``cache-corruption-regenerates`` — a cache file truncated mid-byte is
+  quarantined and regenerated to fault-free content, never a crash.
+* ``hallucination-burst-bounded`` — format-breaking LLM output bursts
+  are absorbed by the review/regeneration loop (§IV-E2).
+* ``nan-loss-skipped`` — an injected NaN loss skips that optimizer step
+  and leaves the training history finite.
+* ``label-recovery-f1`` — the fuzzer's planted anomaly windows are
+  recoverable by a catalog-based detector with F1 above a floor (the
+  fuzz streams are learnable signal, not noise).
+
+Checkers take a :class:`CheckContext`; ``context.broken`` names recovery
+paths to *disable*, which is how the harness proves it can detect the
+defects it exists for (see ``repro fuzz --break``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..evaluation.metrics import binary_metrics
+from ..llm.cache import CachedLLM
+from ..llm.interpreter import EventInterpreter, review_interpretation
+from ..llm.prompts import build_interpretation_prompt
+from ..llm.simulated import SimulatedLLM, normalize_tokens
+from ..logs.events import EventKind, concepts_for_system
+from ..obs import MetricsRegistry, use_registry
+from ..runtime import InferenceRuntime, SyntheticWorker, message_pattern
+from ..runtime.replay import render_reports
+from .fuzzer import FuzzedStream
+from .plan import FaultInjector, FaultPlan, FaultSpec
+
+__all__ = [
+    "BREAKABLE_RECOVERIES", "CheckContext", "InvariantResult",
+    "CHECKERS", "SUITES", "suite_checkers", "ConceptMatcher",
+    "truncate_mid_byte", "garble_completion", "nan_loss",
+]
+
+# Recovery paths the harness can disable to prove its own teeth.
+BREAKABLE_RECOVERIES = ("retry", "quarantine", "review", "nan-guard")
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one invariant over one episode."""
+
+    invariant: str
+    ok: bool
+    details: str = ""
+
+
+@dataclass
+class CheckContext:
+    """Everything a checker needs for one episode."""
+
+    stream: FuzzedStream
+    seed: int
+    workdir: Path
+    broken: frozenset = frozenset()
+    window: int = 10
+    step: int = 5
+    max_batch: int = 8
+    f1_floor: float = 0.7
+
+
+# -- default fault mutators -------------------------------------------------
+
+def truncate_mid_byte(text: str) -> str:
+    """Cut a serialized cache in half, mid-token (a torn disk write)."""
+    return text[: max(1, len(text) // 2)]
+
+
+def garble_completion(text: str) -> str:
+    """Turn a completion into review-failing output (unexpanded wildcard)."""
+    return f"{text} <*>"
+
+
+def nan_loss(loss):
+    """Poison a loss tensor (keeps the autograd graph attached)."""
+    return loss * float("nan")
+
+
+# -- checker registry -------------------------------------------------------
+
+CHECKERS: dict[str, object] = {}
+SUITES: dict[str, tuple[str, ...]] = {}
+
+
+def _invariant(name: str, *suites: str):
+    def decorate(fn):
+        CHECKERS[name] = fn
+        for suite in suites + ("all",):
+            SUITES[suite] = SUITES.get(suite, ()) + (name,)
+        return fn
+    return decorate
+
+
+def suite_checkers(suite: str) -> list[tuple[str, object]]:
+    """(name, checker) pairs for a suite, in registration order."""
+    if suite not in SUITES:
+        raise KeyError(f"unknown invariant suite {suite!r}; "
+                       f"available: {', '.join(sorted(SUITES))}")
+    return [(name, CHECKERS[name]) for name in SUITES[suite]]
+
+
+# -- runtime helpers --------------------------------------------------------
+
+def _run_replay(context: CheckContext, *, shards: int,
+                registry: MetricsRegistry | None = None,
+                supervisor_options: dict | None = None):
+    """Synchronous replay of the episode; returns (rendered, reports, runtime)."""
+    registry = registry if registry is not None else MetricsRegistry()
+    runtime = InferenceRuntime(
+        lambda index: SyntheticWorker(threshold=0.5),
+        pattern_fn=message_pattern,
+        shards=shards, window=context.window, step=context.step,
+        max_batch=context.max_batch, max_latency=None,
+        backpressure="block", registry=registry,
+        supervisor_options=supervisor_options,
+    )
+    for record in context.stream.records:
+        runtime.submit(record)
+    reports = runtime.drain()
+    return render_reports(reports), reports, runtime
+
+
+# -- invariants -------------------------------------------------------------
+
+@_invariant("shard-invariance", "replay")
+def check_shard_invariance(context: CheckContext) -> InvariantResult:
+    rendered = [_run_replay(context, shards=shards)[0] for shards in (1, 2, 3)]
+    ok = rendered[0] == rendered[1] == rendered[2]
+    if ok:
+        details = f"{len(rendered[0])} report bytes identical at shards 1/2/3"
+    else:
+        sizes = "/".join(str(len(r)) for r in rendered)
+        details = f"replay diverged across shard counts (bytes {sizes})"
+    return InvariantResult("shard-invariance", ok, details)
+
+
+@_invariant("transient-fault-equivalence", "replay")
+def check_transient_fault_equivalence(context: CheckContext) -> InvariantResult:
+    golden, _, _ = _run_replay(context, shards=2)
+    plan = FaultPlan((
+        FaultSpec("runtime.worker.score", "raise", start=2, count=2),
+        FaultSpec("runtime.supervisor.attempt", "timeout", start=6, count=1,
+                  seconds=30.0),
+    ), seed=context.seed)
+    registry = MetricsRegistry()
+    injector = FaultInjector(plan, registry=registry)
+    retries = 0 if "retry" in context.broken else 3
+    options = {"max_retries": retries, "timeout": 5.0,
+               "clock": injector.clock, "unhealthy_after": 1_000_000}
+    with injector:
+        faulted, _, _ = _run_replay(context, shards=2, registry=registry,
+                                    supervisor_options=options)
+    fired = injector.total_fired
+    if fired < 2:
+        return InvariantResult(
+            "transient-fault-equivalence", False,
+            f"vacuous: only {fired} faults fired (stream too short?)")
+    ok = faulted == golden
+    details = (f"{fired} injected faults absorbed; verdicts byte-identical "
+               f"to golden run" if ok else
+               f"faulted run diverged from golden after {fired} injected faults")
+    return InvariantResult("transient-fault-equivalence", ok, details)
+
+
+@_invariant("degraded-flagged-not-remembered", "replay")
+def check_degraded_flagging(context: CheckContext) -> InvariantResult:
+    plan = FaultPlan((
+        FaultSpec("runtime.worker.score", "raise", start=0, count=1_000_000),
+    ), seed=context.seed)
+    registry = MetricsRegistry()
+    options = {"max_retries": 1, "unhealthy_after": 1, "cooldown": 1e9}
+    with FaultInjector(plan, registry=registry):
+        _, reports, runtime = _run_replay(context, shards=2, registry=registry,
+                                          supervisor_options=options)
+    degraded = runtime.stats.degraded_windows
+    if degraded == 0:
+        return InvariantResult(
+            "degraded-flagged-not-remembered", False,
+            "vacuous: no window was resolved by the degraded path")
+    unflagged = sum(1 for report in reports
+                    if not report.metadata.get("degraded", False))
+    remembered = sum(len(library) for shard in runtime.shards
+                     for library in shard.libraries.values())
+    ok = unflagged == 0 and remembered == 0
+    details = (f"{degraded} degraded windows all flagged, 0 patterns remembered"
+               if ok else
+               f"{unflagged} degraded verdicts unflagged, "
+               f"{remembered} degraded patterns written to libraries")
+    return InvariantResult("degraded-flagged-not-remembered", ok, details)
+
+
+@_invariant("cache-corruption-regenerates", "llm")
+def check_cache_corruption(context: CheckContext) -> InvariantResult:
+    path = context.workdir / f"llm-cache-{context.seed}.json"
+    records = [r for r in context.stream.records if not r.is_anomalous][:6]
+    prompts = [build_interpretation_prompt(r.system, r.message) for r in records]
+    with CachedLLM(SimulatedLLM(), path, autosave=False) as warm:
+        for prompt in prompts:
+            warm.complete(prompt)
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+
+    plan = FaultPlan((
+        FaultSpec("llm.cache.load", "corrupt", start=0, count=1,
+                  mutate=truncate_mid_byte),
+    ), seed=context.seed)
+    registry = MetricsRegistry()
+    quarantine = "quarantine" not in context.broken
+    with use_registry(registry):
+        with FaultInjector(plan, registry=registry) as injector:
+            try:
+                reloaded = CachedLLM(SimulatedLLM(), path, quarantine=quarantine)
+            except ValueError:
+                return InvariantResult(
+                    "cache-corruption-regenerates", False,
+                    "loader crashed on a truncated cache instead of quarantining")
+        for prompt in prompts:
+            reloaded.complete(prompt)
+    regenerated = json.loads(path.read_text(encoding="utf-8"))
+    quarantined = list(path.parent.glob(path.name + ".corrupt-*"))
+    counted = registry.counter("llm.cache.quarantined").value
+    ok = (injector.total_fired == 1 and reloaded.misses == len(prompts)
+          and regenerated == baseline and len(quarantined) == 1 and counted == 1)
+    details = (f"truncated cache quarantined and {len(prompts)} entries "
+               f"regenerated to fault-free content" if ok else
+               f"recovery incomplete: fired={injector.total_fired} "
+               f"misses={reloaded.misses}/{len(prompts)} "
+               f"quarantined_files={len(quarantined)} counter={counted:g} "
+               f"content_match={regenerated == baseline}")
+    return InvariantResult("cache-corruption-regenerates", ok, details)
+
+
+@_invariant("hallucination-burst-bounded", "llm")
+def check_hallucination_burst(context: CheckContext) -> InvariantResult:
+    dialect = "bgl"
+    concepts = (concepts_for_system(dialect, EventKind.NORMAL)
+                + concepts_for_system(dialect, EventKind.ANOMALOUS))
+    representatives = [concept.phrases[dialect].replace("<*>", "7")
+                       for concept in concepts[:10]]
+    plan = FaultPlan((
+        FaultSpec("llm.simulated.complete", "corrupt", start=0, count=2,
+                  mutate=garble_completion),
+        FaultSpec("llm.simulated.complete", "corrupt", start=6, count=2,
+                  mutate=garble_completion),
+    ), seed=context.seed)
+    regenerations_budget = 0 if "review" in context.broken else 2
+    interpreter = EventInterpreter(SimulatedLLM(),
+                                   max_regenerations=regenerations_budget)
+    failed = 0
+    regenerated = 0
+    with FaultInjector(plan) as injector:
+        for representative in representatives:
+            text, regens = interpreter.interpret_event(dialect, representative)
+            regenerated += regens
+            if review_interpretation(text):
+                failed += 1
+    fired = injector.total_fired
+    if fired < 4:
+        return InvariantResult(
+            "hallucination-burst-bounded", False,
+            f"vacuous: only {fired}/4 burst completions were corrupted")
+    ok = failed == 0 and regenerated >= 2
+    details = (f"2 bursts ({fired} bad completions) absorbed by "
+               f"{regenerated} regenerations; 0 bad interpretations kept"
+               if ok else
+               f"{failed} bad interpretations survived review "
+               f"({regenerated} regenerations, {fired} corrupted completions)")
+    return InvariantResult("hallucination-burst-bounded", ok, details)
+
+
+@_invariant("nan-loss-skipped", "trainer")
+def check_nan_loss(context: CheckContext) -> InvariantResult:
+    from ..config import LogSynergyConfig
+    from ..core import LogSynergyModel, LogSynergyTrainer, TrainingBatch
+
+    config = LogSynergyConfig(
+        d_model=16, num_heads=2, num_layers=1, d_ff=32, feature_dim=8,
+        embedding_dim=16, epochs=1, batch_size=16, window=4, seed=context.seed,
+    )
+    rng = np.random.default_rng(context.seed)
+    count = 48
+    data = TrainingBatch(
+        sequences=rng.standard_normal(
+            (count, config.window, config.embedding_dim)).astype(np.float32),
+        anomaly_labels=(rng.random(count) < 0.2).astype(np.float32),
+        system_labels=rng.integers(0, 2, size=count),
+        domain_labels=rng.integers(0, 2, size=count),
+    )
+    plan = FaultPlan((
+        FaultSpec("core.trainer.loss", "corrupt", start=1, count=1,
+                  mutate=nan_loss),
+    ), seed=context.seed)
+    registry = MetricsRegistry()
+    guard = "nan-guard" not in context.broken
+    with use_registry(registry):
+        model = LogSynergyModel(config, num_systems=2)
+        trainer = LogSynergyTrainer(model, config, skip_nonfinite=guard)
+        with FaultInjector(plan, registry=registry) as injector:
+            history = trainer.fit(data)
+    finite = all(np.isfinite(value) for value in history.total)
+    skipped = registry.counter("trainer.nonfinite_batches").value
+    ok = finite and injector.total_fired == 1 and (skipped == 1) == guard
+    details = (f"1 NaN batch skipped; epoch losses finite" if ok else
+               f"finite={finite} fired={injector.total_fired} "
+               f"skipped_batches={skipped:g}")
+    return InvariantResult("nan-loss-skipped", ok, details)
+
+
+class ConceptMatcher:
+    """Catalog-based line classifier for label-recovery scoring.
+
+    A line matches an anomalous concept when its token overlap with any
+    dialect rendering of that concept's skeleton clears ``threshold`` —
+    the same skeleton matching the simulated LLM uses, so recovery
+    degrades gracefully (not catastrophically) under parameter noise.
+    """
+
+    def __init__(self, threshold: float = 0.6):
+        self.threshold = threshold
+        self._skeletons: list[frozenset[str]] = []
+        seen: set[frozenset[str]] = set()
+        from ..logs.events import anomalous_concepts
+
+        for concept in anomalous_concepts():
+            for phrase in concept.phrases.values():
+                skeleton = frozenset(normalize_tokens(phrase.replace("<*>", " ")))
+                if skeleton and skeleton not in seen:
+                    seen.add(skeleton)
+                    self._skeletons.append(skeleton)
+
+    def is_anomalous_line(self, message: str) -> bool:
+        tokens = set(normalize_tokens(message))
+        for skeleton in self._skeletons:
+            if len(tokens & skeleton) / len(skeleton) >= self.threshold:
+                return True
+        return False
+
+
+@_invariant("label-recovery-f1", "fuzzer")
+def check_label_recovery(context: CheckContext) -> InvariantResult:
+    matcher = ConceptMatcher()
+    truth = context.stream.expected_window_labels(context.window, context.step)
+    y_true: list[int] = []
+    y_pred: list[int] = []
+    for system, records in context.stream.by_system().items():
+        messages = [record.message for record in records]
+        for ordinal, start in enumerate(
+                range(0, len(messages) - context.window + 1, context.step)):
+            window = messages[start:start + context.window]
+            y_true.append(int(truth[system][ordinal]))
+            y_pred.append(int(any(matcher.is_anomalous_line(m) for m in window)))
+    if not any(y_true):
+        return InvariantResult("label-recovery-f1", False,
+                               "vacuous: fuzzer planted no anomalous windows")
+    f1 = binary_metrics(np.array(y_true), np.array(y_pred)).f1
+    ok = f1 >= context.f1_floor
+    details = f"window F1 {f1:.3f} vs floor {context.f1_floor:.2f} ({sum(y_true)} true windows)"
+    return InvariantResult("label-recovery-f1", ok, details)

@@ -1,0 +1,219 @@
+"""Deterministic fault schedules: what fires, where, and when.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries — each one
+names a registered fault point, a fault kind, and a schedule.  Schedules
+are either *positional* (fire on call ordinals ``start .. start+count-1``
+at that point) or *probabilistic* (an independent seeded draw per call),
+so a plan plus a seed fully determines every fault of a run: the same
+episode replays byte-identically, and a failing fuzz episode is
+reproducible from its printed seed alone.
+
+:class:`FaultInjector` arms a plan over the global hooks in
+:mod:`repro.testing.faultpoints` (context-manager scoped, nestable) and
+counts every fired fault through ``repro.obs`` as
+``testing.faults.fired`` plus a per-point counter, so fault activity is
+visible in any ``--metrics-out`` export alongside the recovery counters
+it is supposed to exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..obs import get_registry
+from . import faultpoints
+from .faultpoints import DROPPED, FAULT_POINTS
+
+__all__ = ["FAULT_KINDS", "InjectedFault", "FaultSpec", "FaultPlan", "FaultInjector"]
+
+FAULT_KINDS = ("raise", "timeout", "corrupt", "drop")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise``-kind fault throws from a fault point."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault at one registered fault point.
+
+    Parameters
+    ----------
+    point:
+        A name registered in :data:`repro.testing.faultpoints.FAULT_POINTS`.
+    kind:
+        ``raise`` | ``timeout`` | ``corrupt`` | ``drop``.
+    start, count:
+        Positional schedule: fire on call ordinals ``start`` through
+        ``start + count - 1`` (0-based, counted per point).
+    probability:
+        When > 0 the positional schedule is ignored and each call at the
+        point draws independently from the plan's seeded RNG.
+    seconds:
+        Clock skew applied by ``timeout`` faults (the injector clock
+        jumps forward, so an attempt measured across the fault overruns
+        its budget without any real sleeping).
+    mutate:
+        Required for ``corrupt`` faults: maps the value passing through
+        the fault point to its corrupted replacement.
+    """
+
+    point: str
+    kind: str
+    start: int = 0
+    count: int = 1
+    probability: float = 0.0
+    seconds: float = 0.0
+    mutate: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; registered: "
+                f"{', '.join(sorted(FAULT_POINTS))}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.start < 0 or self.count <= 0:
+            raise ValueError(f"invalid schedule start={self.start} count={self.count}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.kind == "corrupt" and self.mutate is None:
+            raise ValueError("corrupt faults require a mutate callable")
+        if self.kind == "timeout" and self.seconds <= 0.0:
+            raise ValueError("timeout faults require seconds > 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault specs plus the seed for probabilistic draws."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def points(self) -> set[str]:
+        """Every fault point this plan can fire at."""
+        return {spec.point for spec in self.specs}
+
+
+@dataclass
+class _PointState:
+    """Per-point bookkeeping while an injector is armed."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    calls: int = 0
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` over the global fault-point hooks.
+
+    Use as a context manager::
+
+        with FaultInjector(plan) as injector:
+            ...  # faults fire per the plan's schedule
+        assert injector.total_fired == expected
+
+    ``clock`` exposes the injector's skewable clock (``base_clock`` plus
+    the accumulated ``timeout`` offsets); wire it into the component
+    whose timeout accounting the plan targets (e.g.
+    ``supervisor_options={"clock": injector.clock}``).
+    """
+
+    def __init__(self, plan: FaultPlan, *,
+                 base_clock: Callable[[], float] | None = None,
+                 registry=None):
+        registry = registry if registry is not None else get_registry()
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._points: dict[str, _PointState] = {}
+        for spec in plan.specs:
+            self._points.setdefault(spec.point, _PointState()).specs.append(spec)
+        self._base_clock = base_clock if base_clock is not None else registry.clock
+        self._offset = 0.0
+        self.fired: dict[tuple[str, str], int] = {}
+        self._armed = False
+        self._previous = None
+        self._total_counter = registry.counter("testing.faults.fired")
+        self._point_counters = {
+            point: registry.counter(f"testing.faults.fired.{point}")
+            for point in self._points
+        }
+
+    # -- clock ----------------------------------------------------------
+    def clock(self) -> float:
+        """Base clock plus every ``timeout`` fault's accumulated skew."""
+        return self._base_clock() + self._offset
+
+    # -- arming ---------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._previous = faultpoints._arm(self)
+        self._armed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        faultpoints._restore(self._previous)
+        self._previous = None
+        self._armed = False
+        return False
+
+    # -- firing ---------------------------------------------------------
+    @property
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+    def fired_at(self, point: str) -> int:
+        """Fired-fault count at one point (all kinds)."""
+        return sum(count for (name, _kind), count in self.fired.items()
+                   if name == point)
+
+    def calls_at(self, point: str) -> int:
+        """How many times the point was reached (fired or not)."""
+        state = self._points.get(point)
+        return state.calls if state is not None else 0
+
+    def _record(self, spec: FaultSpec) -> None:
+        key = (spec.point, spec.kind)
+        self.fired[key] = self.fired.get(key, 0) + 1
+        self._total_counter.inc()
+        self._point_counters[spec.point].inc()
+
+    def fire(self, name: str, value):
+        """Apply the first due fault at ``name`` (called by ``fault_point``)."""
+        state = self._points.get(name)
+        if state is None:
+            return value
+        index = state.calls
+        state.calls = index + 1
+        for spec in state.specs:
+            if spec.probability > 0.0:
+                due = bool(self._rng.random() < spec.probability)
+            else:
+                due = spec.start <= index < spec.start + spec.count
+            if not due:
+                continue
+            self._record(spec)
+            if spec.kind == "raise":
+                raise InjectedFault(
+                    f"injected fault at {name} (call {index})"
+                )
+            if spec.kind == "timeout":
+                self._offset += spec.seconds
+                return value
+            if spec.kind == "corrupt":
+                return spec.mutate(value)
+            return DROPPED  # drop
+        return value

@@ -79,7 +79,7 @@ class TestBlanketExcept:
             "try:\n    pass\nexcept:\n    pass\n"
             "try:\n    pass\nexcept Exception:\n    pass\n"
         )
-        assert codes(text) == ["blanket-except"] * 2
+        assert codes(text, select=["blanket-except"]) == ["blanket-except"] * 2
 
     def test_reraise_allowed(self):
         text = (
@@ -90,7 +90,7 @@ class TestBlanketExcept:
 
     def test_specific_exception_allowed(self):
         text = "try:\n    pass\nexcept ValueError:\n    pass\n"
-        assert codes(text) == []
+        assert codes(text, select=["blanket-except"]) == []
 
 
 class TestModuleSuperInit:
@@ -370,3 +370,100 @@ class TestPerTimestepLoop:
             "    step(x[:, t])\n"
         )
         assert codes(text, select=["per-timestep-loop"]) == []
+
+
+class TestSilentExcept:
+    def test_flags_pass_only_handler(self):
+        text = (
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    pass\n"
+        )
+        assert codes(text, select=["silent-except"]) == ["silent-except"]
+
+    def test_flags_docstring_only_handler(self):
+        # A bare constant expression is still a no-op body.
+        text = (
+            "try:\n"
+            "    risky()\n"
+            "except KeyError:\n"
+            "    'tolerated'\n"
+        )
+        assert codes(text, select=["silent-except"]) == ["silent-except"]
+
+    def test_handler_leaving_evidence_allowed(self):
+        text = (
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    failures.inc()\n"
+        )
+        assert codes(text, select=["silent-except"]) == []
+
+    def test_fallback_assignment_allowed(self):
+        text = (
+            "try:\n"
+            "    value = risky()\n"
+            "except KeyError:\n"
+            "    value = None\n"
+        )
+        assert codes(text, select=["silent-except"]) == []
+
+    def test_line_suppression(self):
+        text = (
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:  # lint: disable=silent-except\n"
+            "    pass\n"
+        )
+        assert codes(text, select=["silent-except"]) == []
+
+
+class TestFaultPointAllowlist:
+    SELECT = ["fault-point-outside-allowlist"]
+
+    def _codes(self, text: str, path: str) -> list[str]:
+        return [v.rule for v in lint_source(text, path=path, select=self.SELECT)]
+
+    def test_registered_point_in_its_module_allowed(self):
+        text = "reports = fault_point('runtime.worker.score', reports)\n"
+        assert self._codes(text, "src/repro/runtime/worker.py") == []
+
+    def test_registered_point_in_wrong_module_flagged(self):
+        # Planted defect: a worker hook smuggled into the model code.
+        text = "x = fault_point('runtime.worker.score', x)\n"
+        assert self._codes(text, "src/repro/core/model.py") == [
+            "fault-point-outside-allowlist"
+        ]
+
+    def test_unregistered_name_flagged(self):
+        text = "x = fault_point('core.model.forward', x)\n"
+        assert self._codes(text, "src/repro/core/model.py") == [
+            "fault-point-outside-allowlist"
+        ]
+
+    def test_dynamic_name_flagged(self):
+        text = "x = fault_point(point_name, x)\n"
+        assert self._codes(text, "src/repro/runtime/worker.py") == [
+            "fault-point-outside-allowlist"
+        ]
+
+    def test_attribute_call_checked_too(self):
+        text = "x = faultpoints.fault_point('nope.nope', x)\n"
+        assert self._codes(text, "src/repro/runtime/worker.py") == [
+            "fault-point-outside-allowlist"
+        ]
+
+    def test_harness_and_tests_exempt(self):
+        text = "x = fault_point('anything.goes', x)\n"
+        assert self._codes(text, "src/repro/testing/harness.py") == []
+        assert self._codes(text, "tests/testing/test_faultpoints.py") == []
+
+    def test_repo_tree_hosts_every_registered_point(self):
+        # Self-hosting: the live tree passes, i.e. every planted hook
+        # sits in the module its registration names.
+        from pathlib import Path
+
+        violations = lint_paths([Path("src")], select=self.SELECT)
+        assert violations == []

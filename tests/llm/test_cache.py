@@ -61,11 +61,50 @@ class TestCachedLLM:
         cached.complete("prompt")
         assert inner.calls == 2
 
-    def test_corrupt_cache_raises(self, tmp_path):
+    def test_corrupt_cache_raises_without_quarantine(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text("{not json")
         with pytest.raises(ValueError, match="corrupt"):
-            CachedLLM(_Counting(), path)
+            CachedLLM(_Counting(), path, quarantine=False)
+
+    def test_truncated_cache_quarantined_and_regenerated(self, tmp_path):
+        path = tmp_path / "cache.json"
+        inner = _Counting()
+        with CachedLLM(inner, path, autosave=False) as warm:
+            warm.complete("prompt A")
+            warm.complete("prompt B")
+        intact = path.read_bytes()
+        path.write_bytes(intact[: len(intact) // 2])  # torn write, mid-byte
+
+        reloaded = CachedLLM(inner, path, clock=lambda: 1234.5)
+        assert len(reloaded) == 0
+        quarantined = tmp_path / "cache.json.corrupt-1234"
+        assert quarantined.exists()
+        assert quarantined.read_bytes() == intact[: len(intact) // 2]
+        assert not path.exists()  # moved aside, not copied
+        # Entries regenerate on demand and persist again.
+        reloaded.complete("prompt C")
+        assert json.loads(path.read_text())
+
+    def test_quarantine_counter_and_name_collision(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_registry
+
+        path = tmp_path / "cache.json"
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            for _ in range(2):
+                path.write_text("][ truncated")
+                CachedLLM(_Counting(), path, clock=lambda: 99.0)
+        assert registry.counter("llm.cache.quarantined").value == 2.0
+        assert (tmp_path / "cache.json.corrupt-99").exists()
+        assert (tmp_path / "cache.json.corrupt-99-1").exists()
+
+    def test_non_dict_payload_quarantined(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+        cached = CachedLLM(_Counting(), path, clock=lambda: 7.0)
+        assert len(cached) == 0
+        assert (tmp_path / "cache.json.corrupt-7").exists()
 
     def test_wraps_simulated_llm(self, tmp_path):
         from repro.llm.prompts import build_interpretation_prompt

@@ -1,0 +1,92 @@
+"""Hallucination bursts through the interpreter's review/regeneration loop.
+
+Seeded burst episodes inject format-breaking completions (an unexpanded
+``<*>`` wildcard) at ``llm.simulated.complete``; the review loop must
+absorb every burst when its regeneration budget is intact, and must leak
+bad interpretations when the budget is zero.
+"""
+
+import pytest
+
+from repro.llm.interpreter import EventInterpreter, review_interpretation
+from repro.llm.simulated import SimulatedLLM
+from repro.logs.events import EventKind, concepts_for_system
+from repro.obs import MetricsRegistry
+from repro.testing import FaultInjector, FaultPlan, FaultSpec
+from repro.testing.invariants import garble_completion
+
+DIALECT = "bgl"
+
+
+def _representatives(count: int = 12) -> list[str]:
+    concepts = (concepts_for_system(DIALECT, EventKind.NORMAL)
+                + concepts_for_system(DIALECT, EventKind.ANOMALOUS))
+    return [concept.phrases[DIALECT].replace("<*>", "7")
+            for concept in concepts[:count]]
+
+
+def _burst_plan(seed: int, bursts: tuple[tuple[int, int], ...]) -> FaultPlan:
+    return FaultPlan(tuple(
+        FaultSpec("llm.simulated.complete", "corrupt", start=start,
+                  count=length, mutate=garble_completion)
+        for start, length in bursts
+    ), seed=seed)
+
+
+def _run_episode(seed: int, bursts, *, max_regenerations: int,
+                 registry: MetricsRegistry | None = None):
+    interpreter = EventInterpreter(SimulatedLLM(),
+                                   max_regenerations=max_regenerations)
+    failed = 0
+    regenerated = 0
+    with FaultInjector(_burst_plan(seed, bursts),
+                       registry=registry) as injector:
+        for representative in _representatives():
+            text, regens = interpreter.interpret_event(DIALECT, representative)
+            regenerated += regens
+            if review_interpretation(text):
+                failed += 1
+    return failed, regenerated, injector.total_fired
+
+
+class TestReviewAbsorbsBursts:
+    @pytest.mark.parametrize("seed", [0, 17, 91])
+    def test_no_bad_interpretation_survives(self, seed):
+        # Burst length 2 < attempts (1 + budget 2), so the third attempt
+        # of any chain always lands past the burst and comes back clean.
+        failed, regenerated, fired = _run_episode(
+            seed, ((0, 2), (7, 2)), max_regenerations=2)
+        assert fired == 4
+        assert failed == 0
+        # Each garbled completion costs at least one regeneration.
+        assert regenerated >= 4
+
+    def test_clean_episode_never_regenerates(self):
+        failed, regenerated, fired = _run_episode(
+            3, (), max_regenerations=2)
+        assert (failed, regenerated, fired) == (0, 0, 0)
+
+    def test_fired_faults_counted_through_obs(self):
+        registry = MetricsRegistry()
+        _run_episode(5, ((0, 2),), max_regenerations=2, registry=registry)
+        assert registry.counter("testing.faults.fired").value == 2.0
+        assert registry.counter(
+            "testing.faults.fired.llm.simulated.complete").value == 2.0
+
+
+class TestZeroBudgetLeaks:
+    def test_bad_interpretations_survive_without_review(self):
+        failed, regenerated, fired = _run_episode(
+            11, ((0, 2), (7, 3)), max_regenerations=0)
+        assert fired == 5
+        assert regenerated == 0
+        assert failed == 5
+
+    def test_budget_of_one_absorbs_single_faults(self):
+        # One regeneration suffices per isolated bad completion: the
+        # fault is positional, so the retry's completion is clean.
+        failed, regenerated, fired = _run_episode(
+            23, ((0, 1), (6, 1)), max_regenerations=1)
+        assert fired == 2
+        assert failed == 0
+        assert regenerated == 2

@@ -1,0 +1,129 @@
+"""Injected worker faults vs. the supervisor's recovery budget.
+
+Differential tests: a run with transient faults inside the retry budget
+must render byte-identically to the fault-free golden run; faults beyond
+the budget must degrade exactly the affected batch and nothing else.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.runtime import (
+    InferenceRuntime, SyntheticWorker, message_pattern, render_reports,
+    report_sort_key,
+)
+from repro.testing import FaultInjector, FaultPlan, FaultSpec
+
+from .conftest import multi_system_stream
+
+RECORDS = multi_system_stream(systems=3, lines=120)
+
+
+def _no_sleep(seconds: float) -> None:
+    return None
+
+
+def _run(records, *, supervisor_options=None, shards=2, max_batch=4):
+    registry = MetricsRegistry()
+    runtime = InferenceRuntime(
+        lambda index: SyntheticWorker(), pattern_fn=message_pattern,
+        shards=shards, max_batch=max_batch, registry=registry,
+        supervisor_options=supervisor_options,
+    )
+    for record in records:
+        runtime.submit(record)
+    reports = runtime.drain()
+    reports.sort(key=report_sort_key)
+    return reports, runtime
+
+
+def _golden():
+    reports, _ = _run(RECORDS)
+    return render_reports(reports)
+
+
+class TestTransientRaisesWithinBudget:
+    @pytest.mark.parametrize("raises", [1, 2, 3])
+    def test_verdicts_identical_and_retries_counted(self, raises):
+        golden = _golden()
+        plan = FaultPlan((
+            FaultSpec("runtime.worker.score", "raise", start=0, count=raises),
+        ))
+        options = {"max_retries": 3, "sleep": _no_sleep,
+                   "unhealthy_after": 1_000_000}
+        with FaultInjector(plan) as injector:
+            reports, runtime = _run(RECORDS, supervisor_options=options)
+        assert injector.total_fired == raises
+        assert render_reports(reports) == golden
+        assert runtime.stats.degraded_windows == 0
+        assert runtime.stats.worker_failures == raises
+        # Every failed attempt within the budget consumed one retry.
+        retries = runtime.registry.counter("runtime.worker_retries").value
+        assert retries == raises
+
+
+class TestRaisesBeyondBudget:
+    def test_exactly_one_batch_degrades(self):
+        golden_reports, _ = _run(RECORDS)
+        # 4 consecutive raises exhaust 1 initial attempt + 3 retries on
+        # the first batch; every later batch sees a healthy worker.
+        plan = FaultPlan((
+            FaultSpec("runtime.worker.score", "raise", start=0, count=4),
+        ))
+        options = {"max_retries": 3, "sleep": _no_sleep,
+                   "unhealthy_after": 1_000_000}
+        with FaultInjector(plan) as injector:
+            reports, runtime = _run(RECORDS, supervisor_options=options)
+        assert injector.total_fired == 4
+        degraded = [r for r in reports if r.metadata.get("degraded")]
+        clean = [r for r in reports if not r.metadata.get("degraded")]
+        assert runtime.stats.degraded_windows == len(degraded) > 0
+        assert runtime.stats.worker_failures == 4
+        # Untouched windows keep verdicts identical to the golden run.
+        degraded_keys = {(r.system, r.metadata["window_id"]) for r in degraded}
+        golden_clean = [r for r in golden_reports
+                        if (r.system, r.metadata["window_id"]) not in degraded_keys]
+        assert render_reports(clean) == render_reports(golden_clean)
+
+    def test_persistent_failure_transitions_unhealthy_exactly_once(self):
+        plan = FaultPlan((
+            FaultSpec("runtime.worker.score", "raise", start=0,
+                      count=1_000_000),
+        ))
+        options = {"max_retries": 1, "sleep": _no_sleep,
+                   "unhealthy_after": 1, "cooldown": 1e9}
+        with FaultInjector(plan):
+            reports, runtime = _run(RECORDS, shards=1,
+                                    supervisor_options=options)
+        assert runtime.stats.unhealthy_transitions == 1
+        assert reports and all(r.metadata.get("degraded") for r in reports)
+        assert runtime.stats.degraded_windows == len(reports)
+
+
+class TestDropFaults:
+    def test_dropped_result_degrades_only_that_batch(self):
+        plan = FaultPlan((
+            FaultSpec("runtime.worker.result", "drop", start=0, count=1),
+        ))
+        options = {"max_retries": 3, "sleep": _no_sleep,
+                   "unhealthy_after": 1_000_000}
+        with FaultInjector(plan) as injector:
+            reports, runtime = _run(RECORDS, supervisor_options=options)
+        assert injector.total_fired == 1
+        # A swallowed result is not an exception: no retries, straight to
+        # the degraded fallback for that batch.
+        assert runtime.registry.counter("runtime.worker_retries").value == 0
+        assert runtime.stats.degraded_windows > 0
+
+    def test_dropped_admission_is_silent_ingress_loss(self):
+        _, golden_runtime = _run(RECORDS)
+        plan = FaultPlan((
+            FaultSpec("runtime.queues.admit", "drop", start=0, count=30),
+        ))
+        with FaultInjector(plan) as injector:
+            _, runtime = _run(RECORDS)
+        assert injector.total_fired == 30
+        # The queue lies politely: nothing rejected, nothing counted as
+        # dropped — the windows simply never form.
+        assert runtime.stats.records_rejected == 0
+        assert runtime.stats.windows_seen < golden_runtime.stats.windows_seen

@@ -1,0 +1,47 @@
+"""The ``repro fuzz`` subcommand."""
+
+from repro.cli import main
+
+
+class TestFuzzCommand:
+    def test_green_run_exits_zero_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "fuzz.txt"
+        code = main(["fuzz", "--episodes", "1", "--seed", "3",
+                     "--suite", "fuzzer", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "violations: 0" in captured
+        assert "episode seeds: 3" in captured
+        assert out.read_text(encoding="utf-8") in captured
+
+    def test_reports_are_byte_identical_across_runs(self, tmp_path):
+        first, second = tmp_path / "a.txt", tmp_path / "b.txt"
+        for path in (first, second):
+            assert main(["fuzz", "--episodes", "2", "--seed", "11",
+                         "--suite", "fuzzer", "--out", str(path)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_broken_recovery_exits_nonzero(self, capsys):
+        code = main(["fuzz", "--episodes", "1", "--seed", "3",
+                     "--suite", "trainer", "--break", "nan-guard"])
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL nan-loss-skipped" in captured
+        assert "broken recovery path(s) nan-guard" in captured
+
+    def test_bench_overhead_prints_and_respects_limit(self, capsys):
+        code = main(["fuzz", "--episodes", "1", "--seed", "3",
+                     "--suite", "fuzzer", "--bench-overhead",
+                     "--overhead-limit-ns", "1000000"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "ns/call" in captured
+
+    def test_metrics_export_includes_fuzz_totals(self, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(["fuzz", "--episodes", "1", "--seed", "3",
+                     "--suite", "trainer", "--metrics-out", str(metrics)])
+        assert code == 0
+        text = metrics.read_text(encoding="utf-8")
+        assert "testing.fuzz.episodes" in text
+        assert "testing.fuzz.invariants_checked" in text

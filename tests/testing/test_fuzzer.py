@@ -1,0 +1,119 @@
+"""LogStreamFuzzer: determinism, ground truth, dialects, noise."""
+
+import pytest
+
+from repro.logs.events import EventKind, concepts_for_system
+from repro.testing import LogStreamFuzzer
+
+
+def _raws(stream):
+    return [record.raw for record in stream.records]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        fuzzer = LogStreamFuzzer(lines_per_system=60, parameter_noise=0.2)
+        first, second = fuzzer.generate(5), fuzzer.generate(5)
+        assert _raws(first) == _raws(second)
+        assert first.planted == second.planted
+
+    def test_different_seeds_differ(self):
+        fuzzer = LogStreamFuzzer(lines_per_system=60)
+        assert _raws(fuzzer.generate(1)) != _raws(fuzzer.generate(2))
+
+
+class TestGroundTruth:
+    def test_planted_bursts_match_record_labels(self):
+        fuzzer = LogStreamFuzzer(lines_per_system=80, anomaly_bursts=3,
+                                 burst_length=(2, 4))
+        stream = fuzzer.generate(9)
+        grouped = stream.by_system()
+        for system in stream.systems:
+            flags = [record.is_anomalous for record in grouped[system]]
+            expected = set()
+            for burst in stream.planted:
+                if burst.system == system:
+                    expected.update(range(burst.start, burst.start + burst.length))
+            assert {i for i, flag in enumerate(flags) if flag} == expected
+
+    def test_bursts_use_anomalous_concepts_and_do_not_touch(self):
+        fuzzer = LogStreamFuzzer(lines_per_system=100, anomaly_bursts=4)
+        stream = fuzzer.generate(3)
+        anomalous = {c.name for c in concepts_for_system("bgl", EventKind.ANOMALOUS)
+                     } | {c.name for c in concepts_for_system("spirit", EventKind.ANOMALOUS)
+                          } | {c.name for c in concepts_for_system(
+                              "thunderbird", EventKind.ANOMALOUS)}
+        per_system: dict[str, list] = {}
+        for burst in stream.planted:
+            assert burst.concept in anomalous
+            per_system.setdefault(burst.system, []).append(burst)
+        for bursts in per_system.values():
+            bursts.sort(key=lambda b: b.start)
+            for earlier, later in zip(bursts, bursts[1:]):
+                # Padded by at least one normal line, so window truth is
+                # unambiguous about which burst flagged a window.
+                assert earlier.start + earlier.length < later.start
+
+    def test_expected_window_labels_mirror_runtime_windowing(self):
+        fuzzer = LogStreamFuzzer(lines_per_system=40, anomaly_bursts=1)
+        stream = fuzzer.generate(4)
+        labels = stream.expected_window_labels(window=10, step=5)
+        for system, records in stream.by_system().items():
+            flags = [record.is_anomalous for record in records]
+            manual = [any(flags[start:start + 10])
+                      for start in range(0, len(flags) - 10 + 1, 5)]
+            assert labels[system] == manual
+
+    def test_interleave_preserves_per_system_order(self):
+        fuzzer = LogStreamFuzzer(lines_per_system=50)
+        stream = fuzzer.generate(2)
+        assert len(stream.records) == 50 * len(stream.systems)
+        for system, records in stream.by_system().items():
+            assert len(records) == 50
+            stamps = [record.timestamp for record in records]
+            assert stamps == sorted(stamps)
+
+
+class TestDialects:
+    def test_logical_names_speak_mapped_dialects(self):
+        fuzzer = LogStreamFuzzer(
+            systems=("svc-a", "svc-b"),
+            dialects={"svc-a": "bgl", "svc-b": "spirit"},
+            lines_per_system=30,
+        )
+        stream = fuzzer.generate(0)
+        grouped = stream.by_system()
+        assert set(grouped) == {"svc-a", "svc-b"}
+        bgl_concepts = {c.name for c in concepts_for_system("bgl")}
+        assert all(record.concept in bgl_concepts for record in grouped["svc-a"])
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            LogStreamFuzzer(systems=("martian",), lines_per_system=10).generate(0)
+
+
+class TestParameterNoise:
+    def test_noise_perturbs_messages_but_not_labels(self):
+        clean = LogStreamFuzzer(lines_per_system=60, parameter_noise=0.0)
+        noisy = LogStreamFuzzer(lines_per_system=60, parameter_noise=0.9)
+        a, b = clean.generate(8), noisy.generate(8)
+        assert [r.is_anomalous for r in a.records] == [
+            r.is_anomalous for r in b.records]
+        assert a.planted == b.planted
+        changed = sum(x.message != y.message
+                      for x, y in zip(a.records, b.records))
+        assert changed > len(a.records) // 2
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            LogStreamFuzzer(lines_per_system=0)
+        with pytest.raises(ValueError):
+            LogStreamFuzzer(anomaly_bursts=-1)
+        with pytest.raises(ValueError):
+            LogStreamFuzzer(parameter_noise=1.5)
+        with pytest.raises(ValueError):
+            LogStreamFuzzer(burst_length=(4, 2))
+        with pytest.raises(ValueError):
+            LogStreamFuzzer(systems=())

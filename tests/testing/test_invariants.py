@@ -1,0 +1,103 @@
+"""Invariant suites over fuzz episodes, including the --break self-test."""
+
+import pytest
+
+from repro.testing import (
+    BREAKABLE_RECOVERIES,
+    CHECKERS,
+    SUITES,
+    ConceptMatcher,
+    LogStreamFuzzer,
+    episode_seed,
+    run_episodes,
+    suite_checkers,
+)
+
+# A smaller fuzzer keeps the full-suite test fast while still producing
+# enough windows/batches for every scheduled fault to land.
+FAST_FUZZER = LogStreamFuzzer(lines_per_system=100, anomaly_bursts=3,
+                              parameter_noise=0.1)
+
+
+class TestSuiteRegistry:
+    def test_all_suite_contains_every_checker(self):
+        assert set(SUITES["all"]) == set(CHECKERS)
+
+    def test_named_suites_partition_sensibly(self):
+        assert "shard-invariance" in SUITES["replay"]
+        assert "cache-corruption-regenerates" in SUITES["llm"]
+        assert "nan-loss-skipped" in SUITES["trainer"]
+        assert "label-recovery-f1" in SUITES["fuzzer"]
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError, match="unknown invariant suite"):
+            suite_checkers("bogus")
+
+
+class TestEpisodeRunner:
+    def test_full_suite_green_and_deterministic(self):
+        report = run_episodes(1, 29, fuzzer=FAST_FUZZER)
+        assert report.ok, report.render()
+        assert {r.invariant for r in report.episodes[0].results} == set(CHECKERS)
+        again = run_episodes(1, 29, fuzzer=FAST_FUZZER)
+        assert report.render() == again.render()
+
+    def test_episode_seeds_derive_from_base(self):
+        report = run_episodes(2, 4, suite="fuzzer", fuzzer=FAST_FUZZER)
+        assert [e.seed for e in report.episodes] == [
+            episode_seed(4, 0), episode_seed(4, 1)]
+        rendered = report.render()
+        for episode in report.episodes:
+            assert str(episode.seed) in rendered
+
+    def test_single_episode_replays_a_multi_episode_member(self):
+        multi = run_episodes(2, 4, suite="fuzzer", fuzzer=FAST_FUZZER)
+        solo = run_episodes(1, multi.episodes[1].seed, suite="fuzzer",
+                            fuzzer=FAST_FUZZER)
+        assert solo.episodes[0].results == multi.episodes[1].results
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="episodes"):
+            run_episodes(0, 1)
+        with pytest.raises(ValueError, match="breakable"):
+            run_episodes(1, 1, broken=("warp-drive",))
+
+
+# Each recovery path, when disabled, must trip the invariant that guards
+# it — the acceptance criterion that the harness can detect the defects
+# it exists for.  The suite is narrowed per case to keep the test fast.
+_BREAK_CASES = [
+    ("retry", "replay", "transient-fault-equivalence"),
+    ("quarantine", "llm", "cache-corruption-regenerates"),
+    ("review", "llm", "hallucination-burst-bounded"),
+    ("nan-guard", "trainer", "nan-loss-skipped"),
+]
+
+
+class TestBrokenRecoveryDetection:
+    def test_cases_cover_every_breakable_path(self):
+        assert {case[0] for case in _BREAK_CASES} == set(BREAKABLE_RECOVERIES)
+
+    @pytest.mark.parametrize("broken,suite,invariant", _BREAK_CASES)
+    def test_breaking_a_recovery_trips_its_invariant(self, broken, suite,
+                                                     invariant):
+        report = run_episodes(1, 3, suite=suite, broken=(broken,),
+                              fuzzer=FAST_FUZZER)
+        assert not report.ok
+        assert invariant in {v.invariant for v in report.violations}
+
+    @pytest.mark.parametrize("broken,suite,invariant", _BREAK_CASES)
+    def test_intact_recovery_keeps_the_suite_green(self, broken, suite,
+                                                   invariant):
+        report = run_episodes(1, 3, suite=suite, fuzzer=FAST_FUZZER)
+        assert report.ok, report.render()
+
+
+class TestConceptMatcher:
+    def test_matches_anomalous_phrases_not_normal_ones(self):
+        matcher = ConceptMatcher()
+        assert matcher.is_anomalous_line(
+            "machine check interrupt (bit=7): L2 dcache unit "
+            "read return parity error")
+        assert not matcher.is_anomalous_line(
+            "completely unrelated chatter about lunch menus")
