@@ -1,0 +1,195 @@
+"""LLM interpretation traffic benchmark: cache-cold vs warm, coalescing.
+
+Production LEI traffic is highly repetitive — a few hundred hot
+templates generate almost all interpretation requests — and every
+upstream ``complete()`` costs a remote round-trip.  This benchmark
+replays a skewed request stream against a simulated upstream endpoint
+(fixed per-call latency) three ways:
+
+* **cold** — the bare provider; every request pays the round-trip.
+* **warm** — the middleware stack (memory cache + coalescing + breaker
+  + retries); repeats are answered from the TTL+LRU tier.
+* **burst** — a concurrent hammer on a handful of prompts with the
+  memory cache disabled, isolating what request coalescing alone saves
+  while identical prompts are in flight.
+
+Written as a result block (benchmarks/results/llm_traffic.txt) and
+machine-readable as BENCH_llm.json at the repo root.
+
+The acceptance bar is >= 10x fewer upstream ``complete()`` calls warm
+(cache + coalescing) than cold.  ``--smoke`` runs a scaled-down stream
+for CI wiring checks.
+"""
+
+import argparse
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.llm import FlakyLLM, build_interpretation_prompt, build_provider_stack
+from repro.logs import LogGenerator
+from repro.obs import MetricsRegistry
+
+from common import emit, emit_json
+
+# Full-scale knobs: 1,200 requests over 40 hot templates, 1 ms upstream
+# round-trip (a fast hosted endpoint on a good day).
+DISTINCT_PROMPTS = 40
+REQUESTS = 1_200
+UPSTREAM_LATENCY_S = 0.001
+# Coalescing burst: 16 threads hammering 4 prompts through a slower
+# (5 ms) upstream, so identical requests overlap in flight.
+BURST_THREADS = 16
+BURST_PER_THREAD = 12
+BURST_PROMPTS = 4
+BURST_LATENCY_S = 0.005
+
+SMOKE = {
+    "distinct": 12, "requests": 120, "latency": 0.0002,
+    "burst_threads": 4, "burst_per_thread": 4,
+}
+
+
+def _prompts(count: int) -> list[str]:
+    """Distinct interpretation prompts standing in for hot templates."""
+    seen: list[str] = []
+    for record in LogGenerator("bgl", seed=0).generate(count * 30):
+        prompt = build_interpretation_prompt(record.system, record.message)
+        if prompt not in seen:
+            seen.append(prompt)
+        if len(seen) == count:
+            break
+    return seen
+
+
+def _stream(prompts: list[str], requests: int) -> list[str]:
+    """A skewed request stream: hot templates dominate (zipf-ish)."""
+    rng = np.random.default_rng(1)
+    weights = 1.0 / np.arange(1, len(prompts) + 1)
+    weights /= weights.sum()
+    picks = rng.choice(len(prompts), size=requests, p=weights)
+    return [prompts[int(index)] for index in picks]
+
+
+def _upstream(latency: float) -> FlakyLLM:
+    """The simulated remote endpoint; ``calls`` counts round-trips."""
+    return FlakyLLM(latency=latency, seed=0, sleep=time.sleep)
+
+
+def _run_cold(stream: list[str], latency: float) -> dict:
+    upstream = _upstream(latency)
+    started = time.perf_counter()
+    for prompt in stream:
+        upstream.complete(prompt)
+    elapsed = time.perf_counter() - started
+    return {"mode": "cold", "requests": len(stream),
+            "upstream_calls": upstream.calls,
+            "elapsed_s": round(elapsed, 4),
+            "requests_per_s": round(len(stream) / elapsed, 1)}
+
+
+def _run_warm(stream: list[str], latency: float) -> dict:
+    upstream = _upstream(latency)
+    registry = MetricsRegistry()
+    stack = build_provider_stack(upstream, registry=registry)
+    started = time.perf_counter()
+    for prompt in stream:
+        stack.complete(prompt)
+    elapsed = time.perf_counter() - started
+    return {"mode": "warm(cache+coalescing)", "requests": len(stream),
+            "upstream_calls": upstream.calls,
+            "memcache_hits": int(registry.counter("llm.provider.memcache.hits").value),
+            "elapsed_s": round(elapsed, 4),
+            "requests_per_s": round(len(stream) / elapsed, 1)}
+
+
+def _run_burst(prompts: list[str], threads: int, per_thread: int,
+               latency: float) -> dict:
+    upstream = _upstream(latency)
+    registry = MetricsRegistry()
+    stack = build_provider_stack(upstream, memory_cache=False,
+                                 registry=registry)
+    requests = [prompts[(worker + turn) % len(prompts)]
+                for worker in range(threads) for turn in range(per_thread)]
+
+    def hammer(worker: int) -> None:
+        for turn in range(per_thread):
+            stack.complete(prompts[(worker + turn) % len(prompts)])
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        list(pool.map(hammer, range(threads)))
+    elapsed = time.perf_counter() - started
+    return {"mode": "burst(coalescing only)", "requests": len(requests),
+            "upstream_calls": upstream.calls,
+            "coalesced": int(registry.counter("llm.provider.coalesced").value),
+            "elapsed_s": round(elapsed, 4),
+            "requests_per_s": round(len(requests) / elapsed, 1)}
+
+
+def run_benchmark(*, smoke: bool = False) -> dict:
+    if smoke:
+        distinct, requests, latency = (SMOKE["distinct"], SMOKE["requests"],
+                                       SMOKE["latency"])
+        burst_threads, burst_per_thread = (SMOKE["burst_threads"],
+                                           SMOKE["burst_per_thread"])
+    else:
+        distinct, requests, latency = DISTINCT_PROMPTS, REQUESTS, UPSTREAM_LATENCY_S
+        burst_threads, burst_per_thread = BURST_THREADS, BURST_PER_THREAD
+
+    prompts = _prompts(distinct)
+    stream = _stream(prompts, requests)
+    cold = _run_cold(stream, latency)
+    warm = _run_warm(stream, latency)
+    burst = _run_burst(prompts[:BURST_PROMPTS], burst_threads,
+                       burst_per_thread, BURST_LATENCY_S if not smoke else latency)
+    reduction = cold["upstream_calls"] / max(1, warm["upstream_calls"])
+
+    lines = [
+        "LLM interpretation traffic benchmark (provider middleware stack)",
+        f"stream                  : {requests} requests over {distinct} hot "
+        f"templates, {latency * 1e3:.1f} ms upstream round-trip",
+        f"cold (bare provider)    : {cold['upstream_calls']} upstream calls, "
+        f"{cold['requests_per_s']:>9,.1f} requests/s",
+        f"warm (cache+coalescing) : {warm['upstream_calls']} upstream calls "
+        f"({warm['memcache_hits']} memory-cache hits), "
+        f"{warm['requests_per_s']:>9,.1f} requests/s",
+        f"burst (coalescing only) : {burst['requests']} concurrent requests -> "
+        f"{burst['upstream_calls']} upstream calls "
+        f"({burst['coalesced']} coalesced)",
+        f"upstream-call reduction : {reduction:.1f}x (bar: >= 10x)",
+    ]
+    emit("llm_traffic", "\n".join(lines))
+    payload = {
+        "benchmark": "llm_traffic",
+        "smoke": smoke,
+        "workload": {
+            "distinct_prompts": distinct,
+            "requests": requests,
+            "upstream_latency_s": latency,
+        },
+        "results": [cold, warm, burst],
+        "upstream_call_reduction": round(reduction, 2),
+    }
+    emit_json("llm", payload)
+    return payload
+
+
+def test_llm_traffic_reduction():
+    payload = run_benchmark()
+    cold, warm, burst = payload["results"]
+    assert warm["upstream_calls"] <= payload["workload"]["distinct_prompts"]
+    assert payload["upstream_call_reduction"] >= 10.0, payload
+    assert burst["coalesced"] > 0
+    assert burst["upstream_calls"] + burst["coalesced"] == burst["requests"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down stream for CI wiring checks")
+    arguments = parser.parse_args()
+    result = run_benchmark(smoke=arguments.smoke)
+    if not arguments.smoke and result["upstream_call_reduction"] < 10.0:
+        raise SystemExit("llm traffic: upstream-call reduction below 10x bar")

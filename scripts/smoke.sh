@@ -23,6 +23,10 @@ grep -q "fwd self" <<<"$profile_out" \
 # Fused kernels must not be slower than the seed composition.
 PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
 
+# Provider middleware stack: warm cache + coalescing must cut upstream
+# LLM calls versus the cache-cold baseline.
+PYTHONPATH=src python benchmarks/bench_llm_traffic.py --smoke
+
 replay_out="$(mktemp)"
 replay_metrics="$(mktemp)"
 fuzz_a="$(mktemp)"
@@ -44,5 +48,17 @@ PYTHONPATH=src python -m repro.cli fuzz --episodes 2 --seed 7 \
     --out "$fuzz_b" >/dev/null
 cmp -s "$fuzz_a" "$fuzz_b" \
     || { echo "smoke: fuzz report not deterministic across runs" >&2; exit 1; }
+
+# The provider stack must absorb an aggressively flaky upstream (llm
+# suite stays green with --llm flaky), and the --break breaker
+# self-test must trip its invariant (exit 1), proving the harness can
+# detect a dead circuit breaker rather than vacuously passing.
+PYTHONPATH=src python -m repro.cli fuzz --episodes 1 --seed 11 \
+    --suite llm --llm flaky:error_rate=0.35 >/dev/null
+if PYTHONPATH=src python -m repro.cli fuzz --episodes 1 --seed 11 \
+    --suite llm --break breaker >/dev/null 2>&1; then
+    echo "smoke: fuzz --break breaker did not trip its invariant" >&2
+    exit 1
+fi
 
 PYTHONPATH=src python -m pytest -x -q "$@"

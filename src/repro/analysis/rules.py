@@ -15,7 +15,7 @@ __all__ = [
     "GlobalNumpyRandomRule", "WallClockRule", "MutableDefaultRule",
     "BlanketExceptRule", "SilentExceptRule", "ModuleSuperInitRule",
     "ForwardConventionsRule", "DirectThreadRule", "PerTimestepLoopRule",
-    "FaultPointAllowlistRule",
+    "FaultPointAllowlistRule", "DirectLLMCallRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -203,6 +203,64 @@ class FaultPointAllowlistRule(LintRule):
                         f"fault point {first.value!r} planted outside its "
                         f"registered module {registered}",
                     )
+        self.generic_visit(node)
+
+
+@register_rule
+class DirectLLMCallRule(LintRule):
+    """The LLM is a supervised dependency, not a convenience: calls that
+    bypass :mod:`repro.llm` skip the traffic-control middleware (cache,
+    coalescing, breaker, retries, rate limit) and the one spec grammar
+    operators configure.  ``repro.llm`` is the sanctioned construction
+    site for providers; everything else takes an injected provider and
+    never invokes ``.complete``/``.complete_batch`` on one directly."""
+
+    name = "direct-llm-call"
+    description = ("forbid LLM provider construction and .complete()/"
+                   ".complete_batch() calls outside repro.llm")
+    hint = ("inject an LLMProvider built by repro.llm.factory, or route the "
+            "call through EventInterpreter")
+
+    # The LLM package itself, the fault harness and tests exercise
+    # providers directly by design.
+    _EXEMPT_FRAGMENTS = ("repro/llm/", "repro/testing/", "tests/",
+                         "benchmarks/", "examples/")
+    _COMPLETE_ATTRS = ("complete", "complete_batch")
+
+    def _exempt(self) -> bool:
+        path = self.source.path.replace("\\", "/")
+        return any(fragment in path for fragment in self._EXEMPT_FRAGMENTS)
+
+    @staticmethod
+    def _provider_class_names() -> frozenset[str]:
+        """Names of concrete provider/middleware classes in repro.llm.
+
+        Collected lazily from the package by real inheritance (MRO
+        membership, not the structural ``__subclasshook__``), so new
+        providers are covered without touching this rule.
+        """
+        from .. import llm
+        from ..llm.providers import LLMProvider
+
+        return frozenset(
+            name for name in getattr(llm, "__all__", ())
+            if isinstance(getattr(llm, name, None), type)
+            and LLMProvider in getattr(llm, name).__mro__
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._exempt():
+            return
+        func = node.func
+        callee = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else ""
+        if callee in self._provider_class_names():
+            self.report(node, f"direct LLM provider construction {callee}(...)")
+        elif (isinstance(func, ast.Attribute)
+                and func.attr in self._COMPLETE_ATTRS
+                and not (isinstance(func.value, ast.Name)
+                         and func.value.id == "self")):
+            self.report(node, f"direct LLM .{func.attr}() call")
         self.generic_visit(node)
 
 

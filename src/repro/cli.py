@@ -47,6 +47,31 @@ def _observability(args: argparse.Namespace):
     print(f"wrote {count} metric events to {path}")
 
 
+def _resolve_llm(args: argparse.Namespace, seed: int):
+    """Resolve the shared ``--llm`` spec / deprecated ``--llm-cache`` flags.
+
+    Returns ``(provider, cache)``; ``provider`` is ``None`` when neither
+    flag was given (call sites fall back to their historical default)
+    and ``cache`` is the :class:`~repro.llm.cache.CachedLLM` to
+    context-manage, when one was created.
+    """
+    spec = getattr(args, "llm", None)
+    cache_path = getattr(args, "llm_cache", None)
+    if cache_path:
+        print("note: --llm-cache is deprecated; use --llm cached:path=... "
+              "(kept working for now)", file=sys.stderr)
+    if not spec and not cache_path:
+        return None, None
+    from .llm.factory import resolve_provider
+
+    middleware = bool(spec) and not getattr(args, "no_llm_stack", False)
+    try:
+        return resolve_provider(spec, seed=seed, middleware=middleware,
+                                cache_path=cache_path)
+    except ValueError as exc:
+        raise SystemExit(f"--llm: {exc}")
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .logs import build_dataset, save_records
     from .logs.generator import LogGenerator
@@ -74,7 +99,6 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from .config import LogSynergyConfig
     from .core import LogSynergy
     from .evaluation import continuous_target_split, source_training_slice
-    from .llm import SimulatedLLM
 
     config = LogSynergyConfig(
         d_model=args.d_model, num_heads=args.num_heads, num_layers=args.num_layers,
@@ -92,18 +116,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"target {target_system}: {len(split.train)} training sequences")
 
     with _observability(args), contextlib.ExitStack() as stack:
-        llm = None
-        if args.llm_cache:
-            from .llm.cache import CachedLLM
-
-            llm = stack.enter_context(
-                CachedLLM(SimulatedLLM(seed=config.seed), args.llm_cache, autosave=False)
-            )
+        llm, cache = _resolve_llm(args, config.seed)
+        if cache is not None:
+            stack.enter_context(cache)
         model = LogSynergy(config, llm=llm)
         model.fit(sources, target_system, split.train, verbose=not args.quiet)
         model.save_pipeline(args.model_dir)
-        if llm is not None:
-            print(f"LLM cache: {llm.hits} hits, {llm.misses} misses -> {args.llm_cache}")
+        if cache is not None:
+            print(f"LLM cache: {cache.hits} hits, {cache.misses} misses "
+                  f"-> {args.llm_cache}")
     print(f"pipeline saved to {args.model_dir}")
     return 0
 
@@ -211,7 +232,8 @@ def _build_runtime(args: argparse.Namespace, *, threaded: bool, **extra):
     if args.model_dir:
         from .core import LogSynergy
 
-        model = LogSynergy.load_pipeline(args.model_dir)
+        llm, _ = _resolve_llm(args, args.seed)
+        model = LogSynergy.load_pipeline(args.model_dir, llm=llm)
         return InferenceRuntime.from_model(model, **common)
     return InferenceRuntime(
         lambda index: SyntheticWorker(threshold=args.threshold),
@@ -334,6 +356,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             report = run_episodes(
                 args.episodes, args.seed, suite=args.suite,
                 broken=tuple(args.break_paths or ()),
+                provider_spec=args.llm,
             )
         except (KeyError, ValueError) as exc:
             raise SystemExit(f"fuzz: {exc}")
@@ -396,6 +419,16 @@ def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
                         help="export repro.obs metrics/spans to this JSONL file")
 
 
+def _add_llm_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--llm", default=None, metavar="SPEC",
+                        help="LLM provider spec: name[:key=value,...] — e.g. "
+                             "simulated, flaky:error_rate=0.1, "
+                             "cached:path=cache.json")
+    parser.add_argument("--no-llm-stack", action="store_true",
+                        help="use the spec'd provider bare, without the "
+                             "traffic-control middleware stack")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     from . import __version__
@@ -427,7 +460,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--model-dir", required=True)
     train.add_argument("--quiet", action="store_true")
     train.add_argument("--llm-cache", default=None, metavar="PATH",
-                       help="persist LLM interpretations to this JSON cache file")
+                       help="deprecated: persist LLM interpretations to this "
+                            "JSON cache file (use --llm cached:path=...)")
+    _add_llm_flags(train)
     _add_model_flags(train)
     _add_window_flags(train)
     _add_metrics_flag(train)
@@ -489,6 +524,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="anomaly threshold for the synthetic worker")
         sub.add_argument("--out", default=None, metavar="PATH",
                          help="write canonical report JSONL to this file")
+        sub.add_argument("--seed", type=int, default=0)
+        _add_llm_flags(sub)
         _add_window_flags(sub)
         _add_metrics_flag(sub)
 
@@ -547,9 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the (byte-deterministic) report here too")
     fuzz.add_argument("--break", dest="break_paths", action="append",
                       default=None, metavar="RECOVERY",
-                      choices=["retry", "quarantine", "review", "nan-guard"],
+                      choices=["retry", "quarantine", "review", "nan-guard",
+                               "breaker"],
                       help="disable a recovery path (repeatable); violations "
                            "then PROVE the harness detects the defect")
+    _add_llm_flags(fuzz)
     fuzz.add_argument("--bench-overhead", action="store_true",
                       help="also benchmark the unarmed fault_point hook and "
                            "fail when it exceeds --overhead-limit-ns")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..embedding.encoder import SentenceEncoder
-from ..llm.interface import LLMClient
+from ..llm.providers import LLMProvider
 from ..llm.interpreter import EventInterpreter
 from ..logs.sequences import LogSequence
 from ..parsing.template_store import TemplateStore
@@ -30,12 +30,12 @@ class SystemFeaturizer:
     encoder:
         Sentence encoder shared across systems (the unified feature space).
     llm:
-        LLM client for LEI; ``None`` disables interpretation and embeds
+        LLM provider for LEI; ``None`` disables interpretation and embeds
         the raw Drain template text instead ("LogSynergy w/o LEI").
     """
 
     def __init__(self, system: str, encoder: SentenceEncoder,
-                 llm: LLMClient | None = None):
+                 llm: LLMProvider | None = None):
         self.system = system
         self.encoder = encoder
         self.store = TemplateStore()
@@ -204,7 +204,7 @@ class SystemFeaturizer:
 
     @classmethod
     def from_state(cls, meta: dict, arrays: dict[str, np.ndarray],
-                   encoder: SentenceEncoder, llm: LLMClient | None) -> "SystemFeaturizer":
+                   encoder: SentenceEncoder, llm: LLMProvider | None) -> "SystemFeaturizer":
         """Rebuild a featurizer from :meth:`state` output."""
         featurizer = cls(meta["system"], encoder, llm=llm)
         featurizer.store = TemplateStore.from_dict(meta["store"])

@@ -25,8 +25,8 @@ import numpy as np
 from ..config import LogSynergyConfig
 from ..embedding.pretrained import load_pretrained_encoder
 from ..embedding.encoder import SentenceEncoder
-from ..llm.interface import LLMClient
-from ..llm.simulated import SimulatedLLM
+from ..llm.factory import default_provider
+from ..llm.providers import LLMProvider
 from ..logs.sequences import LogSequence
 from ..obs import trace
 from .features import SystemFeaturizer
@@ -49,7 +49,7 @@ class LogSynergy:
         scale).  The Fig 5 ablation switches live here:
         ``config.use_lei`` / ``config.use_sufe`` / ``config.use_da``.
     llm:
-        LLM client for LEI.  Defaults to :class:`SimulatedLLM`; ignored
+        LLM provider for LEI.  Defaults to :func:`default_provider`; ignored
         when ``config.use_lei`` is false.
     encoder:
         Sentence encoder; defaults to the cached pre-trained domain encoder
@@ -60,7 +60,7 @@ class LogSynergy:
     """
 
     def __init__(self, config: LogSynergyConfig | None = None,
-                 llm: LLMClient | None = None,
+                 llm: LLMProvider | None = None,
                  encoder: SentenceEncoder | None = None,
                  use_lei: bool | None = None, use_sufe: bool | None = None,
                  use_da: bool | None = None):
@@ -91,7 +91,7 @@ class LogSynergy:
             # `is not None`, not truthiness: an empty CachedLLM has len() 0.
             self.llm = llm
         else:
-            self.llm = SimulatedLLM(seed=self.config.seed)
+            self.llm = default_provider(seed=self.config.seed)
         self._featurizers: dict[str, SystemFeaturizer] = {}
         self._system_index: dict[str, int] = {}
         self.target_system: str | None = None
@@ -275,7 +275,7 @@ class LogSynergy:
         (root / "pipeline.json").write_text(json.dumps(manifest), encoding="utf-8")
 
     @classmethod
-    def load_pipeline(cls, directory: str, llm: LLMClient | None = None,
+    def load_pipeline(cls, directory: str, llm: LLMProvider | None = None,
                       encoder: SentenceEncoder | None = None) -> "LogSynergy":
         """Restore a pipeline saved with :meth:`save_pipeline`.
 

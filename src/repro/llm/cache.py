@@ -2,7 +2,7 @@
 
 Production deployments interpret each template once and reuse the result
 across retrains and restarts (LLM calls cost money and minutes; §VI-B2).
-``CachedLLM`` wraps any :class:`LLMClient` with a JSON-file-backed cache
+``CachedLLM`` wraps any :class:`LLMProvider` with a JSON-file-backed cache
 keyed by the prompt, so repeated pipelines hit the LLM only for genuinely
 new templates.
 
@@ -24,7 +24,7 @@ from typing import Callable
 
 from ..obs import get_registry
 from ..testing.faultpoints import fault_point
-from .interface import LLMClient
+from .providers import LLMProvider
 
 __all__ = ["CachedLLM"]
 
@@ -33,8 +33,8 @@ def _key(prompt: str) -> str:
     return hashlib.sha256(prompt.encode("utf-8")).hexdigest()
 
 
-class CachedLLM:
-    """File-backed memoization wrapper around an LLM client.
+class CachedLLM(LLMProvider):
+    """File-backed memoization wrapper around an LLM provider.
 
     Parameters
     ----------
@@ -57,11 +57,13 @@ class CachedLLM:
 
     Hit/miss/invalidation totals are mirrored into the active
     ``repro.obs`` registry as ``llm.cache.hits`` / ``llm.cache.misses``
-    / ``llm.cache.invalidations``; each quarantined file increments
-    ``llm.cache.quarantined``.
+    / ``llm.cache.invalidated`` (plus the legacy spelling
+    ``llm.cache.invalidations``); each quarantined file increments
+    ``llm.cache.quarantined``, live entry counts track in the
+    ``llm.cache.entries`` and ``llm.cache.regenerated_live`` gauges.
     """
 
-    def __init__(self, inner: LLMClient, path: str | Path, autosave: bool = True,
+    def __init__(self, inner: LLMProvider, path: str | Path, autosave: bool = True,
                  *, quarantine: bool = True,
                  clock: Callable[[], float] = time.time):
         self.inner = inner
@@ -74,11 +76,21 @@ class CachedLLM:
         registry = get_registry()
         self._hit_counter = registry.counter("llm.cache.hits")
         self._miss_counter = registry.counter("llm.cache.misses")
+        # Canonical invalidation counter plus the legacy spelling older
+        # dashboards scrape; both advance in lockstep.
+        self._invalidated_counter = registry.counter("llm.cache.invalidated")
         self._invalidation_counter = registry.counter("llm.cache.invalidations")
         self._quarantine_counter = registry.counter("llm.cache.quarantined")
+        self._entries_gauge = registry.gauge("llm.cache.entries")
+        self._regenerated_gauge = registry.gauge("llm.cache.regenerated_live")
+        # Keys stored after a quarantine event (regenerated on demand);
+        # tracked so invalidation keeps the regenerated-live gauge honest.
+        self._regenerated: set[str] = set()
+        self._was_quarantined = False
         self._cache: dict[str, str] = {}
         if self.path.exists():
             self._cache = self.load()
+        self._entries_gauge.set(len(self._cache))
 
     def load(self) -> dict[str, str]:
         """Parse the cache file, quarantining it when corrupt.
@@ -102,6 +114,7 @@ class CachedLLM:
             raise ValueError(f"corrupt interpretation cache at {self.path}")
         self.path.rename(self._quarantine_target())
         self._quarantine_counter.inc()
+        self._was_quarantined = True
         return {}
 
     def _quarantine_target(self) -> Path:
@@ -137,15 +150,31 @@ class CachedLLM:
         self._miss_counter.inc()
         completion = self.inner.complete(prompt)
         self._cache[key] = completion
+        self._entries_gauge.add(1)
+        if self._was_quarantined:
+            self._regenerated.add(key)
+            self._regenerated_gauge.add(1)
         if self.autosave:
             self.save()
         return completion
 
     def invalidate(self, prompt: str) -> bool:
-        """Drop one cached completion (e.g. after a failed operator review)."""
-        removed = self._cache.pop(_key(prompt), None) is not None
+        """Drop one cached completion (e.g. after a failed operator review).
+
+        Emits ``llm.cache.invalidated`` (and the legacy
+        ``llm.cache.invalidations``) and keeps the entry gauges honest —
+        including for entries regenerated after a quarantine, which
+        previously stayed counted as live after being dropped.
+        """
+        key = _key(prompt)
+        removed = self._cache.pop(key, None) is not None
         if removed:
+            self._invalidated_counter.inc()
             self._invalidation_counter.inc()
+            self._entries_gauge.add(-1)
+            if key in self._regenerated:
+                self._regenerated.discard(key)
+                self._regenerated_gauge.add(-1)
             if self.autosave:
                 self.save()
         return removed

@@ -1,21 +1,29 @@
-"""LLM client protocol.
+"""Deprecated home of the LLM client contract.
 
-LogSynergy's LEI stage talks to an LLM through a narrow text-completion
-interface; production deployments point this at a hosted model (the paper
-uses ChatGPT-4o), while this reproduction ships :class:`SimulatedLLM`.
+The exported contract is now :class:`repro.llm.providers.LLMProvider`,
+an ABC with ``complete()`` / ``complete_batch()``.  The old one-method
+``LLMClient`` Protocol that lived here remains importable as a
+deprecated alias for ``LLMProvider`` — ``isinstance`` checks keep
+working because the ABC accepts anything with a callable ``complete``
+structurally, exactly as the Protocol did.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+import warnings
 
 __all__ = ["LLMClient"]
 
 
-@runtime_checkable
-class LLMClient(Protocol):
-    """Anything that maps a prompt string to a completion string."""
+def __getattr__(name: str):
+    if name == "LLMClient":
+        warnings.warn(
+            "repro.llm.LLMClient is deprecated; use repro.llm.LLMProvider "
+            "(same structural contract, plus complete_batch).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .providers import LLMProvider
 
-    def complete(self, prompt: str) -> str:
-        """Return the model's completion for ``prompt``."""
-        ...
+        return LLMProvider
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

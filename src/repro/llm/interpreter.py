@@ -10,10 +10,11 @@ hallucination.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..parsing.template_store import TemplateStore
-from .interface import LLMClient
 from .prompts import build_interpretation_prompt
+from .providers import LLMProvider
 
 __all__ = ["InterpretationReport", "EventInterpreter", "review_interpretation"]
 
@@ -64,22 +65,36 @@ class EventInterpreter:
     Parameters
     ----------
     llm:
-        Any :class:`repro.llm.interface.LLMClient`.
+        Any :class:`repro.llm.providers.LLMProvider` (the structural
+        contract: a callable ``complete``; ``complete_batch`` is used
+        when present, so the middleware stack's batch-aware tiers —
+        memory cache, coalescing — see whole inventories at once).
     max_regenerations:
         Review/regenerate attempts per template before keeping the best
         available output (mirrors the operator workflow in §VI-B2).
     """
 
-    def __init__(self, llm: LLMClient, max_regenerations: int = 2):
+    def __init__(self, llm: LLMProvider, max_regenerations: int = 2):
         if max_regenerations < 0:
             raise ValueError("max_regenerations must be non-negative")
         self.llm = llm
         self.max_regenerations = max_regenerations
 
+    def _complete_batch(self, prompts: Sequence[str]) -> list[str]:
+        """Batch first pass; per-prompt loop for bare-``complete`` clients."""
+        batch = getattr(self.llm, "complete_batch", None)
+        if callable(batch):
+            return list(batch(prompts))
+        return [self.llm.complete(prompt) for prompt in prompts]
+
     def interpret_event(self, system: str, representative: str) -> tuple[str, int]:
         """Interpret one event; returns (interpretation, regeneration count)."""
         prompt = build_interpretation_prompt(system, representative)
         text = self.llm.complete(prompt)
+        return self._review_loop(prompt, text)
+
+    def _review_loop(self, prompt: str, text: str) -> tuple[str, int]:
+        """Operator review: regenerate while the output fails format checks."""
         regenerations = 0
         while review_interpretation(text) and regenerations < self.max_regenerations:
             text = self.llm.complete(prompt)
@@ -87,14 +102,25 @@ class EventInterpreter:
         return text.strip(), regenerations
 
     def interpret_store(self, system: str, store: TemplateStore) -> InterpretationReport:
-        """Interpret every template in ``store`` (one LLM call per event)."""
+        """Interpret every template in ``store``.
+
+        The first pass goes through ``complete_batch`` (one round trip
+        for the whole inventory); only events whose output fails review
+        re-enter the per-event regeneration loop.
+        """
+        inventory = store.inventory()
+        event_ids = list(inventory)
+        prompts = [build_interpretation_prompt(system, inventory[event_id][1])
+                   for event_id in event_ids]
+        first_pass = self._complete_batch(prompts)
+
         interpretations: dict[int, str] = {}
-        calls = 0
+        calls = len(prompts)
         regenerated = 0
         failed: list[int] = []
-        for event_id, (_, representative) in store.inventory().items():
-            text, regen = self.interpret_event(system, representative)
-            calls += 1 + regen
+        for event_id, prompt, text in zip(event_ids, prompts, first_pass):
+            text, regen = self._review_loop(prompt, text)
+            calls += regen
             regenerated += regen
             if review_interpretation(text):
                 failed.append(event_id)

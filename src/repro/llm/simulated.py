@@ -30,8 +30,9 @@ import numpy as np
 from ..logs.events import CONCEPTS, EventConcept
 from ..testing.faultpoints import fault_point
 from .prompts import extract_log_from_prompt
+from .providers import LLMProvider
 
-__all__ = ["SimulatedLLM", "normalize_tokens"]
+__all__ = ["SimulatedLLM", "normalize_tokens", "fallback_rewrite"]
 
 _TOKEN_SPLIT = re.compile(r"[^a-z0-9]+")
 _NUMBERLIKE = re.compile(r"^(?:\d+|0x[0-9a-f]+)$")
@@ -61,7 +62,26 @@ def normalize_tokens(text: str) -> list[str]:
     return [t for t in tokens if t not in _STOPWORDS and not _NUMBERLIKE.match(t)]
 
 
-class SimulatedLLM:
+def fallback_rewrite(message: str) -> str:
+    """Normalizing rewrite for messages outside the knowledge base.
+
+    Module-level so degraded paths (the circuit breaker's
+    pattern-library fallback in :mod:`repro.llm.middleware`) can produce
+    the same rewrite without holding a simulator instance.
+    """
+    tokens = [t for t in _TOKEN_SPLIT.split(message.lower()) if t]
+    rewritten = []
+    for token in tokens:
+        if _NUMBERLIKE.match(token):
+            continue
+        rewritten.append(_ABBREVIATIONS.get(token, token))
+    sentence = " ".join(rewritten).strip()
+    if not sentence:
+        sentence = "unrecognized log event"
+    return f"Event: {sentence}."
+
+
+class SimulatedLLM(LLMProvider):
     """Deterministic stand-in for the ChatGPT-4o interpreter.
 
     Parameters
@@ -104,16 +124,7 @@ class SimulatedLLM:
 
     def _fallback_rewrite(self, message: str) -> str:
         """Normalizing rewrite for messages outside the knowledge base."""
-        tokens = [t for t in _TOKEN_SPLIT.split(message.lower()) if t]
-        rewritten = []
-        for token in tokens:
-            if _NUMBERLIKE.match(token):
-                continue
-            rewritten.append(_ABBREVIATIONS.get(token, token))
-        sentence = " ".join(rewritten).strip()
-        if not sentence:
-            sentence = "unrecognized log event"
-        return f"Event: {sentence}."
+        return fallback_rewrite(message)
 
     def _hallucinate(self, correct: str) -> str:
         """Produce a wrong interpretation (the §IV-E2 internal threat)."""

@@ -20,7 +20,10 @@ batch, whether the model path is trustworthy:
   attempt, no retries; success restores the worker, failure doubles the
   cooldown (capped at 16x).
 
-All transitions are counted through ``repro.obs``.
+The state machine itself lives in :class:`~repro.runtime.health.HealthMonitor`
+so the LLM circuit breaker (:mod:`repro.llm.middleware`) degrades with
+identical open/probe/close semantics; this module adds the retry loop,
+timeout accounting and ``repro.obs`` counters around it.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from typing import Callable
 from ..core.report import AnomalyReport
 from ..obs import get_registry
 from ..testing.faultpoints import fault_point
+from .health import HealthMonitor
 from .scheduler import PendingWindow
 from .worker import InferenceWorker
 
@@ -52,23 +56,17 @@ class WorkerSupervisor:
                  registry=None, prefix: str = "runtime", scope: str = ""):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
-        if unhealthy_after <= 0:
-            raise ValueError(f"unhealthy_after must be positive, got {unhealthy_after}")
         registry = registry if registry is not None else get_registry()
         self.worker = worker
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.timeout = timeout
-        self.unhealthy_after = unhealthy_after
-        self.cooldown = cooldown
+        self.monitor = HealthMonitor(unhealthy_after=unhealthy_after,
+                                     cooldown=cooldown)
         self._clock = clock or registry.clock
         self._sleep = sleep or _no_sleep
-        self.healthy = True
         self.last_error: BaseException | None = None
-        self._bad_streak = 0
-        self._probe_failures = 0
-        self._retry_at = 0.0
         # ``scope`` isolates per-shard counters in threaded engines (see
         # ShardState); flat names when empty.
         self._retries = registry.counter(f"{prefix}.worker_retries{scope}")
@@ -77,21 +75,27 @@ class WorkerSupervisor:
         self._transitions = registry.counter(f"{prefix}.unhealthy_transitions{scope}")
         self._recoveries = registry.counter(f"{prefix}.worker_recoveries{scope}")
 
+    @property
+    def healthy(self) -> bool:
+        return self.monitor.healthy
+
+    @property
+    def unhealthy_after(self) -> int:
+        return self.monitor.unhealthy_after
+
+    @property
+    def cooldown(self) -> float:
+        return self.monitor.cooldown
+
     # ------------------------------------------------------------------
     def force_unhealthy(self, cooldown: float | None = None) -> None:
         """Fault injection / operator override: degrade immediately."""
-        if self.healthy:
-            self.healthy = False
+        if self.monitor.force_unhealthy(self._clock(), cooldown):
             self._transitions.inc()
-        self._probe_failures = 0
-        self._retry_at = self._clock() + (self.cooldown if cooldown is None
-                                          else cooldown)
 
-    def _mark_unhealthy(self, now: float) -> None:
-        self.healthy = False
-        self._probe_failures = 0
-        self._retry_at = now + self.cooldown
-        self._transitions.inc()
+    def _record_bad(self, now: float) -> None:
+        if self.monitor.record_bad(now):
+            self._transitions.inc()
 
     def _attempt(self, batch: list[PendingWindow]) -> tuple[list[AnomalyReport], float]:
         start = self._clock()
@@ -106,10 +110,10 @@ class WorkerSupervisor:
         """Score through the worker; ``None`` means *degraded* — the
         caller must answer the batch from the pattern fallback."""
         now = self._clock()
-        if not self.healthy:
-            if now < self._retry_at:
+        if not self.monitor.healthy:
+            if not self.monitor.ready_to_probe(now):
                 return None
-            return self._probe(batch, now)
+            return self._probe(batch)
 
         attempts = 1 + self.max_retries
         for attempt in range(attempts):
@@ -129,19 +133,15 @@ class WorkerSupervisor:
                 # Cooperative timeout: keep the (late) result, count the
                 # overrun toward the health streak.
                 self._timeouts.inc()
-                self._bad_streak += 1
-                if self._bad_streak >= self.unhealthy_after:
-                    self._mark_unhealthy(self._clock())
+                self._record_bad(self._clock())
             else:
-                self._bad_streak = 0
+                self.monitor.record_good()
             return reports
 
-        self._bad_streak += 1
-        if self._bad_streak >= self.unhealthy_after:
-            self._mark_unhealthy(self._clock())
+        self._record_bad(self._clock())
         return None
 
-    def _probe(self, batch: list[PendingWindow], now: float) -> list[AnomalyReport] | None:
+    def _probe(self, batch: list[PendingWindow]) -> list[AnomalyReport] | None:
         """Single-attempt recovery probe after the cooldown elapsed."""
         try:
             reports, elapsed = self._attempt(batch)
@@ -149,19 +149,13 @@ class WorkerSupervisor:
             # Probe failed: stay degraded, back the cooldown off.
             self._failures.inc()
             self.last_error = exc
-            self._probe_failures += 1
-            backoff = self.cooldown * min(2 ** self._probe_failures, 16)
-            self._retry_at = self._clock() + backoff
+            self.monitor.probe_failed(self._clock())
             return None
         if self.timeout is not None and elapsed > self.timeout:
             self._timeouts.inc()
-            self._probe_failures += 1
-            self._retry_at = self._clock() + self.cooldown * min(
-                2 ** self._probe_failures, 16)
+            self.monitor.probe_failed(self._clock())
             return reports
-        self.healthy = True
-        self._bad_streak = 0
-        self._probe_failures = 0
+        self.monitor.probe_succeeded()
         self.last_error = None
         self._recoveries.inc()
         return reports

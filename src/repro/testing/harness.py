@@ -133,7 +133,8 @@ def run_episodes(episodes: int, seed: int, *, suite: str = "all",
                  broken: tuple[str, ...] = (),
                  fuzzer: LogStreamFuzzer | None = None,
                  window: int = 10, step: int = 5,
-                 f1_floor: float = 0.7) -> FuzzReport:
+                 f1_floor: float = 0.7,
+                 provider_spec: str | None = None) -> FuzzReport:
     """Run ``episodes`` seeded fuzz episodes against ``suite``.
 
     ``broken`` names recovery paths to disable (see
@@ -167,7 +168,7 @@ def run_episodes(episodes: int, seed: int, *, suite: str = "all",
             context = CheckContext(
                 stream=stream, seed=current, workdir=Path(scratch),
                 broken=frozenset(broken), window=window, step=step,
-                f1_floor=f1_floor,
+                f1_floor=f1_floor, provider_spec=provider_spec,
             )
             for name, checker in checkers:
                 try:

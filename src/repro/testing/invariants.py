@@ -18,6 +18,11 @@ or against the fuzzer's planted ground truth:
   quarantined and regenerated to fault-free content, never a crash.
 * ``hallucination-burst-bounded`` — format-breaking LLM output bursts
   are absorbed by the review/regeneration loop (§IV-E2).
+* ``flaky-provider-within-retry-budget-is-byte-identical`` — a flaky
+  LLM provider behind the middleware stack completes byte-identically
+  to a fault-free run while errors stay within the retry budget, and a
+  sustained outage degrades through the circuit breaker to the
+  pattern-library fallback instead of raising.
 * ``nan-loss-skipped`` — an injected NaN loss skips that optimizer step
   and leaves the training history finite.
 * ``label-recovery-f1`` — the fuzzer's planted anomaly windows are
@@ -39,8 +44,11 @@ import numpy as np
 
 from ..evaluation.metrics import binary_metrics
 from ..llm.cache import CachedLLM
+from ..llm.factory import provider_from_spec
 from ..llm.interpreter import EventInterpreter, review_interpretation
+from ..llm.middleware import build_provider_stack, pattern_fallback
 from ..llm.prompts import build_interpretation_prompt
+from ..llm.providers import FlakyLLM, ProviderError
 from ..llm.simulated import SimulatedLLM, normalize_tokens
 from ..logs.events import EventKind, concepts_for_system
 from ..obs import MetricsRegistry, use_registry
@@ -56,7 +64,7 @@ __all__ = [
 ]
 
 # Recovery paths the harness can disable to prove its own teeth.
-BREAKABLE_RECOVERIES = ("retry", "quarantine", "review", "nan-guard")
+BREAKABLE_RECOVERIES = ("retry", "quarantine", "review", "nan-guard", "breaker")
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,9 @@ class CheckContext:
     step: int = 5
     max_batch: int = 8
     f1_floor: float = 0.7
+    # ``--llm`` spec the provider invariants drive through the middleware
+    # stack; ``None`` uses their built-in flaky default.
+    provider_spec: str | None = None
 
 
 # -- default fault mutators -------------------------------------------------
@@ -288,6 +299,82 @@ def check_hallucination_burst(context: CheckContext) -> InvariantResult:
                f"{failed} bad interpretations survived review "
                f"({regenerated} regenerations, {fired} corrupted completions)")
     return InvariantResult("hallucination-burst-bounded", ok, details)
+
+
+_INVARIANT_FLAKY = "flaky-provider-within-retry-budget-is-byte-identical"
+
+
+@_invariant(_INVARIANT_FLAKY, "llm")
+def check_flaky_provider(context: CheckContext) -> InvariantResult:
+    """Two-phase check of the provider middleware stack.
+
+    Phase 1: a flaky provider behind the full stack, with upstream
+    errors inside the retry budget, must complete byte-identically to a
+    fault-free run (FlakyLLM's error draws never consume the inner
+    simulator's RNG, so golden output is well-defined).  Phase 2: a
+    sustained outage (``error_rate=1.0``) must open the circuit breaker
+    and degrade every completion to the pattern-library fallback — never
+    escape as an exception.  ``--break breaker`` removes the breaker
+    tier, letting phase 2's ProviderError through: the failure proves
+    the invariant has teeth.
+    """
+    records = [r for r in context.stream.records if not r.is_anomalous][:20]
+    prompts = [build_interpretation_prompt(r.system, r.message) for r in records]
+    spec = context.provider_spec or "flaky:error_rate=0.35"
+
+    # Phase 1: errors within the retry budget are invisible in output.
+    # Budget 12 makes budget exhaustion astronomically unlikely at the
+    # default error rate (0.35^13 per prompt) while keeping the
+    # no-error vacuous case equally negligible over 20+ attempts.
+    golden = [SimulatedLLM(seed=context.seed).complete(p) for p in prompts]
+    flaky = provider_from_spec(spec, seed=context.seed)
+    registry = MetricsRegistry()
+    stack = build_provider_stack(flaky, max_retries=12, seed=context.seed,
+                                 clock=lambda: 0.0, registry=registry)
+    try:
+        absorbed = [stack.complete(p) for p in prompts]
+    except ProviderError as exc:
+        return InvariantResult(
+            _INVARIANT_FLAKY, False,
+            f"retry budget exhausted; upstream error escaped the stack: {exc}")
+    errors = getattr(flaky, "errors", 0)
+    if errors == 0:
+        return InvariantResult(
+            _INVARIANT_FLAKY, False,
+            f"vacuous: provider spec {spec!r} produced no upstream errors")
+    if absorbed != golden:
+        diverged = sum(1 for a, g in zip(absorbed, golden) if a != g)
+        return InvariantResult(
+            _INVARIANT_FLAKY, False,
+            f"{diverged}/{len(prompts)} completions diverged from the "
+            f"fault-free run ({errors} upstream errors)")
+
+    # Phase 2: a sustained outage degrades through the breaker, never raises.
+    outage = FlakyLLM(error_rate=1.0, seed=context.seed)
+    registry2 = MetricsRegistry()
+    use_breaker = "breaker" not in context.broken
+    stack2 = build_provider_stack(outage, breaker=use_breaker,
+                                  unhealthy_after=2, cooldown=1e9,
+                                  max_retries=1, memory_cache=False,
+                                  coalesce=False, seed=context.seed,
+                                  clock=lambda: 0.0, registry=registry2)
+    try:
+        degraded = [stack2.complete(p) for p in prompts]
+    except ProviderError as exc:
+        return InvariantResult(
+            _INVARIANT_FLAKY, False,
+            f"sustained outage escaped the stack as {type(exc).__name__} "
+            f"(circuit breaker disabled?): {exc}")
+    expected = [pattern_fallback(p) for p in prompts]
+    opened = registry2.counter("llm.provider.breaker.opened").value
+    served = registry2.counter("llm.provider.degraded").value
+    ok = degraded == expected and opened == 1 and served == len(prompts)
+    details = (f"{errors} upstream errors absorbed byte-identically; outage "
+               f"opened the breaker once and served {len(prompts)} fallbacks"
+               if ok else
+               f"outage handling wrong: opened={opened:g} degraded={served:g} "
+               f"fallback_match={degraded == expected}")
+    return InvariantResult(_INVARIANT_FLAKY, ok, details)
 
 
 @_invariant("nan-loss-skipped", "trainer")

@@ -420,6 +420,52 @@ class TestSilentExcept:
         assert codes(text, select=["silent-except"]) == []
 
 
+class TestDirectLLMCall:
+    SELECT = ["direct-llm-call"]
+
+    def _codes(self, text: str, path: str = "src/repro/core/features.py"):
+        return [v.rule for v in lint_source(text, path=path, select=self.SELECT)]
+
+    def test_flags_provider_construction(self):
+        assert self._codes("llm = SimulatedLLM(seed=0)\n") == ["direct-llm-call"]
+        assert self._codes("llm = repro.llm.FlakyLLM(error_rate=0.1)\n") == [
+            "direct-llm-call"
+        ]
+
+    def test_flags_complete_calls_on_foreign_objects(self):
+        assert self._codes("text = llm.complete(prompt)\n") == ["direct-llm-call"]
+        assert self._codes("texts = provider.complete_batch(prompts)\n") == [
+            "direct-llm-call"
+        ]
+
+    def test_self_complete_is_the_middleware_idiom(self):
+        # Middleware/providers forward to themselves and their inners —
+        # only the former is allowed outside repro.llm.
+        assert self._codes("value = self.complete(prompt)\n") == []
+        assert self._codes("value = self.inner.complete(prompt)\n") == [
+            "direct-llm-call"
+        ]
+
+    def test_sanctioned_construction_sites_exempt(self):
+        text = "llm = SimulatedLLM(seed=0)\ntext = llm.complete(prompt)\n"
+        for path in ("src/repro/llm/factory.py", "src/repro/testing/invariants.py",
+                     "tests/llm/test_simulated.py", "benchmarks/bench_llm_traffic.py"):
+            assert self._codes(text, path) == []
+
+    def test_injected_provider_usage_allowed(self):
+        # The sanctioned shape: take a provider, hand it to the interpreter.
+        text = (
+            "def fit(llm):\n"
+            "    interpreter = EventInterpreter(llm)\n"
+            "    return interpreter.interpret_store(store)\n"
+        )
+        assert self._codes(text) == []
+
+    def test_rule_is_registered(self):
+        names = {name for name, _ in available_rules()}
+        assert "direct-llm-call" in names
+
+
 class TestFaultPointAllowlist:
     SELECT = ["fault-point-outside-allowlist"]
 

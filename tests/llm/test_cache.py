@@ -154,3 +154,42 @@ class TestRegistryCounters:
         cached.complete("A")
         cached.complete("A")
         assert cached.hits == 1 and cached.misses == 1  # attrs still work
+
+    def test_invalidate_emits_canonical_counter_and_tracks_entries(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cached = CachedLLM(_Counting(), tmp_path / "cache.json")
+        cached.complete("A")
+        cached.complete("B")
+        assert registry.gauge("llm.cache.entries").value == 2.0
+        assert cached.invalidate("A")
+        assert registry.counter("llm.cache.invalidated").value == 1.0
+        assert registry.counter("llm.cache.invalidations").value == 1.0  # legacy
+        assert registry.gauge("llm.cache.entries").value == 1.0
+        # A miss on a prompt that was never cached moves nothing.
+        assert not cached.invalidate("A")
+        assert registry.counter("llm.cache.invalidated").value == 1.0
+        assert registry.gauge("llm.cache.entries").value == 1.0
+
+    def test_invalidating_a_quarantine_regenerated_entry_settles_gauges(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_registry
+
+        path = tmp_path / "cache.json"
+        path.write_text("{torn write")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cached = CachedLLM(_Counting(), path, clock=lambda: 5.0)
+        cached.complete("A")
+        cached.complete("B")
+        assert registry.gauge("llm.cache.regenerated_live").value == 2.0
+        # The drift this fixes: dropping a regenerated entry used to leave
+        # it counted as live forever.
+        assert cached.invalidate("A")
+        assert registry.gauge("llm.cache.regenerated_live").value == 1.0
+        assert registry.gauge("llm.cache.entries").value == 1.0
+        assert registry.counter("llm.cache.invalidated").value == 1.0
+        # Regenerating it again re-counts it exactly once.
+        cached.complete("A")
+        assert registry.gauge("llm.cache.regenerated_live").value == 2.0

@@ -1,0 +1,424 @@
+"""Traffic-control middleware stack over LLM providers."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.llm.middleware import (
+    CircuitBreakerMiddleware,
+    CoalescingMiddleware,
+    HedgedRetryMiddleware,
+    MemoryCacheMiddleware,
+    RateLimitExceeded,
+    RateLimitMiddleware,
+    build_provider_stack,
+    pattern_fallback,
+)
+from repro.llm.prompts import build_interpretation_prompt
+from repro.llm.providers import FlakyLLM, LLMProvider, ProviderError
+from repro.llm.simulated import SimulatedLLM, fallback_rewrite
+from repro.obs import MetricsRegistry
+
+
+class _Counting(LLMProvider):
+    """Upstream stub: counts calls, optionally failing the first few."""
+
+    def __init__(self, fail_first: int = 0, answer: str = "ok"):
+        self.calls = 0
+        self.batch_calls = 0
+        self.fail_first = fail_first
+        self.answer = answer
+
+    def complete(self, prompt: str) -> str:
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise ProviderError(f"down (call {self.calls})")
+        return f"{self.answer}: {prompt}"
+
+    def complete_batch(self, prompts):
+        self.batch_calls += 1
+        return [self.complete(prompt) for prompt in prompts]
+
+
+class _Clock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestMemoryCache:
+    def test_repeat_prompt_served_from_memory(self):
+        inner = _Counting()
+        registry = MetricsRegistry()
+        cache = MemoryCacheMiddleware(inner, registry=registry)
+        assert cache.complete("p") == cache.complete("p")
+        assert inner.calls == 1
+        assert registry.counter("llm.provider.memcache.hits").value == 1.0
+        assert registry.counter("llm.provider.memcache.misses").value == 1.0
+
+    def test_ttl_expires_entries(self):
+        inner, clock = _Counting(), _Clock()
+        registry = MetricsRegistry()
+        cache = MemoryCacheMiddleware(inner, ttl=10.0, clock=clock,
+                                      registry=registry)
+        cache.complete("p")
+        clock.now = 9.9
+        cache.complete("p")
+        assert inner.calls == 1
+        clock.now = 10.0
+        cache.complete("p")
+        assert inner.calls == 2
+        assert registry.counter("llm.provider.memcache.expired").value == 1.0
+
+    def test_lru_eviction_beyond_capacity(self):
+        inner = _Counting()
+        registry = MetricsRegistry()
+        cache = MemoryCacheMiddleware(inner, capacity=2, registry=registry)
+        cache.complete("a")
+        cache.complete("b")
+        cache.complete("a")  # refresh a; b is now least-recent
+        cache.complete("c")  # evicts b
+        assert len(cache) == 2
+        cache.complete("a")
+        assert inner.calls == 3  # a still cached
+        cache.complete("b")
+        assert inner.calls == 4  # b was evicted
+        assert registry.counter("llm.provider.memcache.evictions").value == 2.0
+
+    def test_batch_dedupes_misses_and_preserves_order(self):
+        inner = _Counting()
+        cache = MemoryCacheMiddleware(inner, registry=MetricsRegistry())
+        cache.complete("a")
+        got = cache.complete_batch(["a", "b", "a", "b", "c"])
+        assert got == ["ok: a", "ok: b", "ok: a", "ok: b", "ok: c"]
+        assert inner.calls == 3  # a from memory; b and c upstream once each
+        assert inner.batch_calls == 1
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MemoryCacheMiddleware(_Counting(), capacity=0,
+                                  registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="ttl"):
+            MemoryCacheMiddleware(_Counting(), ttl=0.0,
+                                  registry=MetricsRegistry())
+
+
+class _Gate(LLMProvider):
+    """Blocks every completion until the test opens the gate."""
+
+    def __init__(self):
+        self.calls = 0
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def complete(self, prompt: str) -> str:
+        self.calls += 1
+        self.entered.set()
+        assert self.release.wait(timeout=10.0)
+        return f"gated: {prompt}"
+
+
+class TestCoalescing:
+    N = 8
+
+    def test_concurrent_identical_prompts_share_one_upstream_call(self):
+        inner = _Gate()
+        registry = MetricsRegistry()
+        stack = CoalescingMiddleware(inner, registry=registry)
+        with ThreadPoolExecutor(max_workers=self.N) as pool:
+            futures = [pool.submit(stack.complete, "hot prompt")
+                       for _ in range(self.N)]
+            assert inner.entered.wait(timeout=10.0)
+            # Followers park on the leader's flight; give them a beat to
+            # register before the upstream call is allowed to finish.
+            time.sleep(0.2)
+            inner.release.set()
+            results = [future.result(timeout=10.0) for future in futures]
+        assert results == ["gated: hot prompt"] * self.N
+        assert inner.calls == 1
+        assert registry.counter("llm.provider.coalesced").value == self.N - 1
+        assert registry.counter("llm.provider.coalesce.leaders").value == 1.0
+
+    def test_leader_failure_is_shared_then_flight_clears(self):
+        inner = _Counting(fail_first=1)
+        stack = CoalescingMiddleware(inner, registry=MetricsRegistry())
+        with pytest.raises(ProviderError):
+            stack.complete("p")
+        # The failed flight is not cached: the next call goes upstream.
+        assert stack.complete("p") == "ok: p"
+        assert inner.calls == 2
+
+    def test_batch_dedupes_to_distinct_prompts(self):
+        inner = _Counting()
+        registry = MetricsRegistry()
+        stack = CoalescingMiddleware(inner, registry=registry)
+        got = stack.complete_batch(["a", "b", "a", "a"])
+        assert got == ["ok: a", "ok: b", "ok: a", "ok: a"]
+        assert inner.calls == 2
+        assert registry.counter("llm.provider.coalesced").value == 2.0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, inner, clock, **kwargs):
+        registry = MetricsRegistry()
+        kwargs.setdefault("unhealthy_after", 2)
+        kwargs.setdefault("cooldown", 30.0)
+        return CircuitBreakerMiddleware(inner, clock=clock, registry=registry,
+                                        **kwargs), registry
+
+    def test_opens_probes_and_closes_deterministically(self):
+        inner, clock = _Counting(fail_first=3), _Clock()
+        breaker, registry = self._breaker(inner, clock)
+
+        # Two consecutive failures: degraded answers, breaker opens once.
+        assert breaker.complete("p") == pattern_fallback("p")
+        assert breaker.complete("p") == pattern_fallback("p")
+        assert registry.counter("llm.provider.breaker.opened").value == 1.0
+
+        # Open: upstream is not touched until the cooldown elapses.
+        clock.now = 29.9
+        breaker.complete("p")
+        assert inner.calls == 2
+
+        # Half-open probe fails -> still degraded, cooldown doubled.
+        clock.now = 30.0
+        assert breaker.complete("p") == pattern_fallback("p")
+        assert inner.calls == 3
+        clock.now = 89.9  # 30 + 2*30 = 90 is the next probe time
+        breaker.complete("p")
+        assert inner.calls == 3
+
+        # Next probe succeeds -> closed, upstream answers again.
+        clock.now = 90.0
+        assert breaker.complete("p") == "ok: p"
+        assert breaker.complete("p") == "ok: p"
+        assert registry.counter("llm.provider.breaker.probes").value == 2.0
+        assert registry.counter("llm.provider.breaker.closed").value == 1.0
+        # Degraded: two opening failures, one while open, the failed
+        # probe, and one more while waiting out the doubled cooldown.
+        assert registry.counter("llm.provider.degraded").value == 5.0
+        assert breaker.last_error is None
+
+    def test_success_resets_the_failure_streak(self):
+        inner, clock = _Counting(), _Clock()
+        breaker, registry = self._breaker(inner, clock)
+        breaker.monitor.record_bad(clock())  # one failure, not enough
+        breaker.complete("p")  # success resets the streak
+        breaker.monitor.record_bad(clock())
+        assert breaker.monitor.healthy
+
+    def test_custom_fallback_and_batch_degradation(self):
+        inner, clock = _Counting(fail_first=99), _Clock()
+        breaker, registry = self._breaker(
+            inner, clock, fallback=lambda prompt: f"degraded<{prompt}>")
+        got = breaker.complete_batch(["a", "b", "c"])
+        assert got == ["degraded<a>", "degraded<b>", "degraded<c>"]
+        assert inner.calls == 2  # opened after 2; third never went upstream
+        assert registry.counter("llm.provider.degraded").value == 3.0
+
+    def test_programming_errors_propagate(self):
+        class Broken(LLMProvider):
+            def complete(self, prompt: str) -> str:
+                raise TypeError("not a transient fault")
+
+        breaker, _ = self._breaker(Broken(), _Clock())
+        with pytest.raises(TypeError):
+            breaker.complete("p")
+        assert breaker.monitor.healthy
+
+
+class TestHedgedRetry:
+    def test_retries_within_budget_succeed(self):
+        inner = _Counting(fail_first=2)
+        registry = MetricsRegistry()
+        retry = HedgedRetryMiddleware(inner, max_retries=2, sleep=lambda s: None,
+                                      registry=registry)
+        assert retry.complete("p") == "ok: p"
+        assert inner.calls == 3
+        assert registry.counter("llm.provider.retries").value == 2.0
+
+    def test_budget_exhaustion_raises_the_last_error(self):
+        retry = HedgedRetryMiddleware(_Counting(fail_first=99), max_retries=2,
+                                      registry=MetricsRegistry())
+        with pytest.raises(ProviderError, match="call 3"):
+            retry.complete("p")
+
+    def test_odd_retries_go_to_the_hedge(self):
+        primary = _Counting(fail_first=99)
+        hedge = _Counting(answer="hedge")
+        registry = MetricsRegistry()
+        retry = HedgedRetryMiddleware(primary, hedge=hedge, max_retries=1,
+                                      registry=registry)
+        assert retry.complete("p") == "hedge: p"
+        assert primary.calls == 1 and hedge.calls == 1
+        assert registry.counter("llm.provider.hedged").value == 1.0
+
+    def test_backoff_is_jittered_exponential_and_capped(self):
+        pauses = []
+        retry = HedgedRetryMiddleware(
+            _Counting(fail_first=99), max_retries=6, backoff_base=0.1,
+            backoff_cap=0.8, jitter=0.5, seed=0, sleep=pauses.append,
+            registry=MetricsRegistry())
+        with pytest.raises(ProviderError):
+            retry.complete("p")
+        assert len(pauses) == 6
+        bases = [0.1, 0.2, 0.4, 0.8, 0.8, 0.8]  # doubling, capped
+        for pause, base in zip(pauses, bases):
+            assert base <= pause <= base * 1.5
+
+    def test_only_provider_errors_are_retried(self):
+        class Broken(LLMProvider):
+            def __init__(self):
+                self.calls = 0
+
+            def complete(self, prompt: str) -> str:
+                self.calls += 1
+                raise ValueError("permanent")
+
+        broken = Broken()
+        retry = HedgedRetryMiddleware(broken, max_retries=5,
+                                      registry=MetricsRegistry())
+        with pytest.raises(ValueError):
+            retry.complete("p")
+        assert broken.calls == 1
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            HedgedRetryMiddleware(_Counting(), max_retries=-1,
+                                  registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="jitter"):
+            HedgedRetryMiddleware(_Counting(), jitter=-0.1,
+                                  registry=MetricsRegistry())
+
+
+class TestRateLimit:
+    def _bucket(self, inner, clock, **kwargs):
+        registry = MetricsRegistry()
+        return RateLimitMiddleware(inner, clock=clock, registry=registry,
+                                   **kwargs), registry
+
+    def test_burst_then_refill_at_rate(self):
+        inner, clock = _Counting(), _Clock()
+        pauses = []
+        bucket, registry = self._bucket(inner, clock, rate=2.0, burst=2.0,
+                                        sleep=pauses.append)
+        bucket.complete("a")
+        bucket.complete("b")  # burst exhausted
+        assert pauses == []
+
+        # Third call must wait for one token: 0.5s at 2 tokens/s.  The
+        # injected sleep advances the fake clock like a real wait would.
+        def sleeping(seconds):
+            pauses.append(seconds)
+            clock.now += seconds
+
+        bucket._sleep = sleeping
+        bucket.complete("c")
+        assert pauses == [pytest.approx(0.5)]
+        assert registry.counter("llm.provider.throttled").value == 1.0
+        assert registry.counter(
+            "llm.provider.throttle_wait_seconds").value == pytest.approx(0.5)
+
+    def test_non_blocking_mode_raises(self):
+        bucket, registry = self._bucket(_Counting(), _Clock(), rate=1.0,
+                                        block=False)
+        bucket.complete("a")
+        with pytest.raises(RateLimitExceeded, match="token bucket empty"):
+            bucket.complete("b")
+        # RateLimitExceeded is a ProviderError: the retry tier backs off.
+        assert isinstance(RateLimitExceeded("x"), ProviderError)
+
+    def test_backwards_clock_never_mints_tokens(self):
+        clock = _Clock(now=1000.0)
+        bucket, _ = self._bucket(_Counting(), clock, rate=1.0, burst=1.0,
+                                 block=False)
+        bucket.complete("a")
+        clock.now = 0.0  # NTP step backwards
+        assert bucket.tokens == 0.0
+        with pytest.raises(RateLimitExceeded):
+            bucket.complete("b")
+        # Nor does recovering to just short of the origin mint any.
+        clock.now = 999.0
+        assert bucket.tokens == 0.0
+        clock.now = 1001.0  # one second past the origin -> one token
+        assert bucket.tokens == 1.0
+        assert bucket.complete("c") == "ok: c"
+
+    def test_batch_pays_one_token_per_prompt(self):
+        bucket, _ = self._bucket(_Counting(), _Clock(), rate=1.0, burst=3.0,
+                                 block=False)
+        assert bucket.complete_batch(["a", "b", "c"]) == \
+            ["ok: a", "ok: b", "ok: c"]
+        with pytest.raises(RateLimitExceeded):
+            bucket.complete("d")
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError, match="rate"):
+            RateLimitMiddleware(_Counting(), rate=0.0,
+                                registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="burst"):
+            RateLimitMiddleware(_Counting(), rate=1.0, burst=0.5,
+                                registry=MetricsRegistry())
+
+
+class TestBuildProviderStack:
+    def test_nests_in_contract_order(self):
+        inner = _Counting()
+        stack = build_provider_stack(inner, rate=10.0,
+                                     registry=MetricsRegistry())
+        layers = []
+        layer = stack
+        while hasattr(layer, "inner"):
+            layers.append(type(layer))
+            layer = layer.inner
+        assert layers == [MemoryCacheMiddleware, CoalescingMiddleware,
+                          CircuitBreakerMiddleware, HedgedRetryMiddleware,
+                          RateLimitMiddleware]
+        assert layer is inner
+
+    def test_switches_remove_tiers(self):
+        stack = build_provider_stack(
+            _Counting(), memory_cache=False, coalesce=False, breaker=False,
+            max_retries=0, registry=MetricsRegistry())
+        assert not isinstance(stack, (MemoryCacheMiddleware,
+                                      CoalescingMiddleware))
+        assert isinstance(stack, _Counting)
+
+    def test_full_stack_is_deterministic_and_transparent(self):
+        prompt = build_interpretation_prompt(
+            "bgl", "rts panic! - stopping execution, reason 1")
+        bare = SimulatedLLM(seed=4).complete(prompt)
+        stack = build_provider_stack(SimulatedLLM(seed=4), rate=100.0,
+                                     clock=_Clock(), seed=4,
+                                     registry=MetricsRegistry())
+        assert stack.complete(prompt) == bare
+        assert stack.complete(prompt) == bare  # memory-cache path
+
+    def test_absorbs_a_flaky_upstream_byte_identically(self):
+        prompt = build_interpretation_prompt(
+            "bgl", "ciod: error reading message prefix after lostconnection")
+        golden = SimulatedLLM(seed=2).complete(prompt)
+        flaky = FlakyLLM(error_rate=0.6, seed=2)
+        stack = build_provider_stack(flaky, max_retries=10, clock=_Clock(),
+                                     seed=2, registry=MetricsRegistry())
+        assert stack.complete(prompt) == golden
+
+    def test_sustained_outage_degrades_to_pattern_fallback(self):
+        from repro.llm.prompts import extract_log_from_prompt
+
+        prompt = build_interpretation_prompt(
+            "bgl", "rts panic! - stopping execution, reason 1")
+        outage = FlakyLLM(error_rate=1.0, seed=0)
+        registry = MetricsRegistry()
+        stack = build_provider_stack(outage, memory_cache=False,
+                                     unhealthy_after=1, cooldown=1e9,
+                                     max_retries=1, clock=_Clock(),
+                                     registry=registry)
+        got = [stack.complete(prompt) for _ in range(5)]
+        assert got == [fallback_rewrite(extract_log_from_prompt(prompt))] * 5
+        assert registry.counter("llm.provider.breaker.opened").value == 1.0
+        assert registry.counter("llm.provider.degraded").value == 5.0

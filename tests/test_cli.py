@@ -72,7 +72,11 @@ class TestTrainDetect:
             "--llm-cache", str(cache_path),
         ])
         assert code == 0
-        assert "pipeline saved" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "pipeline saved" in captured.out
+        # The legacy flag keeps working but points at the successor.
+        assert "--llm-cache is deprecated" in captured.err
+        assert "--llm cached:path=" in captured.err
         assert cache_path.exists()
 
         # The exported JSONL carries the acceptance metrics: trainer epoch
@@ -96,6 +100,27 @@ class TestTrainDetect:
         out = capsys.readouterr().out
         assert "windows scored" in out
         assert "score=" in out
+
+    def test_replay_with_middleware_stack_is_byte_identical(self, workspace,
+                                                            tmp_path):
+        root, files = workspace
+        model_dir = str(root / "pipeline")
+        logs = tmp_path / "replay_logs.jsonl"
+        assert main(["generate", "--system", "thunderbird", "--lines", "200",
+                     "--out", str(logs), "--seed", "4"]) == 0
+        default_out = tmp_path / "default.jsonl"
+        stacked_out = tmp_path / "stacked.jsonl"
+        assert main(["replay", "--logs", str(logs), "--model-dir", model_dir,
+                     "--out", str(default_out)]) == 0
+        assert main(["replay", "--logs", str(logs), "--model-dir", model_dir,
+                     "--llm", "simulated", "--out", str(stacked_out)]) == 0
+        assert stacked_out.read_bytes() == default_out.read_bytes()
+
+    def test_bad_llm_spec_is_a_clean_cli_error(self, workspace, tmp_path):
+        root, files = workspace
+        with pytest.raises(SystemExit, match="--llm: unknown LLM provider"):
+            main(["replay", "--logs", files["thunderbird"],
+                  "--model-dir", str(root / "pipeline"), "--llm", "gpt7"])
 
     def test_detect_too_few_records(self, workspace, tmp_path):
         root, files = workspace

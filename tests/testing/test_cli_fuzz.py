@@ -29,6 +29,20 @@ class TestFuzzCommand:
         assert "FAIL nan-loss-skipped" in captured
         assert "broken recovery path(s) nan-guard" in captured
 
+    def test_flaky_provider_spec_stays_green(self):
+        code = main(["fuzz", "--episodes", "1", "--seed", "5", "--suite", "llm",
+                     "--llm", "flaky:error_rate=0.35"])
+        assert code == 0
+
+    def test_break_breaker_trips_the_flaky_invariant(self, capsys):
+        code = main(["fuzz", "--episodes", "1", "--seed", "5", "--suite", "llm",
+                     "--break", "breaker"])
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert ("FAIL flaky-provider-within-retry-budget-is-byte-identical"
+                in captured)
+        assert "broken recovery path(s) breaker" in captured
+
     def test_bench_overhead_prints_and_respects_limit(self, capsys):
         code = main(["fuzz", "--episodes", "1", "--seed", "3",
                      "--suite", "fuzzer", "--bench-overhead",

@@ -71,6 +71,7 @@ _BREAK_CASES = [
     ("quarantine", "llm", "cache-corruption-regenerates"),
     ("review", "llm", "hallucination-burst-bounded"),
     ("nan-guard", "trainer", "nan-loss-skipped"),
+    ("breaker", "llm", "flaky-provider-within-retry-budget-is-byte-identical"),
 ]
 
 
