@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Static gate: byte-compile the tree, then run the project linter
-# (repro.analysis.lint) over the library sources.  Extra arguments are
-# passed through to `repro lint` (e.g. --select, extra paths).
+# (repro.analysis.lint) — per-file AST rules plus the whole-program
+# flow/* passes — over the library sources, benchmarks, scripts and
+# examples.  Per-directory rule exemptions (e.g. benchmarks may read
+# the wall clock) live in repro.analysis.lint.DEFAULT_EXEMPTIONS;
+# accepted findings live in scripts/lint_baseline.json.  Extra
+# arguments are passed through to `repro lint` (e.g. --select,
+# --format json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 python -m compileall -q src benchmarks examples scripts
-PYTHONPATH=src python -m repro.cli lint src "$@"
+PYTHONPATH=src python -m repro.cli lint src benchmarks scripts examples \
+    --baseline scripts/lint_baseline.json "$@"

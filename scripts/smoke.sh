@@ -11,6 +11,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bash scripts/lint.sh
+
+# Interprocedural passes: the JSON report must be byte-identical across
+# two consecutive runs AND match the committed snapshot — any
+# nondeterminism in the symbol table / call graph / dataflow solver
+# shows up here as a diff.
+flow_a="$(mktemp)"
+flow_b="$(mktemp)"
+trap 'rm -f "$flow_a" "$flow_b" "${replay_out:-}" "${replay_metrics:-}" \
+    "${fuzz_a:-}" "${fuzz_b:-}"' EXIT
+PYTHONPATH=src python -m repro.cli lint src --select 'flow/*' \
+    --format json >"$flow_a"
+PYTHONPATH=src python -m repro.cli lint src --select 'flow/*' \
+    --format json >"$flow_b"
+cmp -s "$flow_a" "$flow_b" \
+    || { echo "smoke: flow report not deterministic across runs" >&2; exit 1; }
+diff -u scripts/flow_snapshot.json "$flow_a" \
+    || { echo "smoke: flow report drifted from scripts/flow_snapshot.json" \
+         "(regenerate with: repro lint src --select 'flow/*' --format json)" >&2
+         exit 1; }
+
 PYTHONPATH=src python -m repro.cli audit logsynergy
 
 # Op profiler must produce a ranked hot-op table on a tiny fit.
@@ -31,7 +51,6 @@ replay_out="$(mktemp)"
 replay_metrics="$(mktemp)"
 fuzz_a="$(mktemp)"
 fuzz_b="$(mktemp)"
-trap 'rm -f "$replay_out" "$replay_metrics" "$fuzz_a" "$fuzz_b"' EXIT
 PYTHONPATH=src python -m repro.cli replay \
     --logs examples/data/replay_sample.jsonl --shards 2 \
     --out "$replay_out" --metrics-out "$replay_metrics"

@@ -30,12 +30,22 @@ from ..obs import get_registry
 
 __all__ = [
     "LintViolation", "LintRule", "register_rule", "available_rules",
-    "SourceFile", "lint_source", "lint_paths", "format_violations",
+    "SourceFile", "LintReport", "lint_source", "lint_paths", "lint_project",
+    "format_violations", "DEFAULT_EXEMPTIONS",
 ]
 
+# Rule names may carry a namespace ("flow/determinism"), so the
+# suppression syntax accepts "/" inside names.
 _SUPPRESS_RE = re.compile(
-    r"#\s*lint:\s*(?P<scope>disable-file|disable)(?:=(?P<rules>[\w,-]+))?"
+    r"#\s*lint:\s*(?P<scope>disable-file|disable)(?:=(?P<rules>[\w,/-]+))?"
 )
+
+# Per-directory rule exemptions for trees that legitimately break a rule:
+# benchmarks measure wall-clock time by design.  Keys are path fragments
+# (POSIX separators), values are exempted rule names.
+DEFAULT_EXEMPTIONS: dict[str, frozenset[str]] = {
+    "benchmarks/": frozenset({"wall-clock-call"}),
+}
 
 
 @dataclass(frozen=True)
@@ -184,23 +194,102 @@ def _python_files(paths: Sequence[str | Path]) -> list[Path]:
             files.extend(sorted(
                 p for p in entry.rglob("*.py") if "__pycache__" not in p.parts
             ))
-        else:
+        elif entry.is_file():
             files.append(entry)
+        else:
+            raise FileNotFoundError(f"path does not exist: {entry}")
     return files
+
+
+def _split_select(select: Iterable[str] | None):
+    """Partition a select list into (ast_rules, flow_passes).
+
+    Flow pass names carry the ``flow/`` namespace, so any selector
+    containing ``/`` routes to the interprocedural passes (wildcards
+    like ``flow/*`` included).  ``None`` means "everything" on both
+    sides; an explicit select that names only one side disables the
+    other entirely.
+    """
+    if select is None:
+        return None, None
+    ast_names: list[str] = []
+    flow_names: list[str] = []
+    for name in select:
+        (flow_names if "/" in name else ast_names).append(name)
+    return ast_names, flow_names
+
+
+def _exempted(violation: LintViolation,
+              exemptions: dict[str, frozenset[str]]) -> bool:
+    posix = violation.path.replace("\\", "/")
+    return any(fragment in posix and violation.rule in rules
+               for fragment, rules in exemptions.items())
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, ready for any output format."""
+
+    violations: list[LintViolation]
+    files: int
+    flow_stats: dict
+
+
+def lint_project(paths: Sequence[str | Path],
+                 select: Iterable[str] | None = None,
+                 exemptions: dict[str, frozenset[str]] | None = None,
+                 ) -> LintReport:
+    """Lint files/directories with both the per-file AST rules and the
+    whole-program ``flow/*`` passes, sharing one parse per file.
+
+    Violations are filtered through suppression comments and the
+    per-directory ``exemptions`` map, then stable-sorted by
+    (path, line, col, rule) so output is byte-reproducible.
+    """
+    ast_select, flow_select = _split_select(select)
+    if exemptions is None:
+        exemptions = DEFAULT_EXEMPTIONS
+    files = _python_files(paths)
+    violations: list[LintViolation] = []
+    parsed: list[tuple[str, str, ast.Module]] = []
+    for file_path in files:
+        text = file_path.read_text(encoding="utf-8")
+        path = str(file_path)
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            violations.append(LintViolation(
+                rule="syntax-error", path=path, line=exc.lineno or 1,
+                col=exc.offset or 0, message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        parsed.append((path, text, tree))
+        if ast_select is None or ast_select:
+            source = SourceFile(path, text)
+            for rule_cls in _select_rules(ast_select):
+                for violation in rule_cls(source).run(tree):
+                    if not source.suppressed(violation.line, violation.rule):
+                        violations.append(violation)
+    flow_stats: dict = {}
+    if flow_select is None or flow_select:
+        from .flow import run_flow_passes
+
+        flow_violations, flow_stats = run_flow_passes(parsed, select=flow_select)
+        violations.extend(flow_violations)
+    violations = [v for v in violations if not _exempted(v, exemptions)]
+    violations.sort(key=lambda v: (v.path.replace("\\", "/"), v.line,
+                                   v.col, v.rule))
+    registry = get_registry()
+    registry.counter("analysis.lint.files").inc(len(files))
+    registry.counter("analysis.lint.violations").inc(len(violations))
+    return LintReport(violations=violations, files=len(files),
+                      flow_stats=flow_stats)
 
 
 def lint_paths(paths: Sequence[str | Path],
                select: Iterable[str] | None = None) -> list[LintViolation]:
     """Lint files and directories (recursively); returns all violations."""
-    violations: list[LintViolation] = []
-    files = _python_files(paths)
-    for file_path in files:
-        text = file_path.read_text(encoding="utf-8")
-        violations.extend(lint_source(text, path=str(file_path), select=select))
-    registry = get_registry()
-    registry.counter("analysis.lint.files").inc(len(files))
-    registry.counter("analysis.lint.violations").inc(len(violations))
-    return violations
+    return lint_project(paths, select=select).violations
 
 
 def format_violations(violations: Sequence[LintViolation]) -> str:

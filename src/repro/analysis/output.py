@@ -1,0 +1,135 @@
+"""Machine-readable lint output (JSON, SARIF) and baseline files.
+
+The JSON rendering is byte-deterministic (sorted keys, stable violation
+order, trailing newline) — ``scripts/smoke.sh`` diffs two consecutive
+runs and a committed snapshot against it, so any nondeterminism in the
+analysis surfaces as a CI failure rather than a flaky report.
+
+Baselines record *accepted* findings so a new check can land with
+existing debt ratcheted: ``repro lint --baseline FILE --write-baseline``
+snapshots today's findings, and later runs with ``--baseline FILE``
+fail only on findings not in the file.  Keys are ``path::rule::message``
+(no line numbers — unrelated edits above a finding must not invalidate
+the baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .lint import LintViolation
+
+__all__ = [
+    "render_json", "render_sarif",
+    "baseline_key", "load_baseline", "write_baseline", "apply_baseline",
+]
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _payload(violations: Sequence[LintViolation], files: int,
+             stats: dict | None) -> dict:
+    by_rule: dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    return {
+        "summary": {
+            "files": files,
+            "violations": len(violations),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "flow": dict(sorted((stats or {}).items())),
+        "violations": [
+            {
+                "rule": v.rule, "path": v.path.replace("\\", "/"),
+                "line": v.line, "col": v.col,
+                "message": v.message, "hint": v.hint,
+            }
+            for v in violations
+        ],
+    }
+
+
+def render_json(violations: Sequence[LintViolation], files: int = 0,
+                stats: dict | None = None) -> str:
+    """Deterministic JSON report (sorted keys, trailing newline)."""
+    return json.dumps(_payload(violations, files, stats),
+                      indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(violations: Sequence[LintViolation], files: int = 0,
+                 stats: dict | None = None) -> str:
+    """Minimal SARIF 2.1.0 report for code-scanning consumers."""
+    from .flow import available_flow_passes
+    from .lint import available_rules
+
+    rules = [
+        {"id": name, "shortDescription": {"text": description}}
+        for name, description in
+        sorted(set(available_rules()) | set(available_flow_passes()))
+    ]
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "warning",
+            "message": {"text": v.message + (f" (hint: {v.hint})" if v.hint else "")},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path.replace("\\", "/")},
+                    "region": {"startLine": v.line, "startColumn": v.col + 1},
+                },
+            }],
+        }
+        for v in violations
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/repro",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def baseline_key(violation: LintViolation) -> str:
+    """Stable identity of a finding across unrelated edits."""
+    path = violation.path.replace("\\", "/")
+    return f"{path}::{violation.rule}::{violation.message}"
+
+
+def write_baseline(violations: Sequence[LintViolation],
+                   path: str | Path) -> int:
+    """Snapshot findings as the accepted baseline; returns the count."""
+    keys = sorted({baseline_key(v) for v in violations})
+    payload = {"version": 1, "findings": keys}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    return len(keys)
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file; raises OSError / ValueError on bad input."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != 1 \
+            or not isinstance(payload.get("findings"), list):
+        raise ValueError(f"{path}: not a v1 lint baseline file")
+    return set(payload["findings"])
+
+
+def apply_baseline(violations: Sequence[LintViolation],
+                   baseline: set[str]) -> tuple[list[LintViolation], int]:
+    """Drop findings present in the baseline; returns (kept, suppressed)."""
+    kept = [v for v in violations if baseline_key(v) not in baseline]
+    return kept, len(violations) - len(kept)

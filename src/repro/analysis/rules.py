@@ -139,7 +139,12 @@ class SilentExceptRule(LintRule):
     """The partner of ``blanket-except``: even a *specific* exception type
     handled by ``pass`` alone erases the failure — recovery paths must
     leave evidence (a counter, a log, a fallback value), or the fault
-    harness can prove nothing about them."""
+    harness can prove nothing about them.
+
+    Handlers already flagged by ``blanket-except`` (bare ``except:``,
+    ``except Exception``/``BaseException``) are skipped here so one bad
+    handler yields one finding, not two.
+    """
 
     name = "silent-except"
     description = "forbid except blocks whose body does nothing (swallowed errors)"
@@ -151,8 +156,16 @@ class SilentExceptRule(LintRule):
             isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
         )
 
+    @staticmethod
+    def _blanket(node: ast.ExceptHandler) -> bool:
+        return node.type is None or (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+        )
+
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if all(self._is_noop(stmt) for stmt in node.body):
+        if not self._blanket(node) and \
+                all(self._is_noop(stmt) for stmt in node.body):
             self.report(node, "except block silently swallows the error")
         self.generic_visit(node)
 

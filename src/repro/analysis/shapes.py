@@ -23,7 +23,10 @@ from ..nn import (
 )
 from .findings import Finding, Severity
 
-__all__ = ["Dim", "Shape", "shape_handler", "propagate", "symbolic_input", "format_shape"]
+__all__ = [
+    "Dim", "Shape", "shape_handler", "propagate", "symbolic_input",
+    "format_shape", "broadcast_shapes",
+]
 
 Dim = Union[int, str]
 Shape = tuple  # tuple[Dim, ...]
@@ -52,6 +55,46 @@ def shape_handler(*types: type):
 def format_shape(shape: Shape) -> str:
     """Render ``(B, 10, 64)``-style shape strings."""
     return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+def broadcast_shapes(left: Shape, right: Shape,
+                     path: str = "") -> tuple[Shape | None, list]:
+    """Numpy-style broadcasting over symbolic shapes.
+
+    Shapes are right-aligned; a dimension of ``1`` broadcasts, equal
+    dimensions (including equal symbols and zero-size dims) pass
+    through, and a symbolic dimension is compatible with anything — the
+    result keeps the more specific side (the concrete dim, or the
+    symbol when paired with ``1``).  Two unequal concrete dims (e.g.
+    ``3`` vs ``4``, or ``0`` vs ``5``) are incompatible: the result is
+    ``None`` plus an ERROR finding, mirroring the runtime failure.
+    Rank-0 ``()`` broadcasts against any shape.
+    """
+    result: list[Dim] = []
+    for offset in range(1, max(len(left), len(right)) + 1):
+        a = left[-offset] if offset <= len(left) else 1
+        b = right[-offset] if offset <= len(right) else 1
+        if a == b:
+            result.append(a)
+        elif a == 1:
+            result.append(b)
+        elif b == 1:
+            result.append(a)
+        elif isinstance(a, str):
+            result.append(b)    # symbol is compatible; keep the concrete dim
+        elif isinstance(b, str):
+            result.append(a)
+        else:
+            return None, [Finding(
+                code="shape-broadcast",
+                severity=Severity.ERROR,
+                path=path or "broadcast",
+                message=(f"shapes {format_shape(left)} and "
+                         f"{format_shape(right)} are not broadcast-compatible "
+                         f"(dim {a} vs {b})"),
+                hint="reshape one operand or fix the layer wiring",
+            )]
+    return tuple(reversed(result)), []
 
 
 def _mismatch(path: str, module: Module, shape: Shape, expected: int,

@@ -180,23 +180,49 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import available_rules, format_violations, lint_paths
+    from .analysis import (
+        apply_baseline, available_flow_passes, available_rules,
+        format_violations, lint_project, load_baseline, render_json,
+        render_sarif, write_baseline,
+    )
 
     if args.list_rules:
         for name, description in available_rules():
             print(f"{name}: {description}")
+        for name, description in available_flow_passes():
+            print(f"{name}: {description}")
         return 0
+    if args.write_baseline and not args.baseline:
+        raise SystemExit("lint: --write-baseline requires --baseline PATH")
     select = args.select.split(",") if args.select else None
     with _observability(args):
         try:
-            violations = lint_paths(args.paths, select=select)
+            report = lint_project(args.paths, select=select)
         except (KeyError, OSError) as exc:
             raise SystemExit(f"lint: {exc}")
-    if violations:
+    violations = report.violations
+    if args.write_baseline:
+        count = write_baseline(violations, args.baseline)
+        print(f"lint: wrote baseline with {count} accepted findings "
+              f"to {args.baseline}")
+        return 0
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"lint: --baseline: {exc}")
+        violations, suppressed = apply_baseline(violations, baseline)
+    if args.format == "json":
+        print(render_json(violations, report.files, report.flow_stats), end="")
+    elif args.format == "sarif":
+        print(render_sarif(violations, report.files, report.flow_stats), end="")
+    elif violations:
         print(format_violations(violations))
-        return 1
-    print(f"lint: clean ({', '.join(args.paths)})")
-    return 0
+    else:
+        note = f", {suppressed} baselined" if suppressed else ""
+        print(f"lint: clean ({', '.join(args.paths)}{note})")
+    return 1 if violations else 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -494,9 +520,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.add_argument("--select", default=None, metavar="RULES",
-                      help="comma-separated rule names to run (default: all)")
+                      help="comma-separated rule names to run; names with a "
+                           "'/' select interprocedural passes and accept "
+                           "wildcards, e.g. flow/* (default: all)")
     lint.add_argument("--list-rules", action="store_true",
-                      help="list registered rules and exit")
+                      help="list registered rules and flow passes, then exit")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "sarif"),
+                      help="output format (default: text)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file of accepted findings to subtract")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="snapshot current findings into --baseline and exit")
     _add_metrics_flag(lint)
     lint.set_defaults(func=_cmd_lint)
 

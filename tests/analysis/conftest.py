@@ -1,0 +1,41 @@
+"""Shared helpers for the whole-program analysis tests.
+
+The flow passes analyze *projects*, not strings, so these fixtures
+materialize a dict of ``relative/path.py -> source`` into a repo-shaped
+tree on disk and hand back parsed (path, text, tree) triples — package
+``__init__.py`` files are created automatically for every directory
+under ``src/`` so module names derive exactly as they do in the real
+checkout.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    def _make(files: dict):
+        for relative, text in files.items():
+            target = tmp_path / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            # Mark packages below the tree root (src/ itself carries no
+            # __init__.py in the real checkout, so stop one level down).
+            parent = target.parent
+            while parent != tmp_path and parent.parent != tmp_path \
+                    and not (parent / "__init__.py").exists():
+                (parent / "__init__.py").write_text("", encoding="utf-8")
+                parent = parent.parent
+            target.write_text(text, encoding="utf-8")
+        return tmp_path
+    return _make
+
+
+@pytest.fixture
+def flow_tree(make_tree):
+    """Build a tree and return parsed triples ready for run_flow_passes."""
+    from repro.analysis.symbols import parse_files
+
+    def _build(files: dict):
+        root = make_tree(files)
+        paths = sorted(str(p) for p in root.rglob("*.py"))
+        return parse_files(paths)
+    return _build

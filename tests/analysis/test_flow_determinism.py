@@ -1,0 +1,182 @@
+"""flow/determinism tests: every nondeterminism source is caught when
+reachable from a replay/serve/fuzz entry point, unreachable code is
+left alone, and the allowlist / suppression seams work."""
+
+from repro.analysis.flow import run_flow_passes
+
+SELECT = ["flow/determinism"]
+
+
+def run(flow_tree, files, **kwargs):
+    violations, _stats = run_flow_passes(flow_tree(files), select=SELECT, **kwargs)
+    return violations
+
+
+def entry(body: str) -> str:
+    """A repro.cli with a replay entry point delegating to the body."""
+    return (
+        "def _cmd_replay(args):\n"
+        f"    {body}\n"
+    )
+
+
+class TestUnseededRandom:
+    def test_planted_random_random_reachable_from_replay(self, flow_tree):
+        # The acceptance-criteria defect: unseeded random.random() two
+        # hops from `repro replay`, behind a deferred import.
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "def _cmd_replay(args):\n"
+                "    from repro.runtime.jitter import wobble\n"
+                "    return wobble()\n"
+            ),
+            "src/repro/runtime/jitter.py": (
+                "import random\n\n"
+                "def wobble():\n"
+                "    return random.random()\n"
+            ),
+        })
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.rule == "flow/determinism"
+        assert "random.random()" in v.message
+        assert "repro.cli._cmd_replay" in v.message   # witness chain
+        assert v.path.endswith("jitter.py") and v.line == 4
+
+    def test_unreachable_random_not_flagged(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": entry("return 0"),
+            "src/repro/stray.py": (
+                "import random\n\n"
+                "def unused():\n"
+                "    return random.random()\n"
+            ),
+        })
+        assert violations == []
+
+    def test_seeded_generator_construction_allowed(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "def _cmd_replay(args):\n"
+                "    import random\n"
+                "    rng = random.Random(7)\n"
+                "    return rng.random()\n"
+            ),
+        })
+        assert violations == []
+
+
+class TestOtherSources:
+    def test_wall_clock_reachable(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "import time\n\n"
+                "def _cmd_serve(args):\n"
+                "    return time.monotonic()\n"
+            ),
+        })
+        assert [v.rule for v in violations] == ["flow/determinism"]
+        assert "time.monotonic" in violations[0].message
+
+    def test_numpy_global_rng_reachable(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "import numpy as np\n\n"
+                "def _cmd_fuzz(args):\n"
+                "    return np.random.rand(3)\n"
+            ),
+        })
+        assert len(violations) == 1 and "np.random.rand" in violations[0].message
+
+    def test_entropy_source_reachable(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "import uuid\n\n"
+                "def _cmd_replay(args):\n"
+                "    return uuid.uuid4()\n"
+            ),
+        })
+        assert len(violations) == 1 and "uuid.uuid4" in violations[0].message
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "def _cmd_replay(args):\n"
+                "    for item in {1, 2, 3}:\n"
+                "        print(item)\n"
+            ),
+        })
+        assert len(violations) == 1
+        assert "unordered set" in violations[0].message
+
+    def test_for_over_set_bound_name(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "def _cmd_replay(args):\n"
+                "    pending = set(args.items)\n"
+                "    for item in pending:\n"
+                "        print(item)\n"
+            ),
+        })
+        assert len(violations) == 1
+
+    def test_sorted_iteration_allowed(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "def _cmd_replay(args):\n"
+                "    pending = set(args.items)\n"
+                "    for item in sorted(pending):\n"
+                "        print(item)\n"
+            ),
+        })
+        assert violations == []
+
+    def test_list_materializing_set_flagged(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "def _cmd_replay(args):\n"
+                "    return list({1, 2, 3})\n"
+            ),
+        })
+        assert len(violations) == 1 and "list()" in violations[0].message
+
+
+class TestSeams:
+    FILES = {
+        "src/repro/cli.py": (
+            "def _cmd_replay(args):\n"
+            "    from repro.clock import now\n"
+            "    return now()\n"
+        ),
+        "src/repro/clock.py": (
+            "import time\n\n"
+            "def now():\n"
+            "    return time.monotonic()\n"
+        ),
+    }
+
+    def test_allowlist_exempts_injection_seam(self, flow_tree):
+        flagged = run(flow_tree, self.FILES)
+        assert len(flagged) == 1
+        clean, _ = run_flow_passes(
+            flow_tree(self.FILES), select=SELECT,
+            allowlist=frozenset({"repro.clock.now"}))
+        assert clean == []
+
+    def test_prefix_allowlist(self, flow_tree):
+        clean, _ = run_flow_passes(
+            flow_tree(self.FILES), select=SELECT,
+            allowlist=frozenset({"repro.clock.*"}))
+        assert clean == []
+
+    def test_suppression_comment_respected(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/cli.py": (
+                "import time\n\n"
+                "def _cmd_replay(args):\n"
+                "    return time.monotonic()  # lint: disable=flow/determinism\n"
+            ),
+        })
+        assert violations == []

@@ -1,0 +1,260 @@
+"""flow/lock-discipline tests: mixed guarded/unguarded mutations,
+Condition aliasing, guard inference for private helpers, the *_locked
+convention, and acquisition-order findings."""
+
+from repro.analysis.flow import run_flow_passes
+
+SELECT = ["flow/lock-discipline"]
+
+
+def run(flow_tree, files):
+    violations, _stats = run_flow_passes(flow_tree(files), select=SELECT)
+    return violations
+
+
+class TestMixedMutation:
+    def test_planted_unguarded_write_in_runtime(self, flow_tree):
+        # The acceptance-criteria defect: an attribute written outside
+        # its inferred lock in repro.runtime.
+        violations = run(flow_tree, {
+            "src/repro/runtime/state.py": (
+                "import threading\n\n"
+                "class Counter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.total = 0\n\n"
+                "    def bump(self):\n"
+                "        with self._lock:\n"
+                "            self.total += 1\n\n"
+                "    def reset(self):\n"
+                "        self.total = 0\n"
+            ),
+        })
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.rule == "flow/lock-discipline"
+        assert "self.total" in v.message and "reset" in v.message
+        assert v.path.endswith("state.py") and v.line == 13
+
+    def test_init_writes_exempt(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/state.py": (
+                "import threading\n\n"
+                "class Counter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.total = 0\n\n"
+                "    def bump(self):\n"
+                "        with self._lock:\n"
+                "            self.total += 1\n"
+            ),
+        })
+        assert violations == []
+
+    def test_attr_never_guarded_not_flagged(self, flow_tree):
+        # A single-threaded attribute in a lock-owning class: only
+        # flagged when it is *also* mutated under the lock somewhere.
+        violations = run(flow_tree, {
+            "src/repro/runtime/state.py": (
+                "import threading\n\n"
+                "class Counter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._seq = 0\n"
+                "        self._items = []\n\n"
+                "    def bump(self):\n"
+                "        self._seq += 1\n\n"
+                "    def store(self, item):\n"
+                "        with self._lock:\n"
+                "            self._items.append(item)\n"
+            ),
+        })
+        assert violations == []
+
+    def test_mutator_method_call_counts_as_write(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/state.py": (
+                "import threading\n\n"
+                "class Buffer:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n\n"
+                "    def add(self, item):\n"
+                "        with self._lock:\n"
+                "            self._items.append(item)\n\n"
+                "    def sneak(self, item):\n"
+                "        self._items.append(item)\n"
+            ),
+        })
+        assert len(violations) == 1 and "sneak" in violations[0].message
+
+
+class TestConditionAliasing:
+    def test_condition_backed_region_counts_as_guarded(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/queue.py": (
+                "import threading\n\n"
+                "class Q:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._not_empty = threading.Condition(self._lock)\n"
+                "        self._items = []\n\n"
+                "    def put(self, item):\n"
+                "        with self._lock:\n"
+                "            self._items.append(item)\n\n"
+                "    def take(self):\n"
+                "        with self._not_empty:\n"
+                "            return self._items.pop()\n"
+            ),
+        })
+        assert violations == []
+
+
+class TestGuardInference:
+    def test_private_helper_inherits_guard_from_call_sites(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/rate.py": (
+                "import threading\n\n"
+                "class Limiter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._tokens = 0\n\n"
+                "    def _refill(self):\n"
+                "        self._tokens += 1\n\n"
+                "    def acquire(self):\n"
+                "        with self._lock:\n"
+                "            self._refill()\n"
+                "            self._tokens -= 1\n"
+            ),
+        })
+        assert violations == []
+
+    def test_one_unguarded_site_breaks_the_inference(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/rate.py": (
+                "import threading\n\n"
+                "class Limiter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._tokens = 0\n\n"
+                "    def _refill(self):\n"
+                "        self._tokens += 1\n\n"
+                "    def acquire(self):\n"
+                "        with self._lock:\n"
+                "            self._refill()\n"
+                "            self._tokens -= 1\n\n"
+                "    def leak(self):\n"
+                "        self._refill()\n"
+            ),
+        })
+        assert len(violations) == 1
+        assert "self._tokens" in violations[0].message
+
+
+class TestLockedConvention:
+    def test_unguarded_locked_call_flagged(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/q.py": (
+                "import threading\n\n"
+                "class Q:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n\n"
+                "    def _admit_locked(self, item):\n"
+                "        self._items.append(item)\n\n"
+                "    def offer(self, item):\n"
+                "        with self._lock:\n"
+                "            self._admit_locked(item)\n\n"
+                "    def sneak(self, item):\n"
+                "        self._admit_locked(item)\n"
+            ),
+        })
+        assert len(violations) == 1
+        assert "_admit_locked" in violations[0].message
+        assert "sneak" in violations[0].message
+
+
+class TestAcquisitionOrder:
+    def test_inconsistent_order_flagged(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/two.py": (
+                "import threading\n\n"
+                "class Two:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n\n"
+                "    def ab(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                pass\n\n"
+                "    def ba(self):\n"
+                "        with self._b:\n"
+                "            with self._a:\n"
+                "                pass\n"
+            ),
+        })
+        order = [v for v in violations if "inconsistent lock order" in v.message]
+        assert len(order) == 1
+        assert "self._a" in order[0].message and "self._b" in order[0].message
+
+    def test_reacquiring_nonreentrant_lock_flagged(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/two.py": (
+                "import threading\n\n"
+                "class Once:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n\n"
+                "    def again(self):\n"
+                "        with self._lock:\n"
+                "            with self._lock:\n"
+                "                pass\n"
+            ),
+        })
+        assert len(violations) == 1 and "deadlock" in violations[0].message
+
+    def test_rlock_reacquisition_allowed(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/two.py": (
+                "import threading\n\n"
+                "class Re:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.RLock()\n\n"
+                "    def again(self):\n"
+                "        with self._lock:\n"
+                "            with self._lock:\n"
+                "                pass\n"
+            ),
+        })
+        assert violations == []
+
+    def test_call_into_reacquiring_method_flagged(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/two.py": (
+                "import threading\n\n"
+                "class Deep:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n\n"
+                "    def outer(self):\n"
+                "        with self._lock:\n"
+                "            self.inner()\n\n"
+                "    def inner(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+            ),
+        })
+        assert any("deadlock" in v.message for v in violations)
+
+
+class TestLockReassignment:
+    def test_lock_swapped_outside_init_flagged(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/swap.py": (
+                "import threading\n\n"
+                "class Swap:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n\n"
+                "    def rotate(self):\n"
+                "        self._lock = threading.Lock()\n"
+            ),
+        })
+        assert len(violations) == 1 and "reassigned" in violations[0].message

@@ -1,0 +1,149 @@
+"""flow/registry-drift tests: FAULT_POINTS vs planted call sites and
+emitted metric names vs the documented catalog, in both directions."""
+
+from repro.analysis.flow import run_flow_passes
+
+SELECT = ["flow/registry-drift"]
+
+FAULTPOINTS_HEADER = (
+    "def fault_point(name, value=None):\n"
+    "    return value\n"
+)
+
+
+def run(flow_tree, files):
+    violations, _stats = run_flow_passes(flow_tree(files), select=SELECT)
+    return violations
+
+
+def registry(entries: dict) -> str:
+    body = "".join(f'    "{k}": "{v}",\n' for k, v in entries.items())
+    return "FAULT_POINTS = {\n" + body + "}\n\n" + FAULTPOINTS_HEADER
+
+
+class TestFaultPoints:
+    def test_planted_entry_with_no_call_site(self, flow_tree):
+        # The acceptance-criteria defect: a registered fault point
+        # nothing plants.
+        violations = run(flow_tree, {
+            "src/repro/testing/faultpoints.py": registry({
+                "runtime.worker.score": "runtime/worker",
+                "runtime.ghost.never": "runtime/ghost",
+            }),
+            "src/repro/runtime/worker.py": (
+                "from repro.testing.faultpoints import fault_point\n\n"
+                "def score(x):\n"
+                "    return fault_point(\"runtime.worker.score\", x)\n"
+            ),
+        })
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.rule == "flow/registry-drift"
+        assert "runtime.ghost.never" in v.message
+        assert v.path.endswith("faultpoints.py")
+
+    def test_point_planted_in_wrong_module(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/testing/faultpoints.py": registry({
+                "runtime.worker.score": "runtime/worker",
+            }),
+            "src/repro/llm/cache.py": (
+                "from repro.testing.faultpoints import fault_point\n\n"
+                "def load(x):\n"
+                "    return fault_point(\"runtime.worker.score\", x)\n"
+            ),
+        })
+        assert len(violations) == 1
+        assert "planted only in" in violations[0].message
+
+    def test_consistent_registry_clean(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/testing/faultpoints.py": registry({
+                "runtime.worker.score": "runtime/worker",
+            }),
+            "src/repro/runtime/worker.py": (
+                "from repro.testing.faultpoints import fault_point\n\n"
+                "def score(x):\n"
+                "    return fault_point(\"runtime.worker.score\", x)\n"
+            ),
+        })
+        assert violations == []
+
+
+CATALOG = (
+    "METRIC_NAMES = frozenset({\n"
+    "    \"runtime.windows\",\n"
+    "})\n"
+    "METRIC_TEMPLATES = frozenset({\n"
+    "    \"*.batches\",\n"
+    "})\n"
+)
+
+EMITTER = (
+    "from repro.obs import get_registry\n\n"
+    "def observe(prefix):\n"
+    "    registry = get_registry()\n"
+    "    registry.counter(\"runtime.windows\").inc()\n"
+    "    registry.counter(f\"{prefix}.batches\").inc()\n"
+)
+
+
+class TestMetricCatalog:
+    def test_consistent_catalog_clean(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/obs/catalog.py": CATALOG,
+            "src/repro/runtime/stats.py": EMITTER,
+        })
+        assert violations == []
+
+    def test_emitted_but_undocumented(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/obs/catalog.py": CATALOG,
+            "src/repro/runtime/stats.py": EMITTER.replace(
+                "runtime.windows", "runtime.rogue"),
+        })
+        messages = [v.message for v in violations]
+        assert any("runtime.rogue" in m and "missing from the documented" in m
+                   for m in messages)
+        assert any("'runtime.windows'" in m and "never emitted" in m
+                   for m in messages)
+
+    def test_documented_but_never_emitted(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/obs/catalog.py": CATALOG,
+            "src/repro/runtime/stats.py": EMITTER.replace(
+                "    registry.counter(\"runtime.windows\").inc()\n", ""),
+        })
+        assert len(violations) == 1
+        v = violations[0]
+        assert "never emitted" in v.message and v.path.endswith("catalog.py")
+
+    def test_template_drift_both_directions(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/obs/catalog.py": CATALOG,
+            "src/repro/runtime/stats.py": EMITTER.replace(
+                "{prefix}.batches", "{prefix}.windows_seen"),
+        })
+        messages = [v.message for v in violations]
+        assert any("*.windows_seen" in m and "missing from the documented" in m
+                   for m in messages)
+        assert any("'*.batches'" in m and "never emitted" in m
+                   for m in messages)
+
+    def test_non_repro_trees_out_of_scope(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/obs/catalog.py": CATALOG,
+            "src/repro/runtime/stats.py": EMITTER,
+            "benchmarks/bench_thing.py": (
+                "from repro.obs import get_registry\n\n"
+                "def main():\n"
+                "    get_registry().counter(\"bench.custom\").inc()\n"
+            ),
+        })
+        assert violations == []
+
+    def test_no_catalog_no_findings(self, flow_tree):
+        violations = run(flow_tree, {
+            "src/repro/runtime/stats.py": EMITTER,
+        })
+        assert violations == []

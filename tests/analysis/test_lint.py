@@ -513,3 +513,177 @@ class TestFaultPointAllowlist:
 
         violations = lint_paths([Path("src")], select=self.SELECT)
         assert violations == []
+
+
+class TestExceptDedup:
+    def test_bare_except_with_noop_body_one_finding(self):
+        text = (
+            "try:\n"
+            "    risky()\n"
+            "except:\n"
+            "    pass\n"
+        )
+        assert codes(text, select=["blanket-except", "silent-except"]) == [
+            "blanket-except"
+        ]
+
+    def test_blanket_exception_with_noop_body_one_finding(self):
+        text = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert codes(text, select=["blanket-except", "silent-except"]) == [
+            "blanket-except"
+        ]
+
+    def test_specific_silent_handler_still_flagged(self):
+        text = (
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    pass\n"
+        )
+        assert codes(text, select=["blanket-except", "silent-except"]) == [
+            "silent-except"
+        ]
+
+
+class TestStableOrdering:
+    def test_findings_sorted_by_path_line_col_rule(self, tmp_path):
+        (tmp_path / "b.py").write_text(
+            "import time\n"
+            "def f(x=[]):\n"
+            "    return time.time()\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "a.py").write_text(
+            "def g(y={}):\n    return y\n", encoding="utf-8",
+        )
+        violations = lint_paths([tmp_path / "b.py", tmp_path / "a.py"])
+        keys = [(v.path, v.line, v.col, v.rule) for v in violations]
+        assert keys == sorted(keys)
+        assert [v.rule for v in violations] == [
+            "mutable-default-arg", "mutable-default-arg", "wall-clock-call",
+        ]
+
+
+class TestDirectoryExemptions:
+    def test_benchmarks_exempt_from_wall_clock(self, tmp_path):
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "bench_x.py").write_text(
+            "import time\n\ndef run():\n    return time.perf_counter()\n",
+            encoding="utf-8",
+        )
+        assert lint_paths([bench]) == []
+
+    def test_exemption_is_per_rule(self, tmp_path):
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "bench_x.py").write_text(
+            "def run(x=[]):\n    return x\n", encoding="utf-8",
+        )
+        assert [v.rule for v in lint_paths([bench])] == ["mutable-default-arg"]
+
+    def test_other_trees_still_checked(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import time\n\ndef run():\n    return time.perf_counter()\n",
+            encoding="utf-8",
+        )
+        assert [v.rule for v in lint_paths([tmp_path])] == ["wall-clock-call"]
+
+
+class TestNonexistentPath:
+    def test_lint_paths_raises(self):
+        import pytest
+
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            lint_paths(["definitely/not/here"])
+
+    def test_cli_exits_nonzero_with_clear_error(self, capsys):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "definitely/not/here"])
+        assert "path does not exist: definitely/not/here" in str(excinfo.value)
+
+    def test_cli_mixed_good_and_bad_paths_still_errors(self):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["lint", "src/repro/analysis", "definitely/not/here"])
+
+
+class TestCliFlowIntegration:
+    def test_list_rules_includes_flow_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "flow/determinism" in out
+        assert "flow/lock-discipline" in out
+        assert "flow/registry-drift" in out
+
+    def test_select_flow_wildcard_runs_clean_on_src(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "src", "--select", "flow/*"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_flow_selector_errors(self, capsys):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="flow/nope"):
+            main(["lint", "src/repro/analysis", "--select", "flow/nope"])
+
+    def test_format_json_parses_and_exits_by_violations(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["violations"] == 1
+        assert payload["violations"][0]["rule"] == "mutable-default-arg"
+
+    def test_format_sarif_parses(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        assert main(["lint", str(bad), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"][0]["ruleId"] == "mutable-default-arg"
+
+    def test_baseline_roundtrip_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_write_baseline_requires_baseline_path(self):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="requires --baseline"):
+            main(["lint", "src/repro/analysis", "--write-baseline"])

@@ -1,0 +1,102 @@
+"""Shape propagation edge cases: broadcast compatibility (symbolic and
+zero-size dims), rank-0 inputs, and symbolic batch dims flowing through
+the fused recurrent kernels."""
+
+from repro.analysis.shapes import broadcast_shapes, propagate, symbolic_input
+from repro.nn import GRU, LSTM, BiLSTM, Linear, ReLU, Sequential
+
+
+def errors(findings):
+    return [f for f in findings if f.severity.name == "ERROR"]
+
+
+class TestBroadcast:
+    def test_equal_shapes_pass_through(self):
+        shape, findings = broadcast_shapes((4, 8), (4, 8))
+        assert shape == (4, 8) and findings == []
+
+    def test_one_broadcasts(self):
+        shape, findings = broadcast_shapes(("B", 1, 8), (1, 5, 8))
+        assert shape == ("B", 5, 8) and findings == []
+
+    def test_rank_difference_right_aligns(self):
+        shape, findings = broadcast_shapes((8,), (3, 5, 8))
+        assert shape == (3, 5, 8) and findings == []
+
+    def test_rank0_broadcasts_against_anything(self):
+        shape, findings = broadcast_shapes((), ("B", 8))
+        assert shape == ("B", 8) and findings == []
+
+    def test_incompatible_concrete_dims(self):
+        shape, findings = broadcast_shapes((3, 8), (4, 8))
+        assert shape is None
+        assert len(findings) == 1
+        assert "not broadcast-compatible" in findings[0].message
+        assert "3 vs 4" in findings[0].message
+
+    def test_zero_dim_is_incompatible_with_nonone(self):
+        shape, findings = broadcast_shapes((0, 8), (5, 8))
+        assert shape is None and len(findings) == 1
+
+    def test_zero_dim_broadcasts_with_one(self):
+        shape, findings = broadcast_shapes((0, 8), (1, 8))
+        assert shape == (0, 8) and findings == []
+
+    def test_symbol_pairs_with_concrete_dim(self):
+        shape, findings = broadcast_shapes(("B", 8), (16, 8))
+        assert shape == (16, 8) and findings == []
+
+    def test_equal_symbols_kept(self):
+        shape, findings = broadcast_shapes(("B", 8), ("B", 1))
+        assert shape == ("B", 8) and findings == []
+
+
+class TestDegenerateInputs:
+    def test_rank0_into_linear_is_mismatch(self):
+        shape, findings = propagate(Linear(8, 4), ())
+        assert shape is None and len(errors(findings)) == 1
+
+    def test_zero_batch_flows_through_linear(self):
+        shape, findings = propagate(Linear(8, 4), (0, 8))
+        assert shape == (0, 4) and findings == []
+
+    def test_rank2_into_lstm_is_mismatch(self):
+        lstm = LSTM(input_size=8, hidden_size=6)
+        shape, findings = propagate(lstm, ("B", 8))
+        assert shape is None and len(errors(findings)) == 1
+
+
+class TestSymbolicBatchThroughFusedKernels:
+    def test_lstm_keeps_symbolic_batch_and_seq(self):
+        lstm = LSTM(input_size=8, hidden_size=6)
+        shape, findings = propagate(lstm, ("B", "T", 8))
+        assert shape == ("B", "T", 6) and findings == []
+
+    def test_gru_keeps_symbolic_batch(self):
+        gru = GRU(input_size=8, hidden_size=5)
+        shape, findings = propagate(gru, ("B", 12, 8))
+        assert shape == ("B", 12, 5) and findings == []
+
+    def test_bilstm_doubles_hidden(self):
+        bilstm = BiLSTM(input_size=8, hidden_size=6)
+        shape, findings = propagate(bilstm, ("B", "T", 8))
+        assert shape == ("B", "T", 12) and findings == []
+
+    def test_symbolic_batch_through_recurrent_stack(self):
+        stack = Sequential(
+            LSTM(input_size=8, hidden_size=6),
+            ReLU(),
+            Linear(6, 2),
+        )
+        shape, findings = propagate(stack, symbolic_input(stack))
+        assert shape == ("B", "T", 2) and findings == []
+
+    def test_mismatched_stack_reports_and_stops(self):
+        stack = Sequential(
+            LSTM(input_size=8, hidden_size=6),
+            Linear(7, 2),       # wrong: LSTM emits 6 features
+        )
+        shape, findings = propagate(stack, ("B", "T", 8))
+        assert shape is None
+        assert len(errors(findings)) == 1
+        assert "in_features=7" in findings[0].message

@@ -1,0 +1,123 @@
+"""Symbol table tests: module naming, import aliases (absolute,
+relative, deferred into function bodies), re-export chains through
+package ``__init__`` files, and method lookup through project bases."""
+
+from repro.analysis.symbols import SymbolTable, module_name_for, parse_files
+
+
+def build(make_tree, files):
+    root = make_tree(files)
+    return SymbolTable.build(parse_files(sorted(str(p) for p in root.rglob("*.py"))))
+
+
+class TestModuleNaming:
+    def test_package_files_get_dotted_names(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/sub/mod.py": "def f():\n    pass\n",
+        })
+        assert "pkg.sub.mod" in table.modules
+        assert "pkg.sub.mod.f" in table.functions
+
+    def test_init_names_its_package(self, make_tree):
+        root = make_tree({"src/pkg/mod.py": "x = 1\n"})
+        assert module_name_for(root / "src/pkg/__init__.py") == "pkg"
+
+    def test_standalone_script_keeps_stem(self, make_tree):
+        table = build(make_tree, {"benchmarks/bench_thing.py": "def main():\n    pass\n"})
+        assert "bench_thing" in table.modules
+
+    def test_stem_collision_qualifies_by_directory(self, make_tree):
+        table = build(make_tree, {
+            "benchmarks/run.py": "def a():\n    pass\n",
+            "examples/run.py": "def b():\n    pass\n",
+        })
+        assert "run" in table.modules and "examples.run" in table.modules
+
+
+class TestImports:
+    def test_deferred_function_body_import_is_seen(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/a.py": "def helper():\n    return 1\n",
+            "src/pkg/b.py": (
+                "def use():\n"
+                "    from pkg.a import helper\n"
+                "    return helper()\n"
+            ),
+        })
+        module = table.modules["pkg.b"]
+        assert table.resolve(module, "helper") == "pkg.a.helper"
+
+    def test_relative_import_resolves(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/sub/a.py": "def f():\n    pass\n",
+            "src/pkg/sub/b.py": "from .a import f\n",
+            "src/pkg/c.py": "from .sub.a import f as g\n",
+        })
+        assert table.resolve(table.modules["pkg.sub.b"], "f") == "pkg.sub.a.f"
+        assert table.resolve(table.modules["pkg.c"], "g") == "pkg.sub.a.f"
+
+    def test_reexport_chain_through_package_init(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/engine.py": "class Engine:\n    def __init__(self):\n        pass\n",
+            "src/pkg/__init__.py": "from .engine import Engine\n",
+            "src/other.py": "import pkg\n\ndef use():\n    return pkg.Engine()\n",
+        })
+        module = table.modules["other"]
+        assert table.resolve(module, "pkg.Engine") == "pkg.engine.Engine"
+
+    def test_class_method_via_dotted_name(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/engine.py": (
+                "class Engine:\n"
+                "    def start(self):\n"
+                "        pass\n"
+            ),
+            "src/pkg/__init__.py": "from .engine import Engine\n",
+        })
+        module = table.modules["pkg"]
+        assert table.resolve(module, "Engine.start") == "pkg.engine.Engine.start"
+
+    def test_external_names_resolve_to_none(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/a.py": "import numpy as np\n\ndef f():\n    return np.zeros(3)\n",
+        })
+        assert table.resolve(table.modules["pkg.a"], "np.zeros") is None
+
+
+class TestClassMethodLookup:
+    def test_inherited_method_found_through_project_base(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/base.py": "class Base:\n    def shared(self):\n        pass\n",
+            "src/pkg/child.py": (
+                "from pkg.base import Base\n\n"
+                "class Child(Base):\n"
+                "    def own(self):\n"
+                "        pass\n"
+            ),
+        })
+        found = table.class_method("pkg.child.Child", "shared")
+        assert found is not None and found.qualname == "pkg.base.Base.shared"
+
+    def test_missing_method_returns_none(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/base.py": "class Base:\n    pass\n",
+        })
+        assert table.class_method("pkg.base.Base", "nope") is None
+
+    def test_inheritance_cycle_does_not_hang(self, make_tree):
+        table = build(make_tree, {
+            "src/pkg/a.py": (
+                "class A(B):\n    pass\n\n"
+                "class B(A):\n    pass\n"
+            ),
+        })
+        assert table.class_method("pkg.a.A", "anything") is None
+
+
+class TestStats:
+    def test_counts_are_deterministic(self, make_tree):
+        files = {
+            "src/pkg/a.py": "def f():\n    pass\n\nclass C:\n    def m(self):\n        pass\n",
+        }
+        first = build(make_tree, files).stats()
+        assert first == {"modules": 2, "classes": 1, "functions": 2}
