@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 smoke check: static gate (compileall + project linter), a fast
 # model audit, a quick op-profiler run, a seconds-scale fused-kernel
-# throughput sanity pass, a deterministic 2-shard runtime replay over
+# throughput sanity pass, a day-0 detector-portfolio floor check plus a
+# seeded detectors fuzz episode, a deterministic 2-shard runtime replay over
 # the bundled sample stream (must produce reports and non-empty
 # metrics), a seeded fault-injection fuzz pass (twice — the violation
 # report must be byte-identical, with the unarmed-hook overhead guard),
@@ -46,6 +47,13 @@ PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
 # Provider middleware stack: warm cache + coalescing must cut upstream
 # LLM calls versus the cache-cold baseline.
 PYTHONPATH=src python benchmarks/bench_llm_traffic.py --smoke
+
+# Day-0 detector portfolio: on a never-catalogued system with no
+# trained model the unsupervised ensemble must clear its F1 floor,
+# and the detectors fuzz suite must hold end to end.
+PYTHONPATH=src python benchmarks/bench_detectors.py --smoke
+PYTHONPATH=src python -m repro.cli fuzz --episodes 1 --seed 7 \
+    --suite detectors >/dev/null
 
 replay_out="$(mktemp)"
 replay_metrics="$(mktemp)"

@@ -16,6 +16,7 @@ __all__ = [
     "BlanketExceptRule", "SilentExceptRule", "ModuleSuperInitRule",
     "ForwardConventionsRule", "DirectThreadRule", "PerTimestepLoopRule",
     "FaultPointAllowlistRule", "DirectLLMCallRule",
+    "DetectorOutsideRegistryRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -473,4 +474,40 @@ class ForwardConventionsRule(LintRule):
                          and func.value.id == "self")):
             self.report(node, "call the module directly instead of .forward()",
                         hint="module(x) routes through __call__; .forward() skips it")
+        self.generic_visit(node)
+
+
+@register_rule
+class DetectorOutsideRegistryRule(LintRule):
+    """Detectors are a portfolio, not a convenience: a class with a
+    ``score_window`` method defined outside :mod:`repro.detectors` can
+    never be reached by ``--detectors`` specs, gets no per-member obs
+    counters, and silently skips the ensemble's warmup/degradation
+    contract.  New members belong in ``repro.detectors`` with a
+    ``DETECTOR_BUILDERS`` registration.  Tests and benchmarks may define
+    ad-hoc scorers."""
+
+    name = "detector-outside-registry"
+    description = "classes with a score_window method belong in repro.detectors"
+    hint = ("move the detector into repro.detectors and register it in "
+            "DETECTOR_BUILDERS (or suppress with "
+            "# lint: disable=detector-outside-registry)")
+
+    # Path fragments (posix-normalized) exempt from the rule.
+    _ALLOWED_FRAGMENTS = ("repro/detectors/", "tests/", "benchmarks/")
+
+    def _exempt(self) -> bool:
+        path = self.source.path.replace("\\", "/")
+        return any(fragment in path for fragment in self._ALLOWED_FRAGMENTS)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._exempt():
+            scorer = next((item for item in node.body
+                           if isinstance(item, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef))
+                           and item.name == "score_window"), None)
+            if scorer is not None:
+                self.report(scorer,
+                            f"{node.name}.score_window defines a detector "
+                            f"outside the repro.detectors registry")
         self.generic_visit(node)

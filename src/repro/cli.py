@@ -249,17 +249,31 @@ def _build_runtime(args: argparse.Namespace, *, threaded: bool, **extra):
 
     With ``--model-dir`` the runtime scores through a saved LogSynergy
     pipeline; without it, a deterministic synthetic worker stands in so
-    the runtime path can be exercised with no trained artifacts.
+    the runtime path can be exercised with no trained artifacts.  With
+    ``--detectors`` the runtime fronts an unsupervised ensemble instead
+    (day-0 capable: no trained model required); ``--model-dir`` then
+    loads the pipeline the ensemble's ``model`` member wraps.
     """
     from .runtime import InferenceRuntime, SyntheticWorker, message_pattern
 
     common = dict(shards=args.shards, window=args.window, step=args.step,
                   max_batch=args.max_batch, threaded=threaded, **extra)
+    model = None
     if args.model_dir:
         from .core import LogSynergy
 
         llm, _ = _resolve_llm(args, args.seed)
         model = LogSynergy.load_pipeline(args.model_dir, llm=llm)
+    if getattr(args, "detectors", None):
+        from .detectors import ensemble_from_spec
+
+        try:
+            ensemble = ensemble_from_spec(args.detectors, pipeline=model,
+                                          seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(f"--detectors: {exc}")
+        return InferenceRuntime.from_ensemble(ensemble, **common)
+    if model is not None:
         return InferenceRuntime.from_model(model, **common)
     return InferenceRuntime(
         lambda index: SyntheticWorker(threshold=args.threshold),
@@ -553,6 +567,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--model-dir", default=None,
                          help="saved pipeline directory (omit for the "
                               "deterministic synthetic worker)")
+        sub.add_argument("--detectors", default=None, metavar="SPEC",
+                         help="run an unsupervised detector ensemble instead "
+                              "of a single worker, e.g. ewma,lof:vote or "
+                              "ewma,lof,rules,model:max (the model member "
+                              "loads --model-dir when given)")
         sub.add_argument("--shards", type=int, default=1)
         sub.add_argument("--max-batch", type=int, default=16)
         sub.add_argument("--threshold", type=float, default=0.5,
@@ -613,7 +632,8 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0,
                       help="base seed; episode seeds derive deterministically")
     fuzz.add_argument("--suite", default="all",
-                      choices=["all", "replay", "llm", "trainer", "fuzzer"],
+                      choices=["all", "replay", "llm", "trainer", "fuzzer",
+                               "detectors"],
                       help="invariant suite to check each episode against")
     fuzz.add_argument("--out", default=None, metavar="PATH",
                       help="write the (byte-deterministic) report here too")

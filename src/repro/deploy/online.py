@@ -92,21 +92,31 @@ class _LibraryView:
 
 
 class OnlineService:
-    """Production-shaped online anomaly detection around a fitted model."""
+    """Production-shaped online anomaly detection around a fitted model.
 
-    def __init__(self, model: LogSynergy, router: AlertRouter | None = None,
+    With ``ensemble=`` the service instead fronts a
+    :class:`repro.detectors.Ensemble` (the learned model, when loaded,
+    rides along as the ensemble's ``model`` member): the runtime runs
+    ungated so the statistical members see every window.  ``model`` may
+    then be ``None`` — a day-0 deployment has nothing to load.
+    """
+
+    def __init__(self, model: LogSynergy | None, router: AlertRouter | None = None,
                  buffer_capacity: int = 50_000, window: int = 10, step: int = 5,
                  max_patterns: int = 100_000,
                  registry: MetricsRegistry | None = None,
-                 shards: int = 1, max_batch: int = 16):
-        if model.model is None:
-            raise ValueError("OnlineService requires a fitted LogSynergy model")
+                 shards: int = 1, max_batch: int = 16,
+                 ensemble=None):
+        if ensemble is None and (model is None or model.model is None):
+            raise ValueError("OnlineService requires a fitted LogSynergy model "
+                             "(or an ensemble)")
         # Import here, not at module level: repro.runtime is a downstream
         # consumer of this package's submodules (formatter, pattern
         # library), so the package imports must stay one-directional.
         from ..runtime import InferenceRuntime
 
         self.model = model
+        self.ensemble = ensemble
         self.router = router or AlertRouter()
         if registry is None:
             active = get_registry()
@@ -124,12 +134,17 @@ class OnlineService:
         self._latency = registry.histogram(
             "service.window_seconds", boundaries=LATENCY_BUCKETS
         )
-        self.runtime = InferenceRuntime.from_model(
-            model, shards=shards, window=window, step=step,
+        runtime_options = dict(
+            shards=shards, window=window, step=step,
             max_batch=max_batch, max_latency=None,
             queue_capacity=buffer_capacity, backpressure="block",
             max_patterns=max_patterns, registry=registry, prefix="service",
         )
+        if ensemble is not None:
+            self.runtime = InferenceRuntime.from_ensemble(
+                ensemble, **runtime_options)
+        else:
+            self.runtime = InferenceRuntime.from_model(model, **runtime_options)
         self._library_view = _LibraryView(self.runtime)
 
     @property

@@ -1,0 +1,33 @@
+"""Unsupervised detector portfolio + ensemble combiner.
+
+The day-0 answer to "the learned model has never seen this system":
+cheap statistical detectors over substrates the repo already has —
+window arrival rates (EWMA), pre-trained embedding geometry (LOF-lite),
+operational failure vocabulary (rules), plus the learned model itself
+as one member among equals — combined by :class:`Ensemble` in front of
+the serving runtime.  See DESIGN.md §11 for the portfolio contract,
+the scenario catalog, and the day-0 story.
+"""
+
+from .base import Detector, DetectorError, calibrate, window_span_seconds
+from .ensemble import ENSEMBLE_MODES, Ensemble, LogisticStacker
+from .ewma import EwmaRateDetector
+from .lof import LofLiteDetector
+from .model import ModelDetector
+from .registry import (
+    DEFAULT_DETECTORS_SPEC,
+    DETECTOR_BUILDERS,
+    build_detector,
+    ensemble_from_spec,
+    parse_detectors_spec,
+)
+from .rules import FAILURE_TOKENS, RuleDetector
+
+__all__ = [
+    "Detector", "DetectorError", "calibrate", "window_span_seconds",
+    "EwmaRateDetector", "LofLiteDetector", "RuleDetector", "ModelDetector",
+    "FAILURE_TOKENS",
+    "Ensemble", "LogisticStacker", "ENSEMBLE_MODES",
+    "DETECTOR_BUILDERS", "DEFAULT_DETECTORS_SPEC",
+    "parse_detectors_spec", "build_detector", "ensemble_from_spec",
+]

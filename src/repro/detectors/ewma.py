@@ -1,0 +1,94 @@
+"""EWMA rate-spike detector: flags volume storms from window counts.
+
+The only signal is the window's arrival rate — lines per second derived
+from the first/last record timestamps — so this member catches the one
+anomaly class the semantic detectors are blind to: a storm of perfectly
+normal-looking messages arriving far too fast.  Per system it keeps an
+exponentially-weighted mean/variance of the log-rate and scores each
+window by its positive z-score.  Log-rate rather than raw rate keeps
+the statistic symmetric across traffic levels (an 8x storm is the same
++2.08 shift whether the baseline is 1 or 100 lines/sec), which is what
+lets one calibration serve every system profile.
+
+Spike windows are excluded from the baseline update (the value is
+clipped to ``mean + clip_sigma * std`` before folding in) so a
+multi-window storm cannot poison its own baseline; slow seasonal drift
+still tracks through the EWMA itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Detector, calibrate, window_span_seconds
+
+__all__ = ["EwmaRateDetector"]
+
+_EPS = 1e-9
+
+
+class _RateState:
+    """Per-system EWMA of log-rate mean and variance."""
+
+    __slots__ = ("mean", "var", "count")
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+
+
+class EwmaRateDetector(Detector):
+    """Window-count rate-spike member (see module docstring)."""
+
+    name = "ewma"
+    warmup_windows = 4
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.15,
+        center: float = 3.0,
+        scale: float = 1.0,
+        clip_sigma: float = 3.0,
+        min_std: float = 0.2,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.center = center
+        self.scale = scale
+        self.clip_sigma = clip_sigma
+        # Floor on the deviation denominator: early in a stream the EWMA
+        # variance is built from a handful of samples and can collapse
+        # toward zero, turning ordinary jitter into huge z-scores.
+        self.min_std = min_std
+        self._states: dict[str, _RateState] = {}
+
+    @staticmethod
+    def _log_rate(window: list) -> float:
+        if len(window) < 2:
+            return 0.0
+        span = window_span_seconds(window)
+        rate = (len(window) - 1) / max(span, _EPS)
+        return math.log(max(rate, _EPS))
+
+    def score_window(self, system: str, window: list) -> float:
+        state = self._states.setdefault(system, _RateState())
+        value = self._log_rate(window)
+        if state.count == 0:
+            state.mean = value
+            state.count = 1
+            return 0.0
+        std = max(math.sqrt(max(state.var, 0.0)), self.min_std)
+        z = (value - state.mean) / std if state.count >= 2 else 0.0
+        # Clip before updating so a sustained storm cannot drag the
+        # baseline up fast enough to mask itself.
+        clipped = min(value, state.mean + self.clip_sigma * std)
+        delta = clipped - state.mean
+        state.mean += self.alpha * delta
+        state.var = (1.0 - self.alpha) * (state.var + self.alpha * delta * delta)
+        state.count += 1
+        if z <= 0.0:
+            return 0.0
+        return calibrate(z, center=self.center, scale=self.scale)

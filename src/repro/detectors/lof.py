@@ -1,0 +1,113 @@
+"""LOF-lite kNN-distance detector over ``repro.embedding`` vectors.
+
+Each window is summarized as the normalized mean of its message
+embeddings from the cached pre-trained domain encoder
+(:func:`repro.embedding.load_pretrained_encoder` — no per-system
+training, which is what makes this member usable on a day-0 system).
+Per system it keeps a bounded FIFO of recent window vectors and scores
+a new window by a local-outlier-factor ratio: the distance to its k-th
+nearest reference vector, divided by the typical k-th-neighbor distance
+seen on recent windows of the same system (a running median, so up to
+half the recent windows can be anomalous without inflating the scale).
+A window that sits inside the cloud of recent windows scores near
+ratio 1; a window full of never-seen semantics sits far outside and
+the ratio grows with the gap.
+
+The scored vector is always folded into the reference buffer — novel
+templates gradually become the new normal (drift tolerance), while a
+short planted burst cannot dominate a buffer dozens of windows deep.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+
+from .base import Detector, calibrate
+
+__all__ = ["LofLiteDetector"]
+
+_EPS = 1e-9
+
+
+class _ReferenceSet:
+    """Per-system FIFO of window vectors and recent k-NN distances."""
+
+    __slots__ = ("vectors", "distances")
+
+    def __init__(self) -> None:
+        self.vectors: list[np.ndarray] = []
+        self.distances: list[float] = []
+
+
+class LofLiteDetector(Detector):
+    """kNN-distance member over window embedding centroids."""
+
+    name = "lof"
+    warmup_windows = 6
+
+    def __init__(
+        self,
+        *,
+        k: int = 3,
+        capacity: int = 64,
+        scale_window: int = 32,
+        center: float = 2.0,
+        scale: float = 0.5,
+        encoder=None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if capacity <= k:
+            raise ValueError(f"capacity must exceed k, got {capacity} <= {k}")
+        self.k = k
+        self.capacity = capacity
+        self.scale_window = scale_window
+        self.center = center
+        self.scale = scale
+        self._encoder = encoder
+        self._references: dict[str, _ReferenceSet] = {}
+
+    @property
+    def encoder(self):
+        if self._encoder is None:
+            from repro.embedding import load_pretrained_encoder
+
+            self._encoder = load_pretrained_encoder()
+        return self._encoder
+
+    def _window_vector(self, window: list) -> np.ndarray:
+        matrix = self.encoder.encode_batch([entry.message for entry in window])
+        if matrix.shape[0] == 0:
+            return np.zeros(self.encoder.dim, dtype=np.float32)
+        vec = matrix.mean(axis=0)
+        norm = float(np.linalg.norm(vec))
+        if norm > 0:
+            vec = vec / norm
+        return vec.astype(np.float32)
+
+    def _knn_distance(self, vec: np.ndarray, refs: list[np.ndarray]) -> float:
+        stack = np.stack(refs)
+        distances = np.linalg.norm(stack - vec[None, :], axis=1)
+        distances.sort()
+        return float(distances[min(self.k, len(distances)) - 1])
+
+    def score_window(self, system: str, window: list) -> float:
+        state = self._references.setdefault(system, _ReferenceSet())
+        vec = self._window_vector(window)
+        score = 0.0
+        if len(state.vectors) > self.k:
+            distance = self._knn_distance(vec, state.vectors)
+            reference = max(statistics.median(state.distances), _EPS) \
+                if state.distances else _EPS
+            if state.distances:
+                ratio = distance / reference
+                score = calibrate(ratio, center=self.center, scale=self.scale)
+            state.distances.append(distance)
+            if len(state.distances) > self.scale_window:
+                state.distances.pop(0)
+        state.vectors.append(vec)
+        if len(state.vectors) > self.capacity:
+            state.vectors.pop(0)
+        return score

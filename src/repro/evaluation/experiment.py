@@ -153,12 +153,51 @@ class CrossSystemExperiment:
             predict_seconds=predict_seconds,
         )
 
+    def run_ensemble(self, ensemble, method_name: str | None = None) -> MethodResult:
+        """Evaluate a :class:`repro.detectors.Ensemble` on the shared splits.
+
+        The ensemble trains only on the target's own labeled windows
+        (``fit`` warms its members and, in ``stacker`` mode, trains the
+        combiner) — source systems contribute nothing, which is exactly
+        the day-0 posture the detector portfolio exists for.  Test
+        sequences are scored in split order so the members' rolling
+        per-system state mirrors a live stream.
+        """
+        self.prepare()
+        if method_name is None:
+            members = "+".join(member.name for member in ensemble.members)
+            method_name = f"Ensemble[{members}:{ensemble.mode}]"
+        start = self._clock()
+        ensemble.fit(
+            self.target,
+            [list(sequence.records) for sequence in self.target_train],
+            [sequence.label for sequence in self.target_train],
+        )
+        train_seconds = self._clock() - start
+        start = self._clock()
+        predictions = ensemble.predict_sequences(self.target, self.target_test)
+        predict_seconds = self._clock() - start
+        return MethodResult(
+            method=method_name,
+            target=self.target,
+            metrics=binary_metrics(self.test_labels, predictions),
+            train_seconds=train_seconds,
+            predict_seconds=predict_seconds,
+        )
+
     def run(self, methods: list[str], config: LogSynergyConfig | None = None) -> ExperimentResult:
-        """Evaluate a list of methods ("LogSynergy" or baseline names)."""
+        """Evaluate a list of methods ("LogSynergy", baseline names, or
+        ``detectors:<spec>`` for an unsupervised ensemble)."""
         result = ExperimentResult(target=self.target, sources=tuple(self.sources))
         for method in methods:
             if method == "LogSynergy":
                 result.results.append(self.run_logsynergy(config))
+            elif method.startswith("detectors:"):
+                from ..detectors import ensemble_from_spec
+
+                ensemble = ensemble_from_spec(method[len("detectors:"):],
+                                              seed=self.seed)
+                result.results.append(self.run_ensemble(ensemble))
             else:
                 result.results.append(self.run_baseline(method))
         return result

@@ -16,8 +16,16 @@ from .events import (
     concepts_for_system,
     normal_concepts,
 )
-from .systems import ISP_SYSTEMS, PROFILES, PUBLIC_SYSTEMS, SystemProfile, get_profile
-from .generator import LogGenerator, LogRecord, generate_logs
+from .systems import (
+    ISP_SYSTEMS,
+    PROFILES,
+    PUBLIC_SYSTEMS,
+    SystemProfile,
+    day0_profile,
+    get_profile,
+)
+from .scenarios import SCENARIOS, ScenarioProfile, get_scenario
+from .generator import VOLUME_STORM_CONCEPT, LogGenerator, LogRecord, generate_logs
 from .sequences import DEFAULT_STEP, DEFAULT_WINDOW, LogSequence, sliding_windows
 from .datasets import (
     LogDataset,
@@ -33,8 +41,10 @@ from .loader import load_records, read_raw_log_file, save_records
 __all__ = [
     "EventConcept", "EventKind", "CONCEPTS", "SYSTEM_NAMES",
     "concept_by_name", "concepts_for_system", "anomalous_concepts", "normal_concepts",
-    "SystemProfile", "PROFILES", "get_profile", "PUBLIC_SYSTEMS", "ISP_SYSTEMS",
-    "LogGenerator", "LogRecord", "generate_logs",
+    "SystemProfile", "PROFILES", "get_profile", "day0_profile",
+    "PUBLIC_SYSTEMS", "ISP_SYSTEMS",
+    "ScenarioProfile", "SCENARIOS", "get_scenario",
+    "LogGenerator", "LogRecord", "generate_logs", "VOLUME_STORM_CONCEPT",
     "LogSequence", "sliding_windows", "DEFAULT_WINDOW", "DEFAULT_STEP",
     "LogDataset", "build_dataset", "build_all_datasets", "dataset_statistics",
     "TABLE3_LINE_COUNTS",

@@ -9,16 +9,21 @@ normal traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from datetime import datetime, timedelta
 
 import numpy as np
 
 from .events import EventConcept
 from .parameters import ParameterSampler
+from .scenarios import ScenarioProfile, get_scenario
 from .systems import SystemProfile, get_profile
 
-__all__ = ["LogRecord", "LogGenerator", "generate_logs"]
+__all__ = ["LogRecord", "LogGenerator", "generate_logs", "VOLUME_STORM_CONCEPT"]
+
+# Pseudo-concept name carried by volume-storm lines: normal phrasing,
+# anomalous label, no entry in the event catalog (nothing to train on).
+VOLUME_STORM_CONCEPT = "volume_storm"
 
 
 @dataclass(frozen=True)
@@ -47,11 +52,17 @@ class LogGenerator:
     def __init__(self, profile: SystemProfile | str, seed: int = 0,
                  start_time: datetime | None = None,
                  mean_interval_seconds: float = 0.8,
-                 repeat_probability: float = 0.55):
+                 repeat_probability: float = 0.55,
+                 scenario: ScenarioProfile | str | None = None):
         if not 0.0 <= repeat_probability < 1.0:
             raise ValueError(f"repeat_probability must be in [0, 1), got {repeat_probability}")
         self.profile = profile if isinstance(profile, SystemProfile) else get_profile(profile)
+        self.scenario = get_scenario(scenario)
         self._rng = np.random.default_rng(seed)
+        # Drift rewording draws from its own stream so a template-drift
+        # scenario perturbs *phrasing only*: concept choice, labels and
+        # arrival times stay byte-identical to the undrifted run.
+        self._drift_rng = np.random.default_rng((seed, 0xD81F7))
         self._params = ParameterSampler(self._rng)
         self._clock = start_time or datetime(2023, 3, 1, 0, 0, 0)
         self._mean_interval = mean_interval_seconds
@@ -73,16 +84,21 @@ class LogGenerator:
         self._normal_weights = weights / weights.sum()
         self._pending_burst: list[EventConcept] = []
 
-    def _advance_clock(self) -> datetime:
-        delta = float(self._rng.exponential(self._mean_interval))
+    def _advance_clock(self, rate_multiplier: float = 1.0) -> datetime:
+        delta = float(self._rng.exponential(self._mean_interval / rate_multiplier))
         self._clock = self._clock + timedelta(seconds=delta)
         return self._clock
 
-    def _render(self, concept: EventConcept, anomalous: bool) -> LogRecord:
-        timestamp = self._advance_clock()
-        template = concept.phrases[self.profile.name]
+    def _render(self, concept: EventConcept, anomalous: bool, *,
+                rate_multiplier: float = 1.0,
+                label_override: bool | None = None,
+                concept_override: str | None = None) -> LogRecord:
+        timestamp = self._advance_clock(rate_multiplier)
+        template = concept.phrases[self.profile.dialect_name]
         message = self._params.fill(template)
         host = f"{self.profile.host_prefix}{int(self._rng.integers(0, 512)):03d}"
+        # Severity tracks the *phrasing* (a storm of INFO lines stays
+        # INFO); the ground-truth label may still be overridden.
         severity = self.profile.severity_labels[1 if anomalous else 0]
         stamp = timestamp.strftime(self.profile.timestamp_format)
         raw = f"{stamp} {host} {severity} {message}"
@@ -93,8 +109,8 @@ class LogGenerator:
             severity=severity,
             message=message,
             raw=raw,
-            is_anomalous=anomalous,
-            concept=concept.name,
+            is_anomalous=anomalous if label_override is None else label_override,
+            concept=concept.name if concept_override is None else concept_override,
         )
 
     def _next_concept(self) -> tuple[EventConcept, bool]:
@@ -114,17 +130,55 @@ class LogGenerator:
             return episode[0], True
         if self._last_normal is not None and self._rng.random() < self._repeat_probability:
             return self._last_normal, False
+        return self._pick_normal(), False
+
+    def _pick_normal(self) -> EventConcept:
         index = int(self._rng.choice(len(self._normal), p=self._normal_weights))
         self._last_normal = self._normal[index]
-        return self._last_normal, False
+        return self._last_normal
 
     def generate(self, n: int) -> list[LogRecord]:
-        """Generate ``n`` consecutive log records."""
+        """Generate ``n`` consecutive log records.
+
+        With a scenario configured, the stream-position fraction drives
+        the scenario's rate/storm/drift modulation (see
+        :mod:`repro.logs.scenarios`); without one, this is the plain
+        steady stream and the draw sequence is unchanged.
+        """
         if n < 0:
             raise ValueError("n must be non-negative")
-        return [self._render(*self._next_concept()) for _ in range(n)]
+        if self.scenario is None:
+            return [self._render(*self._next_concept()) for _ in range(n)]
+        # Deferred: drift.py imports LogRecord from this module.
+        from .drift import _reword_message
+
+        scenario = self.scenario
+        records = []
+        for i in range(n):
+            t = i / max(n - 1, 1)
+            rate = scenario.rate_multiplier(t)
+            if scenario.in_storm(t):
+                # Storm lines are ordinary traffic arriving too fast:
+                # normal concept, normal severity, anomalous label.
+                record = self._render(
+                    self._pick_normal(), False, rate_multiplier=rate,
+                    label_override=True, concept_override=VOLUME_STORM_CONCEPT,
+                )
+            else:
+                concept, anomalous = self._next_concept()
+                record = self._render(concept, anomalous, rate_multiplier=rate)
+            probability = scenario.drift_probability(t)
+            if probability > 0.0:
+                message = _reword_message(record.message, self._drift_rng,
+                                          probability)
+                if message != record.message:
+                    record = replace(record, message=message,
+                                     raw=record.raw.replace(record.message, message))
+            records.append(record)
+        return records
 
 
-def generate_logs(system: str, n: int, seed: int = 0) -> list[LogRecord]:
+def generate_logs(system: str, n: int, seed: int = 0,
+                  scenario: ScenarioProfile | str | None = None) -> list[LogRecord]:
     """Convenience wrapper: generate ``n`` records for ``system``."""
-    return LogGenerator(system, seed=seed).generate(n)
+    return LogGenerator(system, seed=seed, scenario=scenario).generate(n)

@@ -1,0 +1,132 @@
+"""Scenario catalog: workload shapes for the detector portfolio.
+
+A :class:`ScenarioProfile` modulates *how* a stream arrives without
+touching *what* the stream says: arrival-rate storms, gradual template
+drift, seasonal load cycles.  Both :class:`~repro.logs.generator.LogGenerator`
+and :class:`~repro.testing.fuzzer.LogStreamFuzzer` accept a scenario and
+apply the same semantics, so a detector exercised by the fuzzer sees the
+same workload shapes the generator produces:
+
+``steady``
+    The null scenario — byte-identical to passing no scenario at all.
+``volume-burst``
+    A storm of *normal-looking* lines at ``storm_rate`` times the base
+    arrival rate across ``storm_span`` (a fraction interval of the
+    stream).  Storm lines are labeled anomalous with the pseudo-concept
+    ``volume_storm`` but keep normal phrasing and severity: the only
+    tell is the arrival rate, which makes this the scenario only a
+    rate detector (EWMA) can catch.
+``template-drift``
+    Synonym drift whose per-token probability ramps linearly from 0 to
+    ``drift_peak`` over the stream (the §IV-E1 instability, made
+    gradual).  Labels are untouched — a detector that false-positives
+    on reworded normal traffic fails this workload.
+``seasonal``
+    Sinusoidal arrival-rate modulation (``seasonal_amplitude``,
+    ``seasonal_cycles`` compressed "days" per stream).  Labels are
+    untouched — the slow swing must be absorbed as the new normal,
+    unlike the step-change of a storm.
+``day0``
+    Steady traffic for a system that has *zero* training data; pair it
+    with :func:`repro.logs.systems.day0_profile` (or the fuzzer's
+    ``dialects`` mapping) so the stream speaks an existing catalog
+    dialect under a never-seen system name.
+
+Scenario time is the stream-position fraction ``t in [0, 1]`` — pure
+functions of position, so every workload stays a deterministic function
+of ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ScenarioProfile", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """One workload shape (see the module docstring for the catalog)."""
+
+    name: str
+    description: str
+    storm_span: tuple[float, float] | None = None
+    storm_rate: float = 8.0
+    drift_peak: float = 0.0
+    seasonal_amplitude: float = 0.0
+    seasonal_cycles: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.storm_span is not None:
+            low, high = self.storm_span
+            if not 0.0 <= low < high <= 1.0:
+                raise ValueError(f"invalid storm_span {self.storm_span}")
+            if self.storm_rate <= 1.0:
+                raise ValueError(f"storm_rate must exceed 1, got {self.storm_rate}")
+        if not 0.0 <= self.drift_peak <= 1.0:
+            raise ValueError(f"drift_peak must be in [0, 1], got {self.drift_peak}")
+        if not 0.0 <= self.seasonal_amplitude < 1.0:
+            raise ValueError(
+                f"seasonal_amplitude must be in [0, 1), got {self.seasonal_amplitude}")
+
+    def in_storm(self, t: float) -> bool:
+        """Whether stream position ``t`` falls inside the volume storm."""
+        if self.storm_span is None:
+            return False
+        low, high = self.storm_span
+        return low <= t < high
+
+    def rate_multiplier(self, t: float) -> float:
+        """Arrival-rate multiplier at position ``t`` (storm x seasonal)."""
+        rate = 1.0
+        if self.seasonal_amplitude > 0.0:
+            rate *= 1.0 + self.seasonal_amplitude * math.sin(
+                2.0 * math.pi * self.seasonal_cycles * t)
+        if self.in_storm(t):
+            rate *= self.storm_rate
+        return max(rate, 1e-3)
+
+    def drift_probability(self, t: float) -> float:
+        """Per-token synonym-drift probability at position ``t``."""
+        return self.drift_peak * t
+
+
+SCENARIOS: dict[str, ScenarioProfile] = {
+    "steady": ScenarioProfile(
+        name="steady",
+        description="null scenario: constant rate, no drift",
+    ),
+    "volume-burst": ScenarioProfile(
+        name="volume-burst",
+        description="8x storm of normal-looking lines mid-stream",
+        storm_span=(0.45, 0.55),
+        storm_rate=8.0,
+    ),
+    "template-drift": ScenarioProfile(
+        name="template-drift",
+        description="synonym drift ramping 0 -> 0.8 across the stream",
+        drift_peak=0.8,
+    ),
+    "seasonal": ScenarioProfile(
+        name="seasonal",
+        description="sinusoidal daily load cycle (2 compressed days)",
+        seasonal_amplitude=0.6,
+        seasonal_cycles=2.0,
+    ),
+    "day0": ScenarioProfile(
+        name="day0",
+        description="steady traffic on a zero-training-data system",
+    ),
+}
+
+
+def get_scenario(scenario: str | ScenarioProfile | None) -> ScenarioProfile | None:
+    """Resolve a scenario by name; ``None`` stays ``None`` (no scenario)."""
+    if scenario is None or isinstance(scenario, ScenarioProfile):
+        return scenario
+    try:
+        return SCENARIOS[scenario]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {scenario!r} (known: {known})") from None

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 from .events import EventKind, concepts_for_system
 
-__all__ = ["SystemProfile", "PROFILES", "get_profile", "PUBLIC_SYSTEMS", "ISP_SYSTEMS"]
+__all__ = ["SystemProfile", "PROFILES", "get_profile", "day0_profile",
+           "PUBLIC_SYSTEMS", "ISP_SYSTEMS"]
 
 PUBLIC_SYSTEMS = ("bgl", "spirit", "thunderbird")
 ISP_SYSTEMS = ("system_a", "system_b", "system_c")
@@ -46,6 +47,11 @@ class SystemProfile:
         Prefix for synthetic host names in the line header.
     severity_labels:
         (normal, anomalous) severity tags emitted in the header.
+    dialect:
+        Catalog dialect the system's messages speak, when it differs
+        from ``name``.  A day-0 system is exactly this: a never-seen
+        system name whose lines are rendered from an existing dialect's
+        templates (``None`` means ``name`` is itself the dialect).
     """
 
     name: str
@@ -55,14 +61,20 @@ class SystemProfile:
     timestamp_format: str
     host_prefix: str
     severity_labels: tuple[str, str] = ("INFO", "ERROR")
+    dialect: str | None = None
+
+    @property
+    def dialect_name(self) -> str:
+        """The event-catalog dialect this system renders phrases from."""
+        return self.dialect or self.name
 
     def normal_concepts(self):
         """Concepts of kind NORMAL available on this system."""
-        return concepts_for_system(self.name, EventKind.NORMAL)
+        return concepts_for_system(self.dialect_name, EventKind.NORMAL)
 
     def anomalous_concepts(self):
         """Concepts of kind ANOMALOUS available on this system."""
-        return concepts_for_system(self.name, EventKind.ANOMALOUS)
+        return concepts_for_system(self.dialect_name, EventKind.ANOMALOUS)
 
 
 # Line anomaly rates are calibrated (tests assert the outcome) so that the
@@ -127,6 +139,27 @@ PROFILES: dict[str, SystemProfile] = {
         severity_labels=("NOTICE", "ALERT"),
     ),
 }
+
+
+def day0_profile(name: str = "day0", dialect: str = "bgl") -> SystemProfile:
+    """A zero-training-data system: a fresh name speaking ``dialect``.
+
+    The profile mirrors the dialect's rendering knobs but carries its
+    own system name and host prefix, so routing, windowing, and detector
+    state all see a system nothing was ever trained on while the lines
+    themselves stay realistic catalog templates.
+    """
+    base = get_profile(dialect)
+    return SystemProfile(
+        name=name,
+        display_name=f"Day-0 ({base.display_name})",
+        line_anomaly_rate=base.line_anomaly_rate,
+        burst_length=base.burst_length,
+        timestamp_format=base.timestamp_format,
+        host_prefix=f"{name}-",
+        severity_labels=base.severity_labels,
+        dialect=base.dialect_name,
+    )
 
 
 def get_profile(name: str) -> SystemProfile:

@@ -37,6 +37,11 @@ METRIC_NAMES = frozenset({
     "service.model_invocations",
     "service.window_seconds",
     "service.windows_seen",
+    # repro.detectors — ensemble combiner roll-ups
+    "detectors.ensemble.anomalous",
+    "detectors.ensemble.member_errors",
+    "detectors.ensemble.stacker_fits",
+    "detectors.ensemble.windows",
     # repro.parsing — Drain template miner
     "drain.match_depth",
     "drain.messages_parsed",
@@ -83,6 +88,11 @@ METRIC_NAMES = frozenset({
 })
 
 METRIC_TEMPLATES = frozenset({
+    # repro.detectors.ensemble — per-member counters, keyed by member name
+    "detectors.*.anomalous",
+    "detectors.*.errors",
+    "detectors.*.warmups",
+    "detectors.*.windows",
     # repro.runtime.shard — per-shard service metrics, prefixed by shard id
     "*.anomalies_raised*",
     "*.batch_seconds*",

@@ -39,7 +39,14 @@ from .replay import render_reports, replay_records, report_sort_key
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingWindow
 from .supervisor import WorkerSupervisor
-from .worker import FlakyWorker, ModelWorker, SyntheticWorker, WorkerError, message_pattern
+from .worker import (
+    EnsembleWorker,
+    FlakyWorker,
+    ModelWorker,
+    SyntheticWorker,
+    WorkerError,
+    message_pattern,
+)
 
 __all__ = [
     "InferenceRuntime", "RuntimeStats",
@@ -47,7 +54,7 @@ __all__ = [
     "ShardQueue", "OFFER_OK", "OFFER_REJECTED", "OFFER_DROPPED", "OFFER_FULL",
     "MicroBatchScheduler", "PendingWindow",
     "WorkerSupervisor", "WorkerError",
-    "ModelWorker", "SyntheticWorker", "FlakyWorker", "message_pattern",
+    "ModelWorker", "SyntheticWorker", "EnsembleWorker", "FlakyWorker", "message_pattern",
     "PatternFallback",
     "replay_records", "render_reports", "report_sort_key",
 ]

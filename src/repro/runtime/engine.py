@@ -38,7 +38,7 @@ from .queues import OFFER_DROPPED, OFFER_FULL, OFFER_OK, OFFER_REJECTED, ShardQu
 from .router import ShardRouter
 from .shard import ShardState
 from .supervisor import WorkerSupervisor
-from .worker import InferenceWorker, ModelWorker
+from .worker import EnsembleWorker, InferenceWorker, ModelWorker, message_pattern
 
 __all__ = ["InferenceRuntime", "RuntimeStats"]
 
@@ -136,7 +136,8 @@ class InferenceRuntime:
                  max_patterns: int = 100_000,
                  registry: MetricsRegistry | None = None,
                  prefix: str = "runtime", spans: bool | None = None,
-                 on_report: Callable[[AnomalyReport], None] | None = None):
+                 on_report: Callable[[AnomalyReport], None] | None = None,
+                 gate: bool = True):
         if registry is None:
             active = get_registry()
             # Stats must stay readable with observability off, so fall
@@ -185,7 +186,7 @@ class InferenceRuntime:
                 max_batch=max_batch, max_latency=max_latency,
                 fallback_threshold=fallback_threshold,
                 max_patterns=max_patterns,
-                prefix=prefix, scope=scope, spans=spans,
+                prefix=prefix, scope=scope, spans=spans, gate=gate,
             ))
             self._depth_gauges.append(
                 registry.gauge(f"{prefix}.queue_depth.shard{index}")
@@ -223,6 +224,25 @@ class InferenceRuntime:
             pattern_fn = raw_pattern
         return cls(lambda index: ModelWorker(model, lock=lock),
                    pattern_fn=pattern_fn, **kwargs)
+
+    @classmethod
+    def from_ensemble(cls, ensemble, **kwargs) -> "InferenceRuntime":
+        """Build a runtime over a :class:`repro.detectors.Ensemble`.
+
+        The pattern gate is forced off: rate- and novelty-based members
+        (EWMA, LOF) derive their verdicts from per-system rolling state,
+        so memoizing a window pattern's first verdict would both starve
+        the baselines and serve stale answers.  Every window reaches the
+        ensemble; it runs its own memoization where sound (the rule
+        member's per-line pattern library).  One ensemble instance is
+        shared by all shards — per-system state plus system-sticky
+        routing keeps replay byte-identical across shard counts, and in
+        threaded mode one shared lock serializes the workers.
+        """
+        kwargs["gate"] = False
+        lock = threading.Lock() if kwargs.get("threaded") else None
+        return cls(lambda index: EnsembleWorker(ensemble, lock=lock),
+                   pattern_fn=message_pattern, **kwargs)
 
     # ------------------------------------------------------------------
     def _emit(self, report: AnomalyReport) -> None:

@@ -55,7 +55,7 @@ class ShardState:
                  fallback_threshold: float = 0.5,
                  max_patterns: int = 100_000,
                  prefix: str = "runtime", scope: str = "",
-                 spans: bool = False):
+                 spans: bool = False, gate: bool = True):
         # Local import: repro.deploy's package __init__ pulls in the online
         # service, which builds on this engine (it imports us lazily).
         from ..deploy.pattern_library import PatternLibrary
@@ -64,6 +64,11 @@ class ShardState:
             raise ValueError("window and step must be positive")
         self.index = index
         self.supervisor = supervisor
+        # Rate- and novelty-based workers (detector ensembles) must see
+        # every window: with ``gate=False`` the pattern library neither
+        # short-circuits repeats nor absorbs followers, and verdicts are
+        # not memoized.
+        self.gate = gate
         self.scheduler = MicroBatchScheduler(max_batch, max_latency)
         self.window = window
         self.step = step
@@ -126,13 +131,20 @@ class ShardState:
         self._window_index[system] = index + 1
         pattern = self._pattern_fn(window_entries)
         library = self._library_of(system)
-        cached = library.lookup(pattern)
+        cached = library.lookup(pattern) if self.gate else None
         gate_seconds = self._clock() - start
         if cached is not None:
             self._library_hits.inc()
             self._latency.observe(gate_seconds)
             return
         key = (system, pattern)
+        if not self.gate:
+            self.scheduler.add(PendingWindow(
+                system=system, index=index, window=window_entries,
+                pattern=pattern, enqueued_at=self._clock(),
+                gate_seconds=gate_seconds,
+            ))
+            return
         if key in self._awaiting:
             # Follower: the verdict is already on its way through the
             # scheduler; this window never reaches the model.
@@ -188,8 +200,9 @@ class ShardState:
                         reports: list[AnomalyReport], share: float) -> None:
         self._invocations.inc(len(batch))
         for pending, report in zip(batch, reports):
-            library = self._library_of(pending.system)
-            library.remember(pending.pattern, report.is_anomalous)
+            if self.gate:
+                library = self._library_of(pending.system)
+                library.remember(pending.pattern, report.is_anomalous)
             self._awaiting.pop((pending.system, pending.pattern), None)
             self._latency.observe(pending.gate_seconds + share)
             if report.is_anomalous:
@@ -198,9 +211,16 @@ class ShardState:
                     **report.metadata, "window_id": pending.window_id,
                 }))
 
+    def _fallback_of(self, system: str) -> PatternFallback:
+        # With the gate off nothing has touched _library_of for this
+        # system yet; creating the (empty) library also creates the
+        # fallback that answers degraded batches.
+        self._library_of(system)
+        return self._fallbacks[system]
+
     def _resolve_degraded(self, batch: list[PendingWindow], share: float) -> None:
         for pending in batch:
-            fallback = self._fallbacks[pending.system]
+            fallback = self._fallback_of(pending.system)
             report = fallback.score(pending)
             self._degraded.inc()
             # Degraded verdicts are not remembered: the model re-judges

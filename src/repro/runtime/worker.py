@@ -28,7 +28,7 @@ from .scheduler import PendingWindow
 
 __all__ = [
     "WorkerError", "InferenceWorker", "ModelWorker", "SyntheticWorker",
-    "FlakyWorker", "message_pattern",
+    "EnsembleWorker", "FlakyWorker", "message_pattern",
 ]
 
 
@@ -78,6 +78,46 @@ class ModelWorker:
         reports = fault_point("runtime.worker.result", reports)
         # A dropped result degrades the batch (the supervisor treats a
         # missing result like an exhausted retry budget).
+        return None if reports is DROPPED else reports
+
+
+class EnsembleWorker:
+    """Scores batches through a :class:`repro.detectors.Ensemble`.
+
+    The ensemble keeps rolling per-system state (EWMA baselines, LOF
+    reference buffers), so windows of one system must reach it in
+    stream order — the engine's deterministic pump already guarantees
+    that for every shard count, and batches are per-system lanes.  An
+    optional shared lock serializes calls when shards run threaded,
+    because that per-system state is a plain dict.
+    """
+
+    def __init__(self, ensemble, lock: threading.Lock | None = None):
+        self.ensemble = ensemble
+        self._lock = lock
+
+    def _score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        reports = []
+        for pending in batch:
+            score = self.ensemble.score_window(pending.system, pending.window)
+            reports.append(build_report(
+                system=pending.system,
+                score=score,
+                threshold=self.ensemble.threshold,
+                messages=[entry.message for entry in pending.window],
+                interpretations=[entry.message for entry in pending.window],
+                timestamps=[entry.timestamp for entry in pending.window],
+            ))
+        return reports
+
+    def score_batch(self, batch: list[PendingWindow]) -> list[AnomalyReport]:
+        fault_point("runtime.worker.score")
+        if self._lock is None:
+            reports = self._score_batch(batch)
+        else:
+            with self._lock:
+                reports = self._score_batch(batch)
+        reports = fault_point("runtime.worker.result", reports)
         return None if reports is DROPPED else reports
 
 

@@ -26,7 +26,8 @@ _LAZY = {
     "PlantedAnomaly": "fuzzer", "FuzzedStream": "fuzzer",
     "LogStreamFuzzer": "fuzzer",
     # invariants
-    "BREAKABLE_RECOVERIES": "invariants", "CheckContext": "invariants",
+    "BREAKABLE_RECOVERIES": "invariants", "DAY0_F1_FLOOR": "invariants",
+    "CheckContext": "invariants",
     "InvariantResult": "invariants", "CHECKERS": "invariants",
     "SUITES": "invariants", "suite_checkers": "invariants",
     "ConceptMatcher": "invariants",

@@ -27,9 +27,11 @@ from datetime import datetime, timedelta
 
 import numpy as np
 
+from ..logs.drift import _reword_message
 from ..logs.events import EventKind, concepts_for_system
-from ..logs.generator import LogRecord
+from ..logs.generator import VOLUME_STORM_CONCEPT, LogRecord
 from ..logs.parameters import ParameterSampler
+from ..logs.scenarios import ScenarioProfile, get_scenario
 from ..logs.systems import get_profile
 
 __all__ = ["PlantedAnomaly", "FuzzedStream", "LogStreamFuzzer"]
@@ -110,6 +112,13 @@ class LogStreamFuzzer:
     parameter_noise:
         Per-line probability of one message perturbation (digit jitter,
         token re-casing, filler-token insertion).
+    scenario:
+        Optional :mod:`repro.logs.scenarios` workload shape (name or
+        profile): volume storms arrive as runs of *normal-looking* lines
+        at storm rate labeled ``volume_storm``, template drift rewords
+        messages with a position-ramped probability, seasonal cycles
+        modulate inter-arrival times.  ``None``/``"steady"`` keeps the
+        stream byte-identical to pre-scenario fuzzers.
     """
 
     def __init__(self, systems=("bgl", "spirit", "thunderbird"), *,
@@ -118,6 +127,7 @@ class LogStreamFuzzer:
                  anomaly_bursts: int = 3,
                  burst_length: tuple[int, int] = (3, 6),
                  parameter_noise: float = 0.0,
+                 scenario: ScenarioProfile | str | None = None,
                  start_time: datetime | None = None):
         if lines_per_system <= 0:
             raise ValueError("lines_per_system must be positive")
@@ -136,6 +146,7 @@ class LogStreamFuzzer:
         self.anomaly_bursts = anomaly_bursts
         self.burst_length = (low, high)
         self.parameter_noise = parameter_noise
+        self.scenario = get_scenario(scenario)
         self.start_time = start_time or datetime(2024, 6, 1, 0, 0, 0)
 
     # ------------------------------------------------------------------
@@ -215,20 +226,35 @@ class LogStreamFuzzer:
                 anomalous_lines.add(line)
 
         concept_by_name = {c.name: c for c in anomalous}
+        scenario = self.scenario
         clock = self.start_time
         records: list[LogRecord] = []
+        denominator = max(self.lines_per_system - 1, 1)
         for line in range(self.lines_per_system):
-            clock = clock + timedelta(seconds=float(rng.exponential(0.8)))
+            t = line / denominator
+            rate = scenario.rate_multiplier(t) if scenario is not None else 1.0
+            clock = clock + timedelta(seconds=float(rng.exponential(0.8 / rate)))
             is_anomalous = line in anomalous_lines
+            in_storm = (scenario is not None and scenario.in_storm(t)
+                        and not is_anomalous)
             if is_anomalous:
                 concept = concept_by_name[burst_concept[line]]
+                concept_name = concept.name
+                severity = profile.severity_labels[1]
             else:
+                # Storm lines are ordinary traffic arriving too fast:
+                # normal concept, normal severity, anomalous label.
                 concept = normal[int(rng.choice(len(normal), p=weights))]
+                concept_name = VOLUME_STORM_CONCEPT if in_storm else concept.name
+                severity = profile.severity_labels[0]
             message = params.fill(concept.phrases[dialect])
+            if scenario is not None:
+                probability = scenario.drift_probability(t)
+                if probability > 0.0:
+                    message = _reword_message(message, rng, probability)
             if self.parameter_noise > 0 and rng.random() < self.parameter_noise:
                 message = self._perturb(message, rng)
             host = f"{profile.host_prefix}{int(rng.integers(0, 512)):03d}"
-            severity = profile.severity_labels[1 if is_anomalous else 0]
             stamp = clock.strftime(profile.timestamp_format)
             records.append(LogRecord(
                 timestamp=clock,
@@ -237,8 +263,8 @@ class LogStreamFuzzer:
                 severity=severity,
                 message=message,
                 raw=f"{stamp} {host} {severity} {message}",
-                is_anomalous=is_anomalous,
-                concept=concept.name,
+                is_anomalous=is_anomalous or in_storm,
+                concept=concept_name,
             ))
         return records, planted
 

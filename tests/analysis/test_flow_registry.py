@@ -130,6 +130,35 @@ class TestMetricCatalog:
         assert any("'*.batches'" in m and "never emitted" in m
                    for m in messages)
 
+    def test_ghost_detector_metric(self, flow_tree):
+        # The acceptance-criteria defect for the detector portfolio: a
+        # per-member counter family documented in the catalog that no
+        # ensemble code path ever emits must be reported as drift.
+        catalog = (
+            "METRIC_NAMES = frozenset({\n"
+            "    \"detectors.ensemble.windows\",\n"
+            "})\n"
+            "METRIC_TEMPLATES = frozenset({\n"
+            "    \"detectors.*.windows\",\n"
+            "    \"detectors.*.ghost\",\n"
+            "})\n"
+        )
+        emitter = (
+            "from repro.obs import get_registry\n\n"
+            "def consult(name):\n"
+            "    registry = get_registry()\n"
+            "    registry.counter(\"detectors.ensemble.windows\").inc()\n"
+            "    registry.counter(f\"detectors.{name}.windows\").inc()\n"
+        )
+        violations = run(flow_tree, {
+            "src/repro/obs/catalog.py": catalog,
+            "src/repro/detectors/ensemble.py": emitter,
+        })
+        assert len(violations) == 1
+        v = violations[0]
+        assert "detectors.*.ghost" in v.message and "never emitted" in v.message
+        assert v.path.endswith("catalog.py")
+
     def test_non_repro_trees_out_of_scope(self, flow_tree):
         violations = run(flow_tree, {
             "src/repro/obs/catalog.py": CATALOG,

@@ -687,3 +687,37 @@ class TestCliFlowIntegration:
 
         with pytest.raises(SystemExit, match="requires --baseline"):
             main(["lint", "src/repro/analysis", "--write-baseline"])
+
+
+class TestDetectorOutsideRegistry:
+    DETECTOR = (
+        "class ShadowDetector:\n"
+        "    def score_window(self, system, window):\n"
+        "        return 0.0\n"
+    )
+
+    def test_flags_detector_class_outside_registry(self):
+        violations = lint_source(self.DETECTOR, path="src/repro/deploy/custom.py")
+        assert [v.rule for v in violations] == ["detector-outside-registry"]
+        assert "ShadowDetector" in violations[0].message
+
+    def test_detectors_package_is_exempt(self):
+        assert lint_source(self.DETECTOR,
+                           path="src/repro/detectors/custom.py") == []
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        assert lint_source(self.DETECTOR, path="tests/detectors/test_x.py") == []
+        assert lint_source(self.DETECTOR, path="benchmarks/bench_x.py") == []
+
+    def test_plain_function_allowed(self):
+        text = "def score_window(system, window):\n    return 0.0\n"
+        assert codes(text) == []
+
+    def test_line_suppression_is_the_escape_hatch(self):
+        text = (
+            "class Adapter:\n"
+            "    def score_window(self, system, window):"
+            "  # lint: disable=detector-outside-registry\n"
+            "        return 0.0\n"
+        )
+        assert lint_source(text, path="src/repro/deploy/custom.py") == []

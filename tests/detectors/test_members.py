@@ -1,0 +1,184 @@
+"""Portfolio member tests: calibration math, EWMA spikes, LOF novelty,
+rule matching and the learned-model adapter's degradation contract."""
+
+import math
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    DetectorError,
+    EwmaRateDetector,
+    LofLiteDetector,
+    ModelDetector,
+    RuleDetector,
+    calibrate,
+    window_span_seconds,
+)
+from repro.logs.generator import LogRecord
+
+
+def make_window(messages, *, start=0.0, spacing=1.0, system="sys"):
+    base = datetime(2025, 1, 1)
+    return [
+        LogRecord(
+            timestamp=base + timedelta(seconds=start + index * spacing),
+            system=system,
+            host=f"{system}-host01",
+            severity="INFO",
+            message=message,
+            raw=message,
+            is_anomalous=False,
+            concept="concept.test",
+        )
+        for index, message in enumerate(messages)
+    ]
+
+
+class TestCalibrate:
+    def test_logistic_shape(self):
+        assert calibrate(3.0, center=3.0) == pytest.approx(0.5)
+        assert calibrate(100.0) == pytest.approx(1.0, abs=1e-6)
+        assert calibrate(-100.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_monotone(self):
+        values = [calibrate(d) for d in (0.0, 1.0, 2.0, 3.0, 4.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            calibrate(1.0, scale=0.0)
+
+
+class TestWindowSpan:
+    def test_datetime_timestamps(self):
+        window = make_window(["a", "b", "c"], spacing=2.0)
+        assert window_span_seconds(window) == pytest.approx(4.0)
+
+    def test_short_window(self):
+        assert window_span_seconds(make_window(["a"])) == 0.0
+        assert window_span_seconds([]) == 0.0
+
+
+class TestEwmaRateDetector:
+    def _steady_windows(self, count, spacing):
+        return [make_window([f"m{i}-{j}" for j in range(10)],
+                            start=i * 10 * spacing, spacing=spacing)
+                for i in range(count)]
+
+    def test_burst_scores_above_steady(self):
+        detector = EwmaRateDetector()
+        steady = 0.0
+        for window in self._steady_windows(12, spacing=1.0):
+            steady = detector.score_window("sys", window)
+        burst = detector.score_window(
+            "sys", make_window([f"b{j}" for j in range(10)],
+                               start=200.0, spacing=0.01))
+        assert burst > max(steady, 0.9)
+
+    def test_per_system_state_is_independent(self):
+        detector = EwmaRateDetector()
+        for window in self._steady_windows(8, spacing=1.0):
+            detector.score_window("a", window)
+        # A fresh system's first window seeds its own baseline: no score.
+        first = detector.score_window(
+            "b", make_window(["x"] * 10, spacing=0.01))
+        assert first == 0.0
+
+    def test_slower_than_baseline_scores_zero(self):
+        detector = EwmaRateDetector()
+        for window in self._steady_windows(8, spacing=1.0):
+            detector.score_window("sys", window)
+        quiet = detector.score_window(
+            "sys", make_window(["q"] * 10, start=500.0, spacing=10.0))
+        assert quiet == 0.0
+
+    def test_declares_warmup(self):
+        assert EwmaRateDetector().warmup_windows > 0
+
+
+class TestLofLiteDetector:
+    def test_novel_content_scores_above_repeats(self):
+        detector = LofLiteDetector(k=2)
+        repeated = make_window(["connection from 10.0.0.1 established"] * 10)
+        for _ in range(10):
+            familiar = detector.score_window("sys", repeated)
+        novel = detector.score_window(
+            "sys", make_window(["kernel panic unrecoverable machine check"] * 10))
+        assert novel > familiar
+
+    def test_reference_capacity_is_bounded(self):
+        detector = LofLiteDetector(k=2, capacity=8)
+        for index in range(30):
+            detector.score_window(
+                "sys", make_window([f"event number {index}"] * 10))
+        assert len(detector._references["sys"].vectors) <= 8
+
+
+class TestRuleDetector:
+    def test_failure_language_fires(self):
+        detector = RuleDetector()
+        score = detector.score_window(
+            "sys", make_window(["data corruption detected on volume 3",
+                                "heartbeat ok", "heartbeat ok"]))
+        assert score >= 0.8
+
+    def test_clean_window_is_silent(self):
+        detector = RuleDetector()
+        score = detector.score_window(
+            "sys", make_window(["session opened for user alpha",
+                                "heartbeat ok"]))
+        assert score == 0.0
+
+    def test_score_grows_with_flagged_lines(self):
+        detector = RuleDetector()
+        one = detector.score_window(
+            "sys", make_window(["write failed on disk 1", "ok", "ok"]))
+        many = detector.score_window(
+            "sys", make_window(["write failed on disk 1",
+                                "write failed on disk 2",
+                                "fatal error on node 3"]))
+        assert many > one
+        assert many <= 1.0
+
+    def test_verdicts_are_memoized_per_system(self):
+        detector = RuleDetector()
+        window = make_window(["timeout exceeded on link 9"] * 4)
+        detector.score_window("sys", window)
+        library = detector.library_of("sys")
+        assert library.known_anomalous_patterns() > 0
+
+
+class TestModelDetector:
+    def test_day0_without_pipeline_degrades(self):
+        detector = ModelDetector()
+        assert not detector.available
+        with pytest.raises(DetectorError):
+            detector.score_window("sys", make_window(["boot ok"] * 10))
+
+    def test_pipeline_exceptions_become_detector_errors(self):
+        class ExplodingPipeline:
+            model = object()
+
+            def detect_stream(self, messages, timestamps=None):
+                raise RuntimeError("featurizer corrupted")
+
+        detector = ModelDetector(pipeline=ExplodingPipeline())
+        assert detector.available
+        with pytest.raises(DetectorError):
+            detector.score_window("sys", make_window(["boot ok"] * 10))
+
+    def test_report_score_is_clamped(self):
+        class Report:
+            score = 7.5
+
+        class Pipeline:
+            model = object()
+
+            def detect_stream(self, messages, timestamps=None):
+                return Report()
+
+        detector = ModelDetector(pipeline=Pipeline())
+        score = detector.score_window("sys", make_window(["x"] * 10))
+        assert score == 1.0

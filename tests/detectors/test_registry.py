@@ -1,0 +1,83 @@
+"""``--detectors`` spec grammar: parsing, defaults, coercion, errors."""
+
+import pytest
+
+from repro.detectors import (
+    DEFAULT_DETECTORS_SPEC,
+    DETECTOR_BUILDERS,
+    EwmaRateDetector,
+    ModelDetector,
+    build_detector,
+    ensemble_from_spec,
+    parse_detectors_spec,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestParse:
+    def test_members_only_defaults_to_max(self):
+        members, mode, options = parse_detectors_spec("ewma,lof")
+        assert members == ["ewma", "lof"]
+        assert mode == "max"
+        assert options == {}
+
+    def test_mode_and_options(self):
+        members, mode, options = parse_detectors_spec(
+            "ewma,lof,rules,model:stacker,threshold=0.6")
+        assert members == ["ewma", "lof", "rules", "model"]
+        assert mode == "stacker"
+        assert options == {"threshold": 0.6}
+
+    def test_options_without_mode(self):
+        # The first tail token carries "=", so the mode stays default.
+        _, mode, options = parse_detectors_spec("ewma:threshold=0.7")
+        assert mode == "max"
+        assert options == {"threshold": 0.7}
+
+    def test_case_and_whitespace_insensitive(self):
+        members, mode, _ = parse_detectors_spec(" EWMA , Rules : VOTE ")
+        assert members == ["ewma", "rules"]
+        assert mode == "vote"
+
+    def test_default_spec_parses(self):
+        members, mode, _ = parse_detectors_spec(DEFAULT_DETECTORS_SPEC)
+        assert set(members) == set(DETECTOR_BUILDERS)
+        assert mode == "max"
+
+    @pytest.mark.parametrize("spec, message", [
+        ("", "empty"),
+        ("bogus", "unknown detectors"),
+        ("ewma,ewma", "duplicate"),
+        ("ewma:median", "unknown ensemble mode"),
+        ("ewma:vote,threshold", "malformed ensemble option"),
+        ("ewma:vote,=0.5", "malformed ensemble option"),
+    ])
+    def test_rejects_malformed_specs(self, spec, message):
+        with pytest.raises(ValueError, match=message):
+            parse_detectors_spec(spec)
+
+
+class TestBuild:
+    def test_build_detector_by_name(self):
+        assert isinstance(build_detector("ewma"), EwmaRateDetector)
+        with pytest.raises(ValueError, match="unknown detector"):
+            build_detector("bogus")
+
+    def test_ensemble_from_spec_wires_members_and_options(self):
+        ensemble = ensemble_from_spec("ewma,model:vote,threshold=0.8",
+                                      registry=MetricsRegistry())
+        assert [m.name for m in ensemble.members] == ["ewma", "model"]
+        assert ensemble.mode == "vote"
+        assert ensemble.threshold == 0.8
+
+    def test_model_member_gets_the_pipeline(self):
+        sentinel = object()
+        ensemble = ensemble_from_spec("model", pipeline=sentinel,
+                                      registry=MetricsRegistry())
+        member = ensemble.members[0]
+        assert isinstance(member, ModelDetector)
+        assert member.pipeline is sentinel
+
+    def test_unknown_option_is_a_value_error(self):
+        with pytest.raises(ValueError, match="bad options"):
+            ensemble_from_spec("ewma:vote,zoom=3", registry=MetricsRegistry())

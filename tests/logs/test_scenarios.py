@@ -1,0 +1,154 @@
+"""Scenario catalog + generator/fuzzer workload-shape tests."""
+
+import numpy as np
+import pytest
+
+from repro.logs import (
+    SCENARIOS,
+    ScenarioProfile,
+    VOLUME_STORM_CONCEPT,
+    day0_profile,
+    generate_logs,
+    get_scenario,
+)
+from repro.testing.fuzzer import LogStreamFuzzer
+
+
+class TestScenarioProfile:
+    def test_catalog_members(self):
+        assert set(SCENARIOS) == {
+            "steady", "volume-burst", "template-drift", "seasonal", "day0",
+        }
+
+    def test_get_scenario_resolution(self):
+        assert get_scenario(None) is None
+        profile = get_scenario("volume-burst")
+        assert profile is SCENARIOS["volume-burst"]
+        assert get_scenario(profile) is profile
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("tsunami")
+
+    def test_storm_math(self):
+        storm = SCENARIOS["volume-burst"]
+        assert not storm.in_storm(0.2)
+        assert storm.in_storm(0.5)
+        assert storm.rate_multiplier(0.5) == pytest.approx(8.0)
+        assert storm.rate_multiplier(0.2) == pytest.approx(1.0)
+
+    def test_seasonal_math(self):
+        seasonal = SCENARIOS["seasonal"]
+        multipliers = [seasonal.rate_multiplier(t)
+                       for t in np.linspace(0.0, 1.0, 101)]
+        assert max(multipliers) == pytest.approx(1.6, abs=0.01)
+        assert min(multipliers) == pytest.approx(0.4, abs=0.01)
+
+    def test_drift_ramp(self):
+        drift = SCENARIOS["template-drift"]
+        assert drift.drift_probability(0.0) == 0.0
+        assert drift.drift_probability(1.0) == pytest.approx(0.8)
+        assert drift.drift_probability(0.5) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="storm_span"):
+            ScenarioProfile("x", "bad", storm_span=(0.6, 0.5))
+        with pytest.raises(ValueError, match="storm_rate"):
+            ScenarioProfile("x", "bad", storm_span=(0.1, 0.2), storm_rate=0.5)
+        with pytest.raises(ValueError, match="drift_peak"):
+            ScenarioProfile("x", "bad", drift_peak=1.5)
+        with pytest.raises(ValueError, match="seasonal_amplitude"):
+            ScenarioProfile("x", "bad", seasonal_amplitude=1.0)
+
+
+class TestGeneratorScenarios:
+    def test_steady_is_byte_identical_to_no_scenario(self):
+        baseline = generate_logs("bgl", 80, seed=5)
+        steady = generate_logs("bgl", 80, seed=5, scenario="steady")
+        assert [r.raw for r in baseline] == [r.raw for r in steady]
+
+    def test_volume_burst_plants_normal_looking_storm(self):
+        records = generate_logs("bgl", 300, seed=5, scenario="volume-burst")
+        storm = [r for r in records if r.concept == VOLUME_STORM_CONCEPT]
+        assert storm
+        assert all(r.is_anomalous for r in storm)
+        # Storm phrasing is normal: severity comes from the normal band.
+        severities = {r.severity for r in storm}
+        anomalous_severities = {r.severity for r in records
+                                if r.is_anomalous and
+                                r.concept != VOLUME_STORM_CONCEPT}
+        assert severities <= {"INFO"} or not (severities & anomalous_severities)
+
+    def test_volume_burst_compresses_storm_arrivals(self):
+        records = generate_logs("bgl", 400, seed=5, scenario="volume-burst")
+        storm = [r for r in records if r.concept == VOLUME_STORM_CONCEPT]
+        other = [r for r in records if r.concept != VOLUME_STORM_CONCEPT]
+        gap = lambda rs: np.mean([
+            (b.timestamp - a.timestamp).total_seconds()
+            for a, b in zip(rs, rs[1:])
+        ])
+        assert gap(storm) < gap(other) / 3
+
+    def test_template_drift_rewords_but_keeps_labels(self):
+        baseline = generate_logs("bgl", 200, seed=5)
+        drifted = generate_logs("bgl", 200, seed=5, scenario="template-drift")
+        assert [r.is_anomalous for r in baseline] == \
+            [r.is_anomalous for r in drifted]
+        changed = sum(1 for a, b in zip(baseline, drifted)
+                      if a.message != b.message)
+        assert changed > 0
+        # Drift ramps: the back half rewords more than the front half.
+        half = len(baseline) // 2
+        front = sum(1 for a, b in zip(baseline[:half], drifted[:half])
+                    if a.message != b.message)
+        back = sum(1 for a, b in zip(baseline[half:], drifted[half:])
+                   if a.message != b.message)
+        assert back > front
+
+    def test_determinism_per_scenario(self):
+        for name in SCENARIOS:
+            first = generate_logs("bgl", 60, seed=9, scenario=name)
+            second = generate_logs("bgl", 60, seed=9, scenario=name)
+            assert [r.raw for r in first] == [r.raw for r in second]
+
+
+class TestDay0Profile:
+    def test_fresh_name_existing_dialect(self):
+        profile = day0_profile("greenfield", dialect="spirit")
+        assert profile.name == "greenfield"
+        assert profile.dialect_name == "spirit"
+        assert profile.host_prefix == "greenfield-"
+
+    def test_generates_under_the_new_name(self):
+        records = generate_logs(day0_profile("greenfield"), 40, seed=1)
+        assert {r.system for r in records} == {"greenfield"}
+        baseline = generate_logs("bgl", 40, seed=1)
+        # Same dialect, same seed: the phrasing matches the base system.
+        assert [r.message for r in records] == [r.message for r in baseline]
+
+
+class TestFuzzerScenarios:
+    def test_no_scenario_path_unchanged(self):
+        # scenario=None and scenario="steady" must agree byte-for-byte:
+        # the scenario hooks may not perturb the RNG draw sequence.
+        plain = LogStreamFuzzer(systems=("bgl",)).generate(3)
+        steady = LogStreamFuzzer(systems=("bgl",), scenario="steady").generate(3)
+        assert [r.raw for r in plain.records] == [r.raw for r in steady.records]
+
+    def test_volume_burst_windows_become_ground_truth(self):
+        fuzzer = LogStreamFuzzer(systems=("bgl",), lines_per_system=200,
+                                 anomaly_bursts=0, scenario="volume-burst")
+        stream = fuzzer.generate(3)
+        storm = [r for r in stream.records
+                 if r.concept == VOLUME_STORM_CONCEPT]
+        assert storm
+        assert all(r.is_anomalous for r in storm)
+        labels = stream.expected_window_labels(10, 5)["bgl"]
+        assert any(labels)
+
+    def test_planted_bursts_take_precedence_over_storm(self):
+        fuzzer = LogStreamFuzzer(systems=("bgl",), lines_per_system=200,
+                                 anomaly_bursts=3, scenario="volume-burst")
+        stream = fuzzer.generate(3)
+        planted_concepts = {r.concept for r in stream.records
+                            if r.is_anomalous and
+                            r.concept != VOLUME_STORM_CONCEPT}
+        assert planted_concepts  # planted bursts survive the storm

@@ -102,3 +102,25 @@ class TestConceptMatcher:
             "read return parity error")
         assert not matcher.is_anomalous_line(
             "completely unrelated chatter about lunch menus")
+
+
+class TestDetectorInvariants:
+    def test_detectors_suite_membership(self):
+        names = [name for name, _ in suite_checkers("detectors")]
+        assert names == [
+            "day0-ensemble-f1-floor",
+            "ensemble-not-worse-than-worst-member",
+            "degraded-model-keeps-unsupervised-live",
+        ]
+        assert set(names) <= set(SUITES["all"])
+
+    def test_detectors_suite_green_and_deterministic(self):
+        report = run_episodes(1, 7, suite="detectors", fuzzer=FAST_FUZZER)
+        assert report.ok, report.render()
+        again = run_episodes(1, 7, suite="detectors", fuzzer=FAST_FUZZER)
+        assert report.render() == again.render()
+
+    def test_day0_floor_details_mention_model_degradation(self):
+        report = run_episodes(1, 7, suite="detectors", fuzzer=FAST_FUZZER)
+        by_name = {r.invariant: r for r in report.episodes[0].results}
+        assert "degraded model calls" in by_name["day0-ensemble-f1-floor"].details
