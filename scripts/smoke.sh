@@ -4,7 +4,8 @@
 # throughput sanity pass, a day-0 detector-portfolio floor check plus a
 # seeded detectors fuzz episode, a deterministic 2-shard runtime replay over
 # the bundled sample stream (must produce reports and non-empty
-# metrics), a seeded fault-injection fuzz pass (twice — the violation
+# metrics, and the process executor must render identical bytes), a
+# seeded fault-injection fuzz pass (twice — the violation
 # report must be byte-identical, with the unarmed-hook overhead guard),
 # then the test suite.
 set -euo pipefail
@@ -20,7 +21,7 @@ bash scripts/lint.sh
 flow_a="$(mktemp)"
 flow_b="$(mktemp)"
 trap 'rm -f "$flow_a" "$flow_b" "${replay_out:-}" "${replay_metrics:-}" \
-    "${fuzz_a:-}" "${fuzz_b:-}"' EXIT
+    "${replay_proc:-}" "${fuzz_a:-}" "${fuzz_b:-}"' EXIT
 PYTHONPATH=src python -m repro.cli lint src --select 'flow/*' \
     --format json >"$flow_a"
 PYTHONPATH=src python -m repro.cli lint src --select 'flow/*' \
@@ -57,6 +58,7 @@ PYTHONPATH=src python -m repro.cli fuzz --episodes 1 --seed 7 \
 
 replay_out="$(mktemp)"
 replay_metrics="$(mktemp)"
+replay_proc="$(mktemp)"
 fuzz_a="$(mktemp)"
 fuzz_b="$(mktemp)"
 PYTHONPATH=src python -m repro.cli replay \
@@ -64,6 +66,22 @@ PYTHONPATH=src python -m repro.cli replay \
     --out "$replay_out" --metrics-out "$replay_metrics"
 test -s "$replay_out" || { echo "smoke: replay produced no reports" >&2; exit 1; }
 test -s "$replay_metrics" || { echo "smoke: replay produced no metrics" >&2; exit 1; }
+
+# The process executor must render the exact bytes the synchronous
+# engine does, and its throughput floor must hold (bench --smoke:
+# process workers beat threads on the CPU-bound profile when the host
+# has cores to parallelize on, and stay within the IPC-overhead ceiling
+# when it doesn't). A process-suite fuzz episode SIGKILLs a worker
+# mid-stream and requires byte-identical recovery.
+PYTHONPATH=src python -m repro.cli replay \
+    --logs examples/data/replay_sample.jsonl --shards 2 \
+    --executor process --out "$replay_proc"
+cmp -s "$replay_out" "$replay_proc" \
+    || { echo "smoke: process-executor replay diverged from sync replay" >&2
+         exit 1; }
+PYTHONPATH=src python benchmarks/bench_runtime_throughput.py --smoke
+PYTHONPATH=src python -m repro.cli fuzz --episodes 1 --seed 7 \
+    --suite process >/dev/null
 
 # Fault-injection fuzz: every invariant must hold (exit 1 on violation;
 # episode seeds are printed so a failure replays with

@@ -369,6 +369,58 @@ class DirectThreadRule(LintRule):
 
 
 @register_rule
+class DirectProcessRule(LintRule):
+    """The process-executor counterpart of ``direct-thread``: ad-hoc
+    worker processes and shared-memory segments bypass the executor's
+    weight broadcast, journal-refeed crash recovery and registry
+    merging — and a leaked ``/dev/shm`` segment outlives the run.
+    ``repro.runtime`` (procexec + broadcast) is the one sanctioned
+    construction site; tests and benchmarks are exempt."""
+
+    name = "direct-process"
+    description = ("forbid multiprocessing / shared-memory construction "
+                   "outside repro.runtime")
+    hint = ("route work through repro.runtime's process executor "
+            "(or suppress with # lint: disable=direct-process)")
+
+    # Path fragments (posix-normalized) exempt from the rule.
+    _ALLOWED_FRAGMENTS = ("repro/runtime/", "tests/", "benchmarks/")
+
+    # Constructors on the `multiprocessing` / `mp` module objects.
+    _MP_ATTRS = frozenset({
+        "Process", "Pool", "Manager", "Queue", "SimpleQueue",
+        "JoinableQueue", "Pipe", "get_context",
+    })
+    # Constructors on `multiprocessing.shared_memory` (or its alias).
+    _SHM_ATTRS = frozenset({"SharedMemory", "ShareableList"})
+    # Bare names that only the mp machinery exports (``Queue`` is
+    # deliberately absent: bare ``Queue`` is usually ``queue.Queue``).
+    _BARE_NAMES = frozenset({"Process", "Pool", "SharedMemory",
+                             "ShareableList"})
+
+    def _exempt(self) -> bool:
+        path = self.source.path.replace("\\", "/")
+        return any(fragment in path for fragment in self._ALLOWED_FRAGMENTS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        constructed = False
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            constructed = (
+                (base in ("multiprocessing", "mp")
+                 and func.attr in self._MP_ATTRS)
+                or (base in ("shared_memory", "multiprocessing", "mp")
+                    and func.attr in self._SHM_ATTRS)
+            )
+        elif isinstance(func, ast.Name):
+            constructed = func.id in self._BARE_NAMES
+        if constructed and not self._exempt():
+            self.report(node, f"direct {ast.unparse(func)} construction")
+        self.generic_visit(node)
+
+
+@register_rule
 class PerTimestepLoopRule(LintRule):
     """BPTT recurrences belong in :mod:`repro.nn.kernels`, where one fused
     autograd node replays the whole sequence; a Python loop over a tensor

@@ -253,11 +253,22 @@ def _build_runtime(args: argparse.Namespace, *, threaded: bool, **extra):
     ``--detectors`` the runtime fronts an unsupervised ensemble instead
     (day-0 capable: no trained model required); ``--model-dir`` then
     loads the pipeline the ensemble's ``model`` member wraps.
+
+    ``--executor process`` swaps the shard threads (or the synchronous
+    loop) for one worker process per shard: live workers cannot cross
+    the process boundary, so this path builds a picklable
+    :class:`~repro.runtime.ProcessWorkerSpec` — weight broadcast for a
+    model, spec string for an ensemble — instead of a worker factory.
     """
     from .runtime import InferenceRuntime, SyntheticWorker, message_pattern
 
+    process = getattr(args, "executor", None) == "process"
     common = dict(shards=args.shards, window=args.window, step=args.step,
-                  max_batch=args.max_batch, threaded=threaded, **extra)
+                  max_batch=args.max_batch, **extra)
+    if process:
+        common["executor"] = "process"
+    else:
+        common["threaded"] = threaded
     model = None
     if args.model_dir:
         from .core import LogSynergy
@@ -268,13 +279,34 @@ def _build_runtime(args: argparse.Namespace, *, threaded: bool, **extra):
         from .detectors import ensemble_from_spec
 
         try:
+            # Parsed parent-side even in process mode, so a spec typo
+            # fails fast here instead of as a worker-process crash.
             ensemble = ensemble_from_spec(args.detectors, pipeline=model,
                                           seed=args.seed)
         except ValueError as exc:
             raise SystemExit(f"--detectors: {exc}")
+        if process:
+            from .runtime import ProcessWorkerSpec
+
+            spec = ProcessWorkerSpec.ensemble(
+                args.detectors, seed=args.seed, pipeline=model,
+                llm_spec=getattr(args, "llm", None))
+            return InferenceRuntime(None, pattern_fn=message_pattern,
+                                    process_spec=spec, **common)
         return InferenceRuntime.from_ensemble(ensemble, **common)
     if model is not None:
+        if process:
+            return InferenceRuntime.from_model(
+                model, llm_spec=getattr(args, "llm", None), **common)
         return InferenceRuntime.from_model(model, **common)
+    if process:
+        from .runtime import ProcessWorkerSpec
+
+        return InferenceRuntime(
+            None, pattern_fn=message_pattern,
+            process_spec=ProcessWorkerSpec.synthetic(threshold=args.threshold),
+            **common,
+        )
     return InferenceRuntime(
         lambda index: SyntheticWorker(threshold=args.threshold),
         pattern_fn=message_pattern, **common,
@@ -303,11 +335,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     with _observability(args):
         # Deterministic by construction: synchronous engine, no latency
         # trigger — output is byte-identical for any --shards value.
+        # --executor process keeps the same contract (seq-numbered
+        # journals + window-id dedup), just with worker processes.
         runtime = _build_runtime(args, threaded=False, max_latency=None,
                                  backpressure="block")
         for record in records:
             runtime.submit(record)
         reports = runtime.drain()
+        if runtime.executor == "process":
+            # Reap worker processes and unlink the broadcast arena.
+            runtime.stop()
         reports.sort(key=report_sort_key)
         rendered = render_reports(reports)
         if args.out:
@@ -328,6 +365,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not records:
         raise SystemExit(f"{args.logs}: no records")
     with _observability(args):
+        if args.executor == "process" and args.backpressure != "block":
+            raise SystemExit("--executor process supports only "
+                             "--backpressure block (the journal-refeed "
+                             "recovery path must never shed records)")
         runtime = _build_runtime(
             args, threaded=True, max_latency=args.max_latency,
             backpressure=args.backpressure, queue_capacity=args.queue_capacity,
@@ -346,7 +387,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"wrote {len(reports)} reports to {args.out}")
         _print_runtime_summary(runtime, len(records), len(reports))
         rate = len(records) / elapsed if elapsed > 0 else float("inf")
-        print(f"served {len(records)} records on {args.shards} shard(s) "
+        print(f"served {len(records)} records on {args.shards} "
+              f"{args.executor} shard(s) "
               f"in {elapsed:.2f}s ({rate:,.0f} records/s)")
     return 0
 
@@ -395,6 +437,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         try:
             report = run_episodes(
                 args.episodes, args.seed, suite=args.suite,
+                executor=args.executor,
                 broken=tuple(args.break_paths or ()),
                 provider_spec=args.llm,
             )
@@ -585,15 +628,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     replay = commands.add_parser(
         "replay", help="deterministically replay a log file through the "
-                       "sharded runtime (byte-identical for any --shards)"
+                       "sharded runtime (byte-identical for any --shards "
+                       "and either --executor)"
     )
     _add_runtime_flags(replay)
+    replay.add_argument("--executor", default="sync",
+                        choices=["sync", "process"],
+                        help="sync: single-threaded deterministic engine; "
+                             "process: one worker process per shard with a "
+                             "shared-memory weight broadcast (same "
+                             "byte-identical output)")
     replay.set_defaults(func=_cmd_replay)
 
     serve = commands.add_parser(
-        "serve", help="stream a log file through the threaded sharded runtime"
+        "serve", help="stream a log file through the sharded runtime "
+                      "(threaded or worker-process shards)"
     )
     _add_runtime_flags(serve)
+    serve.add_argument("--executor", default="thread",
+                       choices=["thread", "process"],
+                       help="thread: one shard thread per shard (GIL-bound); "
+                            "process: one worker process per shard, "
+                            "overlapping CPU-bound scoring")
     serve.add_argument("--max-latency", type=float, default=0.05,
                        help="micro-batch latency budget in seconds")
     serve.add_argument("--backpressure", default="block",
@@ -633,8 +689,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="base seed; episode seeds derive deterministically")
     fuzz.add_argument("--suite", default="all",
                       choices=["all", "replay", "llm", "trainer", "fuzzer",
-                               "detectors"],
+                               "detectors", "process"],
                       help="invariant suite to check each episode against")
+    fuzz.add_argument("--executor", default="sync",
+                      choices=["sync", "process"],
+                      help="runtime executor the replay invariants run "
+                           "against (fault-equivalence checks pin sync)")
     fuzz.add_argument("--out", default=None, metavar="PATH",
                       help="write the (byte-deterministic) report here too")
     fuzz.add_argument("--break", dest="break_paths", action="append",

@@ -107,6 +107,14 @@ METRIC_TEMPLATES = frozenset({
     "*.queue_depth.shard*",
     "*.records_dropped",
     "*.records_rejected",
+    # repro.runtime.procexec — worker-process lifecycle accounting
+    "*.proc.broadcast_bytes",
+    "*.proc.deaths",
+    "*.proc.live",
+    "*.proc.refed_records",
+    "*.proc.restarts",
+    "*.proc.spawn_failures",
+    "*.proc.spawned",
     # repro.runtime.supervisor — per-supervisor worker health
     "*.unhealthy_transitions*",
     "*.worker_failures*",

@@ -26,35 +26,65 @@ layer that lets that service approach production volume.  It sits between
   ``repro replay``) and a threaded mode (``start``/``stop``, used by
   ``repro serve``) whose shard workers are the only threads this project
   is allowed to construct (see the ``direct-thread`` lint rule).
+* :class:`ProcessShardExecutor` / :class:`ProcessWorkerSpec` — the
+  ``executor="process"`` mode: one worker process per shard, warmed by a
+  one-time shared-memory :class:`WeightBroadcast` of the model arrays,
+  supervised with journal-refeed crash recovery, and deduplicated on
+  window id so replay output stays byte-identical to sync mode.  These
+  (with ``broadcast``) are the only ``multiprocessing`` constructions
+  the project permits (see the ``direct-process`` lint rule).
 
 Every stage reports through ``repro.obs``: queue-depth gauges,
 batch-size/latency histograms, shed/degraded counters and per-shard
 flush spans.
 """
 
+from .broadcast import (
+    AttachedBroadcast,
+    BroadcastHandle,
+    WeightBroadcast,
+    attach,
+    pipeline_state,
+    restore_pipeline,
+)
 from .engine import InferenceRuntime, RuntimeStats
 from .fallback import PatternFallback
-from .queues import OFFER_DROPPED, OFFER_FULL, OFFER_OK, OFFER_REJECTED, ShardQueue
+from .procexec import ProcessShardExecutor, ProcessWorkerSpec
+from .queues import (
+    OFFER_DROPPED,
+    OFFER_FULL,
+    OFFER_OK,
+    OFFER_REJECTED,
+    RecordEnvelope,
+    ShardQueue,
+)
 from .replay import render_reports, replay_records, report_sort_key
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingWindow
-from .supervisor import WorkerSupervisor
+from .supervisor import RespawnPolicy, WorkerSupervisor
 from .worker import (
     EnsembleWorker,
     FlakyWorker,
     ModelWorker,
     SyntheticWorker,
     WorkerError,
+    build_worker_from_spec,
     message_pattern,
+    resolve_cost,
 )
 
 __all__ = [
     "InferenceRuntime", "RuntimeStats",
     "ShardRouter",
     "ShardQueue", "OFFER_OK", "OFFER_REJECTED", "OFFER_DROPPED", "OFFER_FULL",
+    "RecordEnvelope",
     "MicroBatchScheduler", "PendingWindow",
-    "WorkerSupervisor", "WorkerError",
+    "WorkerSupervisor", "RespawnPolicy", "WorkerError",
     "ModelWorker", "SyntheticWorker", "EnsembleWorker", "FlakyWorker", "message_pattern",
+    "build_worker_from_spec", "resolve_cost",
+    "ProcessShardExecutor", "ProcessWorkerSpec",
+    "WeightBroadcast", "BroadcastHandle", "AttachedBroadcast", "attach",
+    "pipeline_state", "restore_pipeline",
     "PatternFallback",
     "replay_records", "render_reports", "report_sort_key",
 ]

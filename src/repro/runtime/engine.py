@@ -12,14 +12,23 @@ pure function of the input stream: ``repro replay --shards N`` is
 byte-identical for every N.  This mode backs
 :class:`~repro.deploy.online.OnlineService` and ``repro replay``.
 
-**Threaded** (``threaded=True``) — ``start`` / ``stop``; one worker
-thread per shard consumes its own queue, so simulated/remote inference
-latency overlaps across shards (``repro serve``).  Determinism is traded
-for throughput: global ordering is not enforced and per-shard metric
-names get a ``.shard<i>`` scope suffix so concurrent shards never race
-on one counter object.  These shard threads are the only
-``threading.Thread`` constructions the project permits (the
-``direct-thread`` lint rule enforces this).
+**Threaded** (``threaded=True`` / ``executor="thread"``) — ``start`` /
+``stop``; one worker thread per shard consumes its own queue, so
+simulated/remote inference latency overlaps across shards
+(``repro serve``).  Determinism is traded for throughput: global
+ordering is not enforced and per-shard metric names get a ``.shard<i>``
+scope suffix so concurrent shards never race on one counter object.
+These shard threads are the only ``threading.Thread`` constructions the
+project permits (the ``direct-thread`` lint rule enforces this).
+
+**Process** (``executor="process"``) — each shard runs in its own
+worker process (:mod:`repro.runtime.procexec`), warmed through a
+one-time shared-memory weight broadcast.  Unlike threads this overlaps
+*CPU-bound* scoring past the GIL, and unlike the threaded mode it keeps
+the deterministic-output contract: replay output is byte-identical to
+sync mode (see the procexec module docstring for the argument).  Live
+workers are constructed from a picklable :class:`ProcessWorkerSpec`
+rather than ``worker_factory``.
 
 Backpressure is explicit: the queue's ``block`` policy never sheds (the
 synchronous engine pumps inline to make room; threaded producers wait),
@@ -124,13 +133,16 @@ class RuntimeStats:
 class InferenceRuntime:
     """Sharded micro-batching front-end over inference workers."""
 
-    def __init__(self, worker_factory: Callable[[int], InferenceWorker], *,
+    def __init__(self,
+                 worker_factory: Callable[[int], InferenceWorker] | None, *,
                  pattern_fn: Callable[[list], tuple[int, ...]],
                  normalize: Callable | None = None,
                  shards: int = 1, window: int = 10, step: int = 5,
                  max_batch: int = 16, max_latency: float | None = None,
                  queue_capacity: int = 10_000, backpressure: str = "block",
                  threaded: bool = False, poll_interval: float = 0.05,
+                 executor: str | None = None, process_spec=None,
+                 respawn_policy=None,
                  supervisor_options: dict | None = None,
                  fallback_threshold: float = 0.5,
                  max_patterns: int = 100_000,
@@ -138,6 +150,30 @@ class InferenceRuntime:
                  prefix: str = "runtime", spans: bool | None = None,
                  on_report: Callable[[AnomalyReport], None] | None = None,
                  gate: bool = True):
+        if executor is None:
+            executor = "thread" if threaded else "sync"
+        if executor not in ("sync", "thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}; "
+                             "expected sync|thread|process")
+        if threaded and executor != "thread":
+            raise ValueError(
+                f"threaded=True conflicts with executor={executor!r}")
+        threaded = executor == "thread"
+        if executor == "process":
+            if process_spec is None:
+                raise ValueError(
+                    "executor='process' requires a process_spec "
+                    "(see ProcessWorkerSpec / from_model)")
+            if backpressure != "block":
+                raise ValueError(
+                    "the process executor supports only the 'block' "
+                    f"backpressure policy, got {backpressure!r}")
+            if normalize is not None:
+                raise ValueError(
+                    "the process executor requires the default normalize "
+                    "(worker processes rebuild it from LogFormatter)")
+        elif worker_factory is None:
+            raise ValueError(f"executor={executor!r} requires worker_factory")
         if registry is None:
             active = get_registry()
             # Stats must stay readable with observability off, so fall
@@ -150,6 +186,7 @@ class InferenceRuntime:
             normalize = LogFormatter._normalize
         self.router = ShardRouter(shards)
         self.threaded = threaded
+        self.executor = executor
         self.registry = registry
         self.prefix = prefix
         self.poll_interval = poll_interval
@@ -171,6 +208,28 @@ class InferenceRuntime:
         self.queues: list[ShardQueue] = []
         self.shards: list[ShardState] = []
         self._depth_gauges = []
+        self._process = None
+        if executor == "process":
+            # Submodule import keeps multiprocessing machinery out of the
+            # sync/threaded paths entirely.
+            from .procexec import ProcessShardExecutor
+
+            self._process = ProcessShardExecutor(
+                process_spec, shards=shards,
+                pattern_fn=pattern_fn, normalize=normalize,
+                emit=self._emit,
+                window=window, step=step, max_batch=max_batch,
+                max_latency=max_latency,
+                supervisor_options=supervisor_options,
+                fallback_threshold=fallback_threshold,
+                max_patterns=max_patterns,
+                registry=registry, prefix=prefix,
+                poll_interval=poll_interval,
+                respawn_policy=respawn_policy,
+            )
+            self._rejected = registry.counter(f"{prefix}.records_rejected")
+            self._dropped = registry.counter(f"{prefix}.records_dropped")
+            return
         for index in range(shards):
             scope = f".shard{index}" if threaded else ""
             supervisor = WorkerSupervisor(
@@ -204,6 +263,11 @@ class InferenceRuntime:
         per shard.  In threaded mode one lock is shared by the pattern
         function and every worker, because both paths may ingest novel
         templates into the featurizer's store, which is not thread-safe.
+
+        With ``executor="process"`` the pipeline is packed into a
+        shared-memory weight broadcast and every shard process rebuilds
+        its own warm replica — no lock, no sharing.  Pass ``llm_spec``
+        (a provider spec string) to give replicas a live interpreter.
         """
         if model.model is None:
             raise ValueError("InferenceRuntime requires a fitted LogSynergy model")
@@ -213,6 +277,12 @@ class InferenceRuntime:
             ids = {featurizer.event_id_of(entry.message) for entry in window}
             return tuple(sorted(ids))
 
+        if kwargs.get("executor") == "process":
+            from .procexec import ProcessWorkerSpec
+
+            kwargs.setdefault("process_spec", ProcessWorkerSpec.for_pipeline(
+                model, llm_spec=kwargs.pop("llm_spec", None)))
+            return cls(None, pattern_fn=raw_pattern, **kwargs)
         if kwargs.get("threaded"):
             lock = threading.Lock()
 
@@ -239,6 +309,14 @@ class InferenceRuntime:
         routing keeps replay byte-identical across shard counts, and in
         threaded mode one shared lock serializes the workers.
         """
+        if kwargs.get("executor") == "process":
+            # A live ensemble cannot be shipped to worker processes;
+            # the spec-string path rebuilds one per child instead.
+            raise ValueError(
+                "from_ensemble cannot run under executor='process'; build "
+                "the runtime with process_spec=ProcessWorkerSpec.ensemble("
+                "detectors_spec, ...) so each worker process rebuilds its "
+                "own ensemble")
         kwargs["gate"] = False
         lock = threading.Lock() if kwargs.get("threaded") else None
         return cls(lambda index: EnsembleWorker(ensemble, lock=lock),
@@ -259,6 +337,8 @@ class InferenceRuntime:
         return reports
 
     def queue_depths(self) -> list[int]:
+        if self._process is not None:
+            return self._process.queue_depths()
         return [len(queue) for queue in self.queues]
 
     def pending_windows(self) -> int:
@@ -269,6 +349,14 @@ class InferenceRuntime:
         """Route one record to its shard queue; returns the admission
         outcome (one of the ``OFFER_*`` constants)."""
         index = self.router.shard_of(record.system)
+        if self._process is not None:
+            # The process executor journals every envelope (its crash
+            # recovery refeeds it), so admission never sheds: block is
+            # the only supported policy and blocking happens at the
+            # bounded IPC flush, not here.
+            self._seq += 1
+            self._process.submit(index, self._seq, record)
+            return OFFER_OK
         queue = self.queues[index]
         self._seq += 1
         item = (self._seq, record)
@@ -296,9 +384,10 @@ class InferenceRuntime:
         ``submit`` saw, whatever the shard count — the keystone of
         deterministic replay.  Full batches flush inline as lanes fill.
         """
-        if self.threaded:
+        if self.threaded or self._process is not None:
             raise RuntimeError("pump() is for synchronous mode; "
-                               "threaded runtimes consume via start()/stop()")
+                               "threaded/process runtimes consume via "
+                               "start()/stop() or drain()")
         while True:
             best_index = -1
             best_seq = None
@@ -323,6 +412,15 @@ class InferenceRuntime:
         sorted by system name across all shards — so end-of-stream
         output is shard-count independent too.
         """
+        if self._process is not None:
+            # Full cross-process barrier; reports come back in canonical
+            # replay order so callers see a deterministic sequence.
+            from .replay import report_sort_key
+
+            self._process.drain()
+            reports = self.take_reports()
+            reports.sort(key=report_sort_key)
+            return reports
         self.pump()
         residual: list[tuple[str, int, list]] = []
         for shard in self.shards:
@@ -333,9 +431,13 @@ class InferenceRuntime:
             self.shards[index].score_batch(batch)
         return self.take_reports()
 
-    # -- threaded mode -------------------------------------------------
+    # -- threaded / process mode ---------------------------------------
     def start(self) -> None:
-        """Spawn one consumer thread per shard (threaded mode only)."""
+        """Spawn the shard consumers (threaded or process mode)."""
+        if self._process is not None:
+            self._process.ensure_started()
+            self._started = True
+            return
         if not self.threaded:
             raise RuntimeError("start() requires threaded=True")
         if self._started:
@@ -375,6 +477,14 @@ class InferenceRuntime:
 
     def stop(self, timeout: float | None = 30.0) -> list[AnomalyReport]:
         """Signal shards to finish, join them, and return the reports."""
+        if self._process is not None:
+            from .replay import report_sort_key
+
+            self._process.stop(timeout)
+            self._started = False
+            reports = self.take_reports()
+            reports.sort(key=report_sort_key)
+            return reports
         if not self._started:
             return self.take_reports()
         self._stop.set()

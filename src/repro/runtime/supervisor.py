@@ -28,6 +28,7 @@ timeout accounting and ``repro.obs`` counters around it.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from ..core.report import AnomalyReport
@@ -37,7 +38,30 @@ from .health import HealthMonitor
 from .scheduler import PendingWindow
 from .worker import InferenceWorker
 
-__all__ = ["WorkerSupervisor"]
+__all__ = ["RespawnPolicy", "WorkerSupervisor"]
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """How hard the process executor fights to keep a shard alive.
+
+    ``max_spawn_attempts`` bounds consecutive failed process launches
+    (spawn faults, fork errors) before the shard is abandoned to the
+    parent-side pattern-library fallback; ``max_restarts`` bounds how
+    many times one shard may be respawned over the run, so a
+    crash-looping worker cannot refeed its journal forever.
+    """
+
+    max_spawn_attempts: int = 3
+    max_restarts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_spawn_attempts < 1:
+            raise ValueError(
+                f"max_spawn_attempts must be >= 1, got {self.max_spawn_attempts}")
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
 
 
 def _no_sleep(_seconds: float) -> None:

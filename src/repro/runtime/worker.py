@@ -19,6 +19,7 @@ Three implementations:
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from typing import Callable, Protocol
 
@@ -29,6 +30,7 @@ from .scheduler import PendingWindow
 __all__ = [
     "WorkerError", "InferenceWorker", "ModelWorker", "SyntheticWorker",
     "EnsembleWorker", "FlakyWorker", "message_pattern",
+    "resolve_cost", "build_worker_from_spec",
 ]
 
 
@@ -160,6 +162,82 @@ class SyntheticWorker:
             ))
         reports = fault_point("runtime.worker.result", reports)
         return None if reports is DROPPED else reports
+
+
+def resolve_cost(spec: tuple | None) -> Callable[[int], None] | None:
+    """Turn a declarative per-batch cost spec into a callable.
+
+    Cost specs are plain tuples so they survive pickling into worker
+    processes unchanged — both executors then pay the *same* simulated
+    inference cost, which keeps executor benchmarks honest:
+
+    * ``("sleep", seconds)`` — I/O-shaped latency; releases the GIL, so
+      threads overlap it.
+    * ``("spin", iterations)`` — CPU-shaped work (a pure-Python LCG
+      loop); holds the GIL, so only processes overlap it.
+    """
+    if spec is None:
+        return None
+    kind, amount = spec
+    if kind == "sleep":
+        seconds = float(amount)
+        return lambda _n: time.sleep(seconds)
+    if kind == "spin":
+        iterations = int(amount)
+
+        def spin(_n: int) -> None:
+            value = 1
+            for _ in range(iterations):
+                value = (value * 1103515245 + 12345) % 2147483648
+
+        return spin
+    raise ValueError(f"unknown cost spec kind {kind!r}; expected sleep|spin")
+
+
+def build_worker_from_spec(cfg: dict):
+    """Construct ``(worker, pattern_fn, gate)`` inside a worker process.
+
+    ``cfg`` is the picklable dict a
+    :class:`~repro.runtime.procexec.ProcessWorkerSpec` ships to each
+    shard process; model and ensemble kinds rehydrate their warm state
+    from the shared-memory broadcast handle.  No locks are wired in:
+    each process owns its model replica outright.
+    """
+    kind = cfg["kind"]
+    if kind == "synthetic":
+        worker = SyntheticWorker(threshold=cfg.get("threshold", 0.5),
+                                 cost=resolve_cost(cfg.get("cost")))
+        return worker, message_pattern, cfg.get("gate", True)
+
+    from .broadcast import attach, restore_pipeline
+
+    llm = None
+    if cfg.get("llm_spec"):
+        from ..llm.factory import provider_from_spec
+
+        llm = provider_from_spec(cfg["llm_spec"], seed=cfg.get("seed", 0))
+    pipeline = None
+    if cfg.get("handle") is not None:
+        attached = attach(cfg["handle"])
+        pipeline = restore_pipeline(attached, llm=llm)
+    if kind == "model":
+        if pipeline is None:
+            raise ValueError("model worker spec requires a broadcast handle")
+        featurizer = pipeline._featurizer(pipeline.target_system)
+
+        def raw_pattern(window: list) -> tuple[int, ...]:
+            ids = {featurizer.event_id_of(entry.message) for entry in window}
+            return tuple(sorted(ids))
+
+        return ModelWorker(pipeline), raw_pattern, cfg.get("gate", True)
+    if kind == "ensemble":
+        from ..detectors import ensemble_from_spec
+
+        ensemble = ensemble_from_spec(cfg["detectors"], pipeline=pipeline,
+                                      seed=cfg.get("seed", 0))
+        return EnsembleWorker(ensemble), message_pattern, False
+    raise ValueError(
+        f"unknown worker spec kind {kind!r}; expected synthetic|model|ensemble")
 
 
 class FlakyWorker:

@@ -53,6 +53,10 @@ FAULT_POINTS: dict[str, str] = {
     "runtime.supervisor.attempt": "repro/runtime/supervisor.py",
     # Queue admission: a drop here is silent ingress data loss.
     "runtime.queues.admit": "repro/runtime/queues.py",
+    # Process executor: fail a worker-process launch (raise), or flip the
+    # per-submit death probe (corrupt True) to SIGKILL a live shard.
+    "runtime.proc.spawn": "repro/runtime/procexec.py",
+    "runtime.proc.death": "repro/runtime/procexec.py",
     # Cache disk I/O: corrupt the raw bytes read from the cache file.
     "llm.cache.load": "repro/llm/cache.py",
     # LLM completions: hallucination bursts corrupt the returned text.

@@ -134,15 +134,21 @@ def run_episodes(episodes: int, seed: int, *, suite: str = "all",
                  fuzzer: LogStreamFuzzer | None = None,
                  window: int = 10, step: int = 5,
                  f1_floor: float = 0.7,
-                 provider_spec: str | None = None) -> FuzzReport:
+                 provider_spec: str | None = None,
+                 executor: str = "sync") -> FuzzReport:
     """Run ``episodes`` seeded fuzz episodes against ``suite``.
 
     ``broken`` names recovery paths to disable (see
     :data:`~repro.testing.invariants.BREAKABLE_RECOVERIES`) — the
     self-test mode proving the harness detects the defects it exists
     for.  Each episode gets a private scratch directory (cache files
-    etc.) that never appears in the rendered report.
+    etc.) that never appears in the rendered report.  ``executor``
+    selects the runtime the replay invariants drive (``"sync"`` or
+    ``"process"``); injector-armed checkers pin sync regardless.
     """
+    if executor not in ("sync", "process"):
+        raise ValueError(f"unknown executor {executor!r}; "
+                         "expected sync|process")
     if episodes <= 0:
         raise ValueError(f"episodes must be positive, got {episodes}")
     unknown = [name for name in broken if name not in BREAKABLE_RECOVERIES]
@@ -169,6 +175,7 @@ def run_episodes(episodes: int, seed: int, *, suite: str = "all",
                 stream=stream, seed=current, workdir=Path(scratch),
                 broken=frozenset(broken), window=window, step=step,
                 f1_floor=f1_floor, provider_spec=provider_spec,
+                executor=executor,
             )
             for name, checker in checkers:
                 try:

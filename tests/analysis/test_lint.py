@@ -188,6 +188,75 @@ class TestDirectThread:
         assert codes(text) == []
 
 
+class TestDirectProcess:
+    def test_flags_process_attribute_form(self):
+        text = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=work)\n"
+        )
+        assert codes(text) == ["direct-process"]
+
+    def test_flags_mp_alias_and_pool(self):
+        text = (
+            "import multiprocessing as mp\n"
+            "pool = mp.Pool(4)\n"
+        )
+        assert codes(text) == ["direct-process"]
+
+    def test_flags_shared_memory_construction(self):
+        text = (
+            "from multiprocessing import shared_memory\n"
+            "seg = shared_memory.SharedMemory(create=True, size=64)\n"
+        )
+        assert codes(text) == ["direct-process"]
+
+    def test_flags_bare_name_form(self):
+        text = (
+            "from multiprocessing import Process\n"
+            "p = Process(target=work)\n"
+        )
+        assert codes(text) == ["direct-process"]
+
+    def test_flags_get_context(self):
+        text = (
+            "import multiprocessing\n"
+            "ctx = multiprocessing.get_context('fork')\n"
+        )
+        assert codes(text) == ["direct-process"]
+
+    def test_runtime_package_is_exempt(self):
+        text = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=work)\n"
+        )
+        assert lint_source(text, path="src/repro/runtime/procexec.py") == []
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        text = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=work)\n"
+        )
+        assert lint_source(text, path="tests/runtime/test_procexec.py") == []
+        assert lint_source(text, path="benchmarks/bench_runtime_throughput.py") == []
+
+    def test_bare_queue_is_not_flagged(self):
+        # ``Queue`` unqualified is usually ``queue.Queue`` — only the
+        # mp-module attribute form is a process-executor bypass.
+        text = (
+            "from queue import Queue\n"
+            "q = Queue()\n"
+        )
+        assert codes(text) == []
+
+    def test_line_suppression_is_the_escape_hatch(self):
+        text = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=work)"
+            "  # lint: disable=direct-process\n"
+        )
+        assert codes(text) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         text = (
@@ -238,7 +307,7 @@ class TestEngine:
         assert {
             "global-numpy-random", "wall-clock-call", "mutable-default-arg",
             "blanket-except", "module-super-init", "forward-conventions",
-            "direct-thread",
+            "direct-thread", "direct-process",
         } <= names
 
     def test_duplicate_registration_rejected(self):

@@ -1,0 +1,161 @@
+"""Weight broadcast: shared-memory round-trips, cleanup, npz fallback."""
+
+import glob
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    WeightBroadcast, attach, pipeline_state, restore_pipeline,
+)
+
+
+def _shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/repro-bcast-*"))
+
+
+def sample_arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "model/w": rng.standard_normal((5, 3)),
+        "model/b": rng.standard_normal(3).astype(np.float32),
+        "feat/sys/7": rng.standard_normal(16),
+        # Odd sizes exercise the 64-byte alignment padding.
+        "feat/sys/9": rng.standard_normal(13),
+    }
+
+
+class TestArenaRoundTrip:
+    def test_same_process_round_trip_is_exact(self):
+        arrays = sample_arrays()
+        meta = {"config": {"seed": 0}, "note": "non-array state"}
+        broadcast = WeightBroadcast(arrays, meta)
+        try:
+            attached = attach(broadcast.handle())
+            assert attached.meta == meta
+            assert set(attached.arrays) == set(arrays)
+            for key, value in arrays.items():
+                np.testing.assert_array_equal(attached.arrays[key], value)
+                assert attached.arrays[key].dtype == value.dtype
+            attached.close()
+        finally:
+            broadcast.unlink()
+
+    def test_shared_memory_views_are_read_only(self):
+        broadcast = WeightBroadcast(sample_arrays(), {})
+        try:
+            assert broadcast.via_shared_memory
+            attached = attach(broadcast.handle())
+            view = attached.arrays["model/w"]
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+            attached.close()
+        finally:
+            broadcast.unlink()
+
+    def test_handle_is_picklable(self):
+        broadcast = WeightBroadcast(sample_arrays(), {"k": 1})
+        try:
+            handle = pickle.loads(pickle.dumps(broadcast.handle()))
+            attached = attach(handle)
+            np.testing.assert_array_equal(
+                attached.arrays["model/b"],
+                sample_arrays()["model/b"])
+            attached.close()
+        finally:
+            broadcast.unlink()
+
+    def test_child_process_round_trip_is_exact(self):
+        arrays = sample_arrays()
+        broadcast = WeightBroadcast(arrays, {"who": "child"})
+        try:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+            queue = ctx.Queue()
+            process = ctx.Process(
+                target=_child_checksums, args=(broadcast.handle(), queue))
+            process.start()
+            result = queue.get(timeout=30)
+            process.join(timeout=30)
+            assert result["meta"] == {"who": "child"}
+            expected = {key: float(value.astype(np.float64).sum())
+                        for key, value in sorted(arrays.items())}
+            assert result["sums"] == pytest.approx(expected)
+        finally:
+            broadcast.unlink()
+
+
+def _child_checksums(handle, queue) -> None:
+    attached = attach(handle)
+    queue.put({
+        "meta": attached.meta,
+        "sums": {key: float(value.astype(np.float64).sum())
+                 for key, value in sorted(attached.arrays.items())},
+    })
+    attached.close()
+
+
+class TestCleanup:
+    def test_unlink_removes_the_segment(self):
+        before = _shm_segments()
+        broadcast = WeightBroadcast(sample_arrays(), {})
+        assert broadcast.via_shared_memory
+        assert len(_shm_segments()) == len(before) + 1
+        broadcast.unlink()
+        assert _shm_segments() == before
+        broadcast.unlink()  # idempotent
+
+    def test_garbage_collection_backstop_unlinks(self):
+        before = _shm_segments()
+        broadcast = WeightBroadcast(sample_arrays(), {})
+        assert len(_shm_segments()) == len(before) + 1
+        del broadcast
+        import gc
+
+        gc.collect()
+        assert _shm_segments() == before
+
+
+class TestNpzFallback:
+    def test_fallback_round_trip_and_cleanup(self, tmp_path):
+        arrays = sample_arrays()
+        broadcast = WeightBroadcast(arrays, {"via": "npz"}, use_shm=False)
+        assert not broadcast.via_shared_memory
+        handle = broadcast.handle()
+        assert handle.segment is None
+        assert handle.npz_path is not None
+        attached = attach(handle)
+        assert attached.meta == {"via": "npz"}
+        for key, value in arrays.items():
+            np.testing.assert_array_equal(attached.arrays[key], value)
+        broadcast.unlink()
+        import os
+
+        assert not os.path.exists(handle.npz_path)
+
+
+class TestPipelineBroadcast:
+    def test_restored_replica_scores_identically(self, fitted_logsynergy):
+        from repro.logs import generate_logs
+
+        arrays, meta = pipeline_state(fitted_logsynergy)
+        assert any(key.startswith("model/") for key in arrays)
+        assert any(key.startswith("feat/") for key in arrays)
+        broadcast = WeightBroadcast(arrays, meta)
+        try:
+            replica = restore_pipeline(attach(broadcast.handle()))
+            assert replica.target_system == fitted_logsynergy.target_system
+            original_state = fitted_logsynergy.model.state_dict()
+            for key, value in replica.model.state_dict().items():
+                np.testing.assert_array_equal(value, original_state[key])
+            window = [record.message
+                      for record in generate_logs("thunderbird", 10, seed=11)]
+            expected = fitted_logsynergy.detect_stream_batch([window])
+            got = replica.detect_stream_batch([window])
+            assert got[0].score == expected[0].score
+            assert got[0].is_anomalous == expected[0].is_anomalous
+        finally:
+            broadcast.unlink()
