@@ -7,6 +7,8 @@
 # metrics, and the process executor must render identical bytes), a
 # seeded fault-injection fuzz pass (twice — the violation
 # report must be byte-identical, with the unarmed-hook overhead guard),
+# a checkpointed train/SIGKILL/resume byte-diff against an uninterrupted
+# run plus the onboarding crash invariant and cost benchmark,
 # then the test suite.
 set -euo pipefail
 
@@ -21,7 +23,8 @@ bash scripts/lint.sh
 flow_a="$(mktemp)"
 flow_b="$(mktemp)"
 trap 'rm -f "$flow_a" "$flow_b" "${replay_out:-}" "${replay_metrics:-}" \
-    "${replay_proc:-}" "${fuzz_a:-}" "${fuzz_b:-}"' EXIT
+    "${replay_proc:-}" "${fuzz_a:-}" "${fuzz_b:-}"
+rm -rf "${ckpt_root:-}"' EXIT
 PYTHONPATH=src python -m repro.cli lint src --select 'flow/*' \
     --format json >"$flow_a"
 PYTHONPATH=src python -m repro.cli lint src --select 'flow/*' \
@@ -93,6 +96,43 @@ PYTHONPATH=src python -m repro.cli fuzz --episodes 2 --seed 7 \
     --out "$fuzz_b" >/dev/null
 cmp -s "$fuzz_a" "$fuzz_b" \
     || { echo "smoke: fuzz report not deterministic across runs" >&2; exit 1; }
+
+# Checkpointed training survives a SIGKILL: train two epochs with a
+# kill after epoch 1's durable checkpoint, resume in a fresh process,
+# and require the final weights byte-identical to an uninterrupted run.
+# Then the onboarding path: its crash invariant (a mid-onboarding death
+# never demotes the serving weights) and its cost edge over a full
+# retrain (bench --smoke).
+ckpt_root="$(mktemp -d)"
+for system in bgl spirit thunderbird; do
+    PYTHONPATH=src python -m repro.cli generate --system "$system" \
+        --lines 900 --out "$ckpt_root/$system.jsonl" >/dev/null
+done
+train_args=(--sources "$ckpt_root/bgl.jsonl" "$ckpt_root/spirit.jsonl"
+    --target "$ckpt_root/thunderbird.jsonl"
+    --n-source 150 --n-target 50 --epochs 2 --num-layers 1 --quiet)
+PYTHONPATH=src python -m repro.cli train "${train_args[@]}" \
+    --model-dir "$ckpt_root/ref" >/dev/null
+set +e
+PYTHONPATH=src python -m repro.cli train "${train_args[@]}" \
+    --model-dir "$ckpt_root/resumed" --checkpoint-dir "$ckpt_root/ckpt" \
+    --kill-after 1 >/dev/null 2>&1
+kill_status=$?
+set -e
+[ "$kill_status" -eq 137 ] \
+    || { echo "smoke: --kill-after 1 did not SIGKILL the training run" \
+         "(exit $kill_status)" >&2; exit 1; }
+test -s "$ckpt_root/ckpt/MANIFEST.json" \
+    || { echo "smoke: no durable checkpoint survived the kill" >&2; exit 1; }
+PYTHONPATH=src python -m repro.cli train "${train_args[@]}" \
+    --model-dir "$ckpt_root/resumed" --checkpoint-dir "$ckpt_root/ckpt" \
+    --resume >/dev/null
+cmp -s "$ckpt_root/ref/model.npz" "$ckpt_root/resumed/model.npz" \
+    || { echo "smoke: kill/resume weights diverged from the" \
+         "uninterrupted run" >&2; exit 1; }
+PYTHONPATH=src python -m repro.cli fuzz --episodes 1 --seed 7 \
+    --suite onboard >/dev/null
+PYTHONPATH=src python benchmarks/bench_onboard.py --smoke
 
 # The provider stack must absorb an aggressively flaky upstream (llm
 # suite stays green with --llm flaky), and the --break breaker

@@ -16,7 +16,7 @@ __all__ = [
     "BlanketExceptRule", "SilentExceptRule", "ModuleSuperInitRule",
     "ForwardConventionsRule", "DirectThreadRule", "PerTimestepLoopRule",
     "FaultPointAllowlistRule", "DirectLLMCallRule",
-    "DetectorOutsideRegistryRule",
+    "DetectorOutsideRegistryRule", "UnmanagedCheckpointWriteRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -562,4 +562,47 @@ class DetectorOutsideRegistryRule(LintRule):
                 self.report(scorer,
                             f"{node.name}.score_window defines a detector "
                             f"outside the repro.detectors registry")
+        self.generic_visit(node)
+
+
+@register_rule
+class UnmanagedCheckpointWriteRule(LintRule):
+    """Checkpoint durability rests on one code path: the manifest-aware
+    :class:`~repro.core.checkpoint.CheckpointStore` saver, which digests
+    the payload, writes to a temp file, renames atomically, and records
+    the entry in ``MANIFEST.json`` before pruning.  A raw ``np.savez``
+    anywhere else produces an orphan npz the resume path cannot trust —
+    no digest, no manifest entry, no torn-write detection.  Model/weight
+    serialization (``repro.nn.module``, the runtime broadcast arena, and
+    pipeline export) have their own formats and are exempt, as are tests
+    and benchmarks."""
+
+    name = "unmanaged-checkpoint-write"
+    description = "forbid np.savez outside the manifest-aware checkpoint saver"
+    hint = ("route checkpoint writes through CheckpointStore.save (or "
+            "suppress with # lint: disable=unmanaged-checkpoint-write)")
+
+    # Path fragments (posix-normalized) exempt from the rule.
+    _ALLOWED_FRAGMENTS = (
+        "repro/core/checkpoint.py", "repro/nn/module.py",
+        "repro/runtime/broadcast.py", "repro/core/pipeline.py",
+        "tests/", "benchmarks/", "examples/",
+    )
+
+    _SAVEZ_FUNCS = ("savez", "savez_compressed")
+
+    def _exempt(self) -> bool:
+        path = self.source.path.replace("\\", "/")
+        return any(fragment in path for fragment in self._ALLOWED_FRAGMENTS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._exempt():
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in self._SAVEZ_FUNCS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in _NUMPY_ALIASES):
+                self.report(node, f"unmanaged checkpoint write np.{func.attr}()")
+            elif isinstance(func, ast.Name) and func.id in self._SAVEZ_FUNCS:
+                self.report(node, f"unmanaged checkpoint write {func.id}()")
         self.generic_visit(node)

@@ -95,6 +95,58 @@ def _load_sequences(path: str, window: int, step: int):
     return records[0].system, sliding_windows(records, window=window, step=step)
 
 
+class _KillAfter:
+    """CLI-only crash switch: SIGKILL this process after epoch N ends.
+
+    Composed *after* the checkpoint controller, so the epoch's
+    checkpoint is durable before the process dies — the smoke test's
+    kill/resume/byte-diff sequence depends on exactly that ordering.
+    """
+
+    def __init__(self, epochs: int):
+        self.epochs = epochs
+
+    def on_fit_start(self, trainer):
+        return None
+
+    def on_epoch_start(self, trainer, epoch):
+        return None
+
+    def on_step(self, trainer, step):
+        return None
+
+    def on_epoch_end(self, trainer, epoch, metrics):
+        if epoch + 1 >= self.epochs:
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+        return None
+
+    def on_fit_end(self, trainer, history):
+        return None
+
+
+def _training_controls(args: argparse.Namespace):
+    """(controller, store, resume) from the shared checkpoint flags."""
+    from .core import CheckpointEvery, CheckpointStore, StopAfter, compose
+
+    if getattr(args, "resume", False) and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if getattr(args, "kill_after", None) is not None and not args.checkpoint_dir:
+        raise SystemExit("--kill-after requires --checkpoint-dir")
+    controllers = []
+    store = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir)
+        controllers.append(CheckpointEvery(store, epochs=args.checkpoint_every))
+    if getattr(args, "stop_after", None) is not None:
+        controllers.append(StopAfter(epochs=args.stop_after))
+    if getattr(args, "kill_after", None) is not None:
+        controllers.append(_KillAfter(args.kill_after))
+    return compose(controllers), store, getattr(args, "resume", False)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from .config import LogSynergyConfig
     from .core import LogSynergy
@@ -116,11 +168,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"target {target_system}: {len(split.train)} training sequences")
 
     with _observability(args), contextlib.ExitStack() as stack:
+        # Inside the observability scope: the checkpoint store's
+        # counters bind at construction and must reach --metrics-out.
+        controller, store, resume = _training_controls(args)
         llm, cache = _resolve_llm(args, config.seed)
         if cache is not None:
             stack.enter_context(cache)
         model = LogSynergy(config, llm=llm)
-        model.fit(sources, target_system, split.train, verbose=not args.quiet)
+        model.fit(sources, target_system, split.train, verbose=not args.quiet,
+                  controller=controller, store=store, resume=resume)
         model.save_pipeline(args.model_dir)
         if cache is not None:
             print(f"LLM cache: {cache.hits} hits, {cache.misses} misses "
@@ -154,6 +210,58 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             marker = "ANOMALY" if report.is_anomalous else "ok     "
             print(f"  [{marker}] score={report.score:.3f} window@{sequence.start_index}: "
                   f"{report.summary()}")
+    return 0
+
+
+def _cmd_onboard(args: argparse.Namespace) -> int:
+    """Warm-start fine-tune on day-0 logs while a runtime keeps serving
+    the old weights; promote only past the shadow-F1 gate."""
+    from .core import CheckpointStore, LogSynergy, OnboardingSession
+    from .logs import load_records, sliding_windows
+
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    records = load_records(args.logs)
+    if not records:
+        raise SystemExit(f"{args.logs}: no records")
+    sequences = sliding_windows(records, window=args.window, step=args.step)
+    if len(sequences) < 4:
+        raise SystemExit(f"{args.logs}: only {len(sequences)} windows — "
+                         "too few to split into fine-tune and holdout")
+    system = records[0].system
+    with _observability(args):
+        pipeline = LogSynergy.load_pipeline(args.model_dir)
+        runtime = None
+        started = False
+        if args.executor != "none":
+            from .runtime import InferenceRuntime
+
+            runtime = InferenceRuntime.from_model(
+                pipeline, executor=args.executor,
+                window=args.window, step=args.step)
+            if args.executor in ("thread", "process"):
+                runtime.start()
+                started = True
+        store = (CheckpointStore(args.checkpoint_dir)
+                 if args.checkpoint_dir else None)
+        session = OnboardingSession(
+            pipeline, runtime=runtime, gate_f1=args.gate_f1,
+            holdout_fraction=args.holdout_fraction)
+        try:
+            result = session.run(system, sequences, epochs=args.epochs,
+                                 store=store, resume=args.resume)
+        finally:
+            if started:
+                runtime.stop()
+        verdict = "PROMOTED" if result.promoted else "REJECTED"
+        print(f"onboard {system}: {verdict} — shadow F1 {result.shadow_f1:.3f} "
+              f"vs gate {result.gate_f1:.2f} ({result.epochs} epochs, "
+              f"{result.train_sequences} fine-tune / "
+              f"{result.holdout_sequences} holdout windows)")
+        if result.promoted:
+            out_dir = args.out_dir or args.model_dir
+            pipeline.save_pipeline(out_dir)
+            print(f"promoted pipeline saved to {out_dir}")
     return 0
 
 
@@ -502,6 +610,16 @@ def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
                         help="export repro.obs metrics/spans to this JSONL file")
 
 
+def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write resumable training checkpoints here")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="E", help="checkpoint every E epochs")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the newest verifiable checkpoint "
+                             "in --checkpoint-dir")
+
+
 def _add_llm_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--llm", default=None, metavar="SPEC",
                         help="LLM provider spec: name[:key=value,...] — e.g. "
@@ -549,7 +667,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_flags(train)
     _add_window_flags(train)
     _add_metrics_flag(train)
+    _add_checkpoint_flags(train)
+    train.add_argument("--stop-after", type=int, default=None, metavar="E",
+                       help="pause (resumably) after E completed epochs")
+    train.add_argument("--kill-after", type=int, default=None, metavar="E",
+                       help="SIGKILL this process after epoch E's checkpoint "
+                            "(crash-equivalence testing; needs "
+                            "--checkpoint-dir)")
     train.set_defaults(func=_cmd_train)
+
+    onboard = commands.add_parser(
+        "onboard", help="fine-tune a saved pipeline on a new system's "
+                        "day-0 logs; promote past a shadow-F1 gate")
+    onboard.add_argument("--model-dir", required=True,
+                         help="saved pipeline to warm-start from")
+    onboard.add_argument("--logs", required=True,
+                         help="day-0 JSONL records of the new system")
+    onboard.add_argument("--epochs", type=int, default=None,
+                         help="fine-tune epochs (default: config.epochs)")
+    onboard.add_argument("--gate-f1", type=float, default=0.6,
+                         help="minimum shadow F1 for promotion")
+    onboard.add_argument("--holdout-fraction", type=float, default=0.5,
+                         help="tail fraction held out for shadow evaluation")
+    onboard.add_argument("--executor", default="sync",
+                         choices=["none", "sync", "thread", "process"],
+                         help="runtime serving the old weights during the "
+                              "fine-tune (promotion hot-swaps it); 'none' "
+                              "skips the runtime")
+    onboard.add_argument("--out-dir", default=None,
+                         help="where to save a promoted pipeline "
+                              "(default: --model-dir)")
+    _add_window_flags(onboard)
+    _add_metrics_flag(onboard)
+    _add_checkpoint_flags(onboard)
+    onboard.set_defaults(func=_cmd_onboard)
 
     detect = commands.add_parser("detect", help="score a log file with a saved pipeline")
     detect.add_argument("--model-dir", required=True)
@@ -689,7 +840,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="base seed; episode seeds derive deterministically")
     fuzz.add_argument("--suite", default="all",
                       choices=["all", "replay", "llm", "trainer", "fuzzer",
-                               "detectors", "process"],
+                               "detectors", "process", "onboard"],
                       help="invariant suite to check each episode against")
     fuzz.add_argument("--executor", default="sync",
                       choices=["sync", "process"],

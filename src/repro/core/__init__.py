@@ -10,6 +10,20 @@ from .daan import DAANModule
 from .model import LogSynergyModel
 from .features import SystemFeaturizer
 from .trainer import LogSynergyTrainer, TrainingBatch, TrainingHistory
+from .checkpoint import CheckpointEntry, CheckpointStore
+from .controller import (
+    CONTINUE,
+    PAUSE,
+    STOP,
+    CheckpointEvery,
+    ComposedController,
+    ControllerError,
+    LearningRateController,
+    StopAfter,
+    TrainingController,
+    compose,
+)
+from .onboard import OnboardingResult, OnboardingSession
 from .report import AnomalyReport, build_report
 from .explain import (
     EventAttribution,
@@ -23,6 +37,11 @@ from .pipeline import LogSynergy
 __all__ = [
     "CLUBEstimator", "DAANModule", "LogSynergyModel", "SystemFeaturizer",
     "LogSynergyTrainer", "TrainingBatch", "TrainingHistory",
+    "CheckpointEntry", "CheckpointStore",
+    "CONTINUE", "PAUSE", "STOP", "TrainingController", "ComposedController",
+    "ControllerError", "CheckpointEvery", "StopAfter",
+    "LearningRateController", "compose",
+    "OnboardingResult", "OnboardingSession",
     "AnomalyReport", "build_report",
     "EventAttribution", "WindowExplanation", "explain_window",
     "occlusion_attribution", "nearest_training_sequences",

@@ -1,0 +1,220 @@
+"""Durable trainer checkpoints: atomic npz writes behind a manifest.
+
+A checkpoint is one ``.npz`` archive holding every array the trainer
+needs to resume bit-exactly (parameters, optimizer moments, the current
+epoch's shuffle order) plus a JSON metadata record (RNG bit-generator
+state, epoch/step counters, loss history, mid-epoch offsets) embedded as
+a ``uint8`` member so the whole checkpoint travels in the repo's
+existing npz format.
+
+Durability follows the write-then-rename discipline: the payload is
+assembled in memory, its SHA-256 recorded, the bytes written to a
+temporary file and ``os.replace``d into place, and only then is the
+manifest (itself replaced atomically) extended.  A crash at any point
+leaves either the previous manifest or the new one — never a manifest
+pointing at a torn file.  On load the digest is re-verified; a mismatch
+quarantines the file with a ``.corrupt-<ts>`` suffix (the CachedLLM
+pattern) and falls back to the previous manifest entry.
+
+The ``trainer.checkpoint.write`` fault point sits between digest and
+write: a ``raise`` fault models a crash mid-write (nothing durable), a
+``corrupt`` fault models a torn write that lands on disk and must be
+caught by the digest check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..obs import get_registry
+from ..testing.faultpoints import fault_point
+
+__all__ = ["CheckpointEntry", "CheckpointStore"]
+
+_MANIFEST = "MANIFEST.json"
+# Reserved npz member carrying the JSON metadata record.
+_META_KEY = "__checkpoint_meta__"
+
+
+@dataclass(frozen=True)
+class CheckpointEntry:
+    """One manifest line: which file, where in training, and its digest."""
+
+    file: str
+    epoch: int
+    step: int
+    sha256: str
+    written_at: int
+
+
+def _pack(arrays: dict[str, np.ndarray], meta: dict) -> bytes:
+    blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    buffer = io.BytesIO()
+    np.savez(buffer, **{_META_KEY: np.frombuffer(blob, dtype=np.uint8)},
+             **arrays)
+    return buffer.getvalue()
+
+
+def _unpack(payload: bytes) -> tuple[dict[str, np.ndarray], dict]:
+    with np.load(io.BytesIO(payload)) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError("checkpoint archive has no metadata record")
+        meta = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+        arrays = {key: archive[key]
+                  for key in archive.files if key != _META_KEY}
+    return arrays, meta
+
+
+class CheckpointStore:
+    """Manifest-aware checkpoint directory with atomic writes.
+
+    ``keep`` bounds retention: older checkpoint files beyond the newest
+    ``keep`` manifest entries are deleted on save (quarantined files are
+    never touched — they are evidence).  ``clock`` is injectable so
+    quarantine names and ``written_at`` stamps are deterministic under
+    test.
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, keep: int = 3,
+                 clock: Callable[[], float] = time.time):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+        self._clock = clock
+        registry = get_registry()
+        self._saved = registry.counter("trainer.checkpoint.saved")
+        self._restored = registry.counter("trainer.checkpoint.restored")
+        self._quarantined = registry.counter("trainer.checkpoint.quarantined")
+        self._fallbacks = registry.counter("trainer.checkpoint.fallbacks")
+        self._bytes = registry.gauge("trainer.checkpoint.bytes")
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def _read_manifest(self) -> dict:
+        try:
+            data = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return {"next_serial": 0, "entries": []}
+        except (OSError, json.JSONDecodeError):
+            # A torn manifest carries no trustworthy history.  Starting
+            # fresh is safe: files are only ever loaded through a
+            # digest-bearing entry, so orphans can never load silently.
+            return {"next_serial": 0, "entries": []}
+        if not isinstance(data, dict) or "entries" not in data:
+            return {"next_serial": 0, "entries": []}
+        data.setdefault("next_serial", len(data["entries"]))
+        return data
+
+    def _write_manifest(self, manifest: dict) -> None:
+        payload = json.dumps(manifest, sort_keys=True).encode("utf-8")
+        temp = self.directory / f".{_MANIFEST}.tmp"
+        temp.write_bytes(payload)
+        os.replace(temp, self.manifest_path)
+
+    def entries(self) -> list[CheckpointEntry]:
+        """Manifest entries, oldest first."""
+        return [CheckpointEntry(**raw)
+                for raw in self._read_manifest()["entries"]]
+
+    # -- save ----------------------------------------------------------
+    def save(self, arrays: dict[str, np.ndarray], meta: dict) -> Path:
+        """Write one checkpoint durably; returns the final path.
+
+        ``meta`` must be JSON-serializable; its ``epoch``/``step`` keys
+        (when present) are copied into the manifest entry.
+        """
+        manifest = self._read_manifest()
+        serial = int(manifest["next_serial"])
+        name = f"checkpoint-{serial:06d}.npz"
+        payload = _pack(arrays, meta)
+        digest = hashlib.sha256(payload).hexdigest()
+        # Crash/tear injection point: `raise` dies before anything is
+        # durable, `corrupt` lets damaged bytes land for load to catch.
+        payload = fault_point("trainer.checkpoint.write", payload)
+        final = self.directory / name
+        temp = self.directory / f".{name}.tmp"
+        try:
+            temp.write_bytes(payload)
+            os.replace(temp, final)
+        finally:
+            with contextlib.suppress(FileNotFoundError):
+                temp.unlink()
+        manifest["entries"].append({
+            "file": name,
+            "epoch": int(meta.get("epoch", 0)),
+            "step": int(meta.get("step", 0)),
+            "sha256": digest,
+            "written_at": int(self._clock()),
+        })
+        manifest["next_serial"] = serial + 1
+        # Trim the manifest before deleting anything: a crash in between
+        # leaves orphan files (harmless), never dangling entries.
+        excess = manifest["entries"][:-self.keep]
+        manifest["entries"] = manifest["entries"][-self.keep:]
+        self._write_manifest(manifest)
+        for raw in excess:
+            with contextlib.suppress(FileNotFoundError):
+                (self.directory / raw["file"]).unlink()
+        self._saved.inc()
+        self._bytes.set(float(len(payload)))
+        return final
+
+    # -- load ----------------------------------------------------------
+    def load_latest(self):
+        """Newest verifiable checkpoint as ``(arrays, meta, entry)``.
+
+        Walks the manifest newest-first: a missing file is skipped, a
+        digest mismatch or unreadable archive is quarantined, and in
+        either case the previous entry is tried.  Returns ``None`` when
+        no entry survives.
+        """
+        entries = list(self._read_manifest()["entries"])
+        first = True
+        while entries:
+            raw = entries.pop()
+            if not first:
+                self._fallbacks.inc()
+            first = False
+            path = self.directory / raw["file"]
+            try:
+                payload = path.read_bytes()
+            except FileNotFoundError:
+                continue
+            if hashlib.sha256(payload).hexdigest() != raw["sha256"]:
+                self._quarantine(path)
+                continue
+            try:
+                arrays, meta = _unpack(payload)
+            except (ValueError, KeyError, OSError):
+                self._quarantine(path)
+                continue
+            self._restored.inc()
+            return arrays, meta, CheckpointEntry(**raw)
+        return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged checkpoint aside so it is preserved as
+        evidence but can never be picked up again."""
+        stamp = int(self._clock())
+        target = path.with_name(f"{path.name}.corrupt-{stamp}")
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = path.with_name(f"{path.name}.corrupt-{stamp}-{serial}")
+        path.rename(target)
+        self._quarantined.inc()

@@ -186,11 +186,23 @@ class LogSynergy:
     # ------------------------------------------------------------------
     def fit(self, sources: dict[str, list[LogSequence]], target_system: str,
             target_sequences: list[LogSequence], epochs: int | None = None,
-            verbose: bool = False) -> "LogSynergy":
-        """Run the offline phase: featurize all systems and train the model."""
+            verbose: bool = False, controller=None, store=None,
+            resume: bool = False) -> "LogSynergy":
+        """Run the offline phase: featurize all systems and train the model.
+
+        ``controller`` is an optional
+        :class:`~repro.core.controller.TrainingController` threaded into
+        the trainer's fit loop.  With ``store`` (a
+        :class:`~repro.core.checkpoint.CheckpointStore`) and
+        ``resume=True``, the trainer restores the newest verifiable
+        checkpoint before training and only runs the remaining epochs;
+        featurization is deterministic, so the rebuilt batch matches the
+        one the interrupted run saw.
+        """
         if target_system in sources:
             raise ValueError(f"{target_system!r} appears in both sources and target")
         self.target_system = target_system
+        total_epochs = epochs if epochs is not None else self.config.epochs
         with trace("fit", target=target_system, sources=len(sources)):
             data = self._assemble(sources, target_system, target_sequences)
             with trace("fit.train", samples=len(data.anomaly_labels)):
@@ -199,7 +211,13 @@ class LogSynergy:
                     rng=np.random.default_rng(self.config.seed),
                 )
                 self.trainer = LogSynergyTrainer(self.model, self.config)
-                self.history = self.trainer.fit(data, epochs=epochs, verbose=verbose)
+                if store is not None and resume:
+                    self.trainer.resume_from(store)
+                remaining = max(0, total_epochs - self.trainer.completed_epochs)
+                self.history = self.trainer.fit(
+                    data, epochs=remaining, verbose=verbose,
+                    controller=controller,
+                )
         return self
 
     def _require_fitted(self) -> LogSynergyModel:

@@ -23,6 +23,7 @@ from ..nn.tensor import Tensor
 from ..obs import get_registry
 from ..testing.faultpoints import fault_point
 from .club import CLUBEstimator
+from .controller import CONTINUE, PAUSE, STOP, ControllerError
 from .daan import DAANModule
 from .model import LogSynergyModel
 
@@ -111,6 +112,15 @@ class LogSynergyTrainer:
         )
         self.club_optimizer = nn.Adam(self.club.parameters(), lr=1e-3)
         self.history = TrainingHistory()
+        # Resume bookkeeping.  `_epoch` counts completed epochs, `_step`
+        # counts optimizer steps across the whole run (both survive
+        # checkpoint round-trips); `_epoch_state` holds the in-flight
+        # epoch's shuffle order, batch position and partial loss sums
+        # whenever the trainer is paused mid-epoch.
+        self._epoch = 0
+        self._step = 0
+        self._epoch_state: dict | None = None
+        self.run_failed = False
 
     # ------------------------------------------------------------------
     def _auto_pos_weight(self, labels: np.ndarray) -> float:
@@ -119,19 +129,6 @@ class LogSynergyTrainer:
         if positives == 0:
             return 1.0
         return float(np.clip(negatives / positives, 1.0, 50.0))
-
-    def _iterate_batches(self, data: TrainingBatch, batch_size: int):
-        order = self._rng.permutation(len(data.anomaly_labels))
-        for start in range(0, len(order), batch_size):
-            index = order[start : start + batch_size]
-            if len(index) < 2:
-                continue  # CLUB/DAAN need at least two samples
-            yield TrainingBatch(
-                sequences=data.sequences[index],
-                anomaly_labels=data.anomaly_labels[index],
-                system_labels=data.system_labels[index],
-                domain_labels=data.domain_labels[index],
-            )
 
     def _train_estimator(self, batch: TrainingBatch) -> None:
         with nn.no_grad():
@@ -188,67 +185,301 @@ class LogSynergyTrainer:
         return parts
 
     # ------------------------------------------------------------------
+    # Controller dispatch
+    # ------------------------------------------------------------------
+    @property
+    def completed_epochs(self) -> int:
+        """Fully completed epochs (a paused mid-epoch does not count)."""
+        return self._epoch
+
+    @property
+    def global_step(self) -> int:
+        """Optimizer steps taken across the whole run, resume included."""
+        return self._step
+
+    def set_learning_rate(self, lr: float) -> None:
+        """Adjust the main optimizer's learning rate (controller hook
+        surface); the value travels in the checkpointed optimizer state."""
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.optimizer.lr = float(lr)
+
+    def _dispatch(self, controller, hook: str, *args) -> str:
+        if controller is None:
+            return CONTINUE
+        try:
+            action = getattr(controller, hook)(*args)
+        except ControllerError:
+            self.run_failed = True
+            raise
+        except Exception as error:  # lint: disable=blanket-except
+            # A broken callback fails the run.  Training state is left
+            # exactly as it was, so the last durable checkpoint stays
+            # the restart point.
+            self.run_failed = True
+            raise ControllerError(
+                f"training controller {hook} raised") from error
+        return CONTINUE if action is None else action
+
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def _module_rngs(self) -> list[np.random.Generator]:
+        """Distinct RNG generators reachable from the module trees
+        (dropout masks draw from these), in deterministic first-seen
+        traversal order.  Both trainers in a resume pair build the same
+        sharing topology, so positional restore is exact."""
+        generators: list[np.random.Generator] = []
+        seen: set[int] = set()
+
+        def walk(module) -> None:
+            rng = getattr(module, "rng", None)
+            if isinstance(rng, np.random.Generator) and id(rng) not in seen:
+                seen.add(id(rng))
+                generators.append(rng)
+            for child in module._modules.values():
+                walk(child)
+
+        for root in (self.model, self.daan, self.club):
+            walk(root)
+        return generators
+
+    def checkpoint_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Everything needed to resume bit-exactly, as (arrays, meta).
+
+        Arrays: model/DAAN/CLUB parameters, both optimizers' moment
+        estimates, and the in-flight epoch's shuffle order (mid-epoch
+        only).  Meta (JSON-serializable): epoch/step counters, optimizer
+        scalars, the PCG64 bit-generator state, the loss history and the
+        mid-epoch batch position and partial loss sums.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for prefix, module in (("model", self.model), ("daan", self.daan),
+                               ("club", self.club)):
+            for key, value in module.state_dict().items():
+                arrays[f"{prefix}.{key}"] = value
+        optimizer_meta = {}
+        for prefix, optimizer in (("opt", self.optimizer),
+                                  ("clubopt", self.club_optimizer)):
+            state = optimizer.state_dict()
+            for i, (m, v) in enumerate(zip(state["m"], state["v"])):
+                arrays[f"{prefix}.m.{i}"] = m
+                arrays[f"{prefix}.v.{i}"] = v
+            optimizer_meta[prefix] = {
+                "step_count": state["step_count"],
+                "lr": state["lr"],
+                "size": len(state["m"]),
+            }
+        meta = {
+            "format": 1,
+            "epoch": self._epoch,
+            "step": self._step,
+            "optimizers": optimizer_meta,
+            "rng": self._rng.bit_generator.state,
+            "module_rngs": [generator.bit_generator.state
+                            for generator in self._module_rngs()],
+            # DAAN's dynamic global/local balance is an EMA updated every
+            # forward — rolling state the parameter arrays don't carry.
+            "daan_omega": float(self.daan.omega),
+            "history": {
+                "total": list(self.history.total),
+                "anomaly": list(self.history.anomaly),
+                "system": list(self.history.system),
+                "mutual_information": list(self.history.mutual_information),
+                "domain_adaptation": list(self.history.domain_adaptation),
+            },
+            "epoch_state": None,
+        }
+        if self._epoch_state is not None:
+            arrays["order"] = np.asarray(self._epoch_state["order"],
+                                         dtype=np.int64)
+            meta["epoch_state"] = {
+                "position": int(self._epoch_state["position"]),
+                "count": int(self._epoch_state["count"]),
+                "sums": dict(self._epoch_state["sums"]),
+            }
+        return arrays, meta
+
+    def restore_checkpoint(self, arrays: dict[str, np.ndarray],
+                           meta: dict) -> None:
+        """Load state captured by :meth:`checkpoint_state`."""
+        grouped: dict[str, dict[str, np.ndarray]] = {
+            "model": {}, "daan": {}, "club": {}}
+        for key, value in arrays.items():
+            prefix, _, rest = key.partition(".")
+            if prefix in grouped:
+                grouped[prefix][rest] = value
+        self.model.load_state_dict(grouped["model"])
+        self.daan.load_state_dict(grouped["daan"])
+        self.club.load_state_dict(grouped["club"])
+        for prefix, optimizer in (("opt", self.optimizer),
+                                  ("clubopt", self.club_optimizer)):
+            scalars = meta["optimizers"][prefix]
+            size = int(scalars["size"])
+            optimizer.load_state_dict({
+                "step_count": scalars["step_count"],
+                "lr": scalars["lr"],
+                "m": [arrays[f"{prefix}.m.{i}"] for i in range(size)],
+                "v": [arrays[f"{prefix}.v.{i}"] for i in range(size)],
+            })
+        self._rng.bit_generator.state = meta["rng"]
+        generators = self._module_rngs()
+        states = meta["module_rngs"]
+        if len(generators) != len(states):
+            raise ValueError(
+                f"checkpoint carries {len(states)} module RNG states for "
+                f"{len(generators)} generators — model topology mismatch")
+        for generator, state in zip(generators, states):
+            generator.bit_generator.state = state
+        self.daan.omega = float(meta["daan_omega"])
+        history = meta["history"]
+        self.history.total[:] = history["total"]
+        self.history.anomaly[:] = history["anomaly"]
+        self.history.system[:] = history["system"]
+        self.history.mutual_information[:] = history["mutual_information"]
+        self.history.domain_adaptation[:] = history["domain_adaptation"]
+        self._epoch = int(meta["epoch"])
+        self._step = int(meta["step"])
+        epoch_state = meta.get("epoch_state")
+        if epoch_state is None:
+            self._epoch_state = None
+        else:
+            self._epoch_state = {
+                "order": np.asarray(arrays["order"], dtype=np.int64),
+                "position": int(epoch_state["position"]),
+                "count": int(epoch_state["count"]),
+                "sums": {key: float(value)
+                         for key, value in epoch_state["sums"].items()},
+            }
+
+    def resume_from(self, store) -> bool:
+        """Restore the newest verifiable checkpoint from a
+        :class:`~repro.core.checkpoint.CheckpointStore`; ``False`` when
+        the store holds none."""
+        loaded = store.load_latest()
+        if loaded is None:
+            return False
+        arrays, meta, _entry = loaded
+        self.restore_checkpoint(arrays, meta)
+        return True
+
+    # ------------------------------------------------------------------
     def fit(self, data: TrainingBatch, epochs: int | None = None,
-            verbose: bool = False, profiler=None) -> TrainingHistory:
+            verbose: bool = False, profiler=None,
+            controller=None) -> TrainingHistory:
         """Train on the full (source + target) training set.
+
+        ``epochs`` counts epochs *beyond those already completed*: a
+        fresh trainer runs the usual ``config.epochs``, while a trainer
+        restored mid-run via :meth:`restore_checkpoint` continues toward
+        the original total — the GRL alpha schedule spans the combined
+        run, so ``fit(k) → resume → fit(N−k)`` is bit-identical to
+        ``fit(N)``.
 
         ``profiler`` optionally takes an :class:`repro.nn.OpProfiler`; it is
         entered around the whole training loop so every autograd op in the
         fit lands in its ranked hot-op table (the ``repro profile`` path).
+
+        ``controller`` optionally takes a
+        :class:`~repro.core.controller.TrainingController` whose hooks
+        can pause, stop, checkpoint, or adjust the learning rate.
         """
         epochs = epochs if epochs is not None else self.config.epochs
         pos_weight = (
             self.pos_weight if self.pos_weight is not None
             else self._auto_pos_weight(data.anomaly_labels)
         )
-        total_steps = max(1, epochs * max(1, len(data.anomaly_labels) // self.config.batch_size))
-        step = 0
+        target_epoch = self._epoch + epochs
+        total_steps = max(1, target_epoch * max(1, len(data.anomaly_labels) // self.config.batch_size))
         self.model.train()
         profile_scope = profiler if profiler is not None else contextlib.nullcontext()
+        self._dispatch(controller, "on_fit_start", self)
         with profile_scope:
-            self._fit_epochs(data, epochs, pos_weight, total_steps, step, verbose)
+            self._fit_epochs(data, target_epoch, pos_weight, total_steps,
+                             verbose, controller)
         self.model.eval()
+        self._dispatch(controller, "on_fit_end", self, self.history)
         return self.history
 
-    def _fit_epochs(self, data: TrainingBatch, epochs: int, pos_weight: float,
-                    total_steps: int, step: int, verbose: bool) -> None:
-        for epoch in range(epochs):
-            sums = {"total": 0.0, "anomaly": 0.0, "system": 0.0, "mi": 0.0, "da": 0.0}
-            count = 0
+    def _fit_epochs(self, data: TrainingBatch, target_epoch: int,
+                    pos_weight: float, total_steps: int, verbose: bool,
+                    controller) -> None:
+        batch_size = self.config.batch_size
+        while self._epoch < target_epoch:
+            epoch = self._epoch
+            if self._epoch_state is None:
+                self._epoch_state = {
+                    "order": self._rng.permutation(len(data.anomaly_labels)),
+                    "position": 0,
+                    "sums": {"total": 0.0, "anomaly": 0.0, "system": 0.0,
+                             "mi": 0.0, "da": 0.0},
+                    "count": 0,
+                }
+            if self._dispatch(controller, "on_epoch_start", self, epoch) == STOP:
+                self._epoch_state = None
+                return
+            state = self._epoch_state
+            order = state["order"]
             with self._obs.tracer.span("trainer.epoch", index=epoch) as span:
-                for batch in self._iterate_batches(data, self.config.batch_size):
+                while state["position"] < len(order):
+                    index = order[state["position"]:state["position"] + batch_size]
+                    state["position"] += batch_size
+                    if len(index) < 2:
+                        continue  # CLUB/DAAN need at least two samples
+                    batch = TrainingBatch(
+                        sequences=data.sequences[index],
+                        anomaly_labels=data.anomaly_labels[index],
+                        system_labels=data.system_labels[index],
+                        domain_labels=data.domain_labels[index],
+                    )
                     with self._batch_timer.time():
                         if self.use_sufe:
                             with self._estimator_timer.time():
                                 self._train_estimator(batch)
-                        alpha = DAANModule.schedule_alpha(step / total_steps)
+                        alpha = DAANModule.schedule_alpha(self._step / total_steps)
                         with self._main_timer.time():
                             parts = self._train_main(batch, alpha, pos_weight)
                     if parts is None:
                         # Non-finite loss skipped its step; keep the alpha
                         # schedule moving and leave the epoch averages clean.
-                        step += 1
+                        self._step += 1
                         self._batch_counter.inc()
-                        continue
-                    for key in sums:
-                        sums[key] += parts[key]
-                    count += 1
-                    step += 1
-                    self._batch_counter.inc()
-                if count == 0:
+                    else:
+                        for key in state["sums"]:
+                            state["sums"][key] += parts[key]
+                        state["count"] += 1
+                        self._step += 1
+                        self._batch_counter.inc()
+                    action = self._dispatch(controller, "on_step", self,
+                                            self._step)
+                    if action == PAUSE:
+                        # Mid-epoch state stays in place: a checkpoint
+                        # written by the hook (or a later fit) resumes
+                        # from exactly the next batch.
+                        return
+                    if action == STOP:
+                        self._epoch_state = None
+                        return
+                if state["count"] == 0:
                     raise ValueError("training data produced no usable batches")
-                self.history.total.append(sums["total"] / count)
-                self.history.anomaly.append(sums["anomaly"] / count)
-                self.history.system.append(sums["system"] / count)
-                self.history.mutual_information.append(sums["mi"] / count)
-                self.history.domain_adaptation.append(sums["da"] / count)
+                metrics = {key: state["sums"][key] / state["count"]
+                           for key in state["sums"]}
+                self.history.total.append(metrics["total"])
+                self.history.anomaly.append(metrics["anomaly"])
+                self.history.system.append(metrics["system"])
+                self.history.mutual_information.append(metrics["mi"])
+                self.history.domain_adaptation.append(metrics["da"])
                 self._epoch_counter.inc()
                 for key, gauge in self._loss_gauges.items():
-                    value = sums[key] / count
-                    gauge.set(value)
-                    span.set(f"loss_{key}", round(value, 6))
-                span.set("batches", count)
+                    gauge.set(metrics[key])
+                    span.set(f"loss_{key}", round(metrics[key], 6))
+                span.set("batches", state["count"])
+            self._epoch_state = None
+            self._epoch += 1
             if verbose:
-                print(f"epoch {epoch + 1}/{epochs}: " + ", ".join(
+                print(f"epoch {epoch + 1}/{target_epoch}: " + ", ".join(
                     f"{k}={v:.4f}" for k, v in self.history.last().items()
                 ))
+            if self._dispatch(controller, "on_epoch_end", self, epoch,
+                              metrics) in (PAUSE, STOP):
+                return

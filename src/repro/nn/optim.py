@@ -94,6 +94,40 @@ class Adam(Optimizer):
                 grad = grad + self.weight_decay * p.data
             p.data = p.data - self.lr * self._update(p, m, v, grad)
 
+    def state_dict(self) -> dict:
+        """Resumable state: step count, current LR, both moment lists
+        (parallel to ``self.parameters``)."""
+        return {
+            "step_count": self._step_count,
+            "lr": self.lr,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        The moment lists must match this optimizer's parameter list in
+        length and shape — resuming requires the same model topology.
+        """
+        moments_m, moments_v = list(state["m"]), list(state["v"])
+        if len(moments_m) != len(self.parameters) or \
+                len(moments_v) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state carries {len(moments_m)}/{len(moments_v)} "
+                f"moment arrays for {len(self.parameters)} parameters")
+        for target, source in zip(self._m + self._v, moments_m + moments_v):
+            if target.shape != np.shape(source):
+                raise ValueError(
+                    f"moment shape mismatch: {target.shape} vs "
+                    f"{np.shape(source)}")
+        self._step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+        for target, source in zip(self._m, moments_m):
+            target[...] = source
+        for target, source in zip(self._v, moments_v):
+            target[...] = source
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).

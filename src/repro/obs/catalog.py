@@ -73,6 +73,10 @@ METRIC_NAMES = frozenset({
     "llm.provider.retries",
     "llm.provider.throttle_wait_seconds",
     "llm.provider.throttled",
+    # repro.core.onboard — shadow-gated live onboarding
+    "onboard.promoted",
+    "onboard.rejected",
+    "onboard.shadow_f1",
     # repro.testing — fault plans and fuzz harness
     "testing.faults.fired",
     "testing.fuzz.episodes",
@@ -81,6 +85,12 @@ METRIC_NAMES = frozenset({
     # repro.core — trainer
     "trainer.batch_seconds",
     "trainer.batches",
+    # repro.core.checkpoint — durable checkpoint store
+    "trainer.checkpoint.bytes",
+    "trainer.checkpoint.fallbacks",
+    "trainer.checkpoint.quarantined",
+    "trainer.checkpoint.restored",
+    "trainer.checkpoint.saved",
     "trainer.epochs",
     "trainer.estimator_step_seconds",
     "trainer.main_step_seconds",
@@ -107,10 +117,13 @@ METRIC_TEMPLATES = frozenset({
     "*.queue_depth.shard*",
     "*.records_dropped",
     "*.records_rejected",
+    # repro.runtime.engine — live weight promotion
+    "*.weight_swaps",
     # repro.runtime.procexec — worker-process lifecycle accounting
     "*.proc.broadcast_bytes",
     "*.proc.deaths",
     "*.proc.live",
+    "*.proc.rebroadcasts",
     "*.proc.refed_records",
     "*.proc.restarts",
     "*.proc.spawn_failures",

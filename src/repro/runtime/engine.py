@@ -199,6 +199,10 @@ class InferenceRuntime:
         self._started = False
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
+        # (pipeline, lock) for in-process weight swaps; wired by
+        # from_model for the sync/threaded paths (process mode swaps
+        # through the executor's re-broadcast instead).
+        self._serving: tuple | None = None
         self.shard_errors: list[BaseException] = []
         # Tracer spans are stack-based and not thread-safe; default them
         # on only for synchronous engines.
@@ -292,8 +296,10 @@ class InferenceRuntime:
         else:
             lock = None
             pattern_fn = raw_pattern
-        return cls(lambda index: ModelWorker(model, lock=lock),
-                   pattern_fn=pattern_fn, **kwargs)
+        runtime = cls(lambda index: ModelWorker(model, lock=lock),
+                      pattern_fn=pattern_fn, **kwargs)
+        runtime._serving = (model, lock)
+        return runtime
 
     @classmethod
     def from_ensemble(cls, ensemble, **kwargs) -> "InferenceRuntime":
@@ -321,6 +327,32 @@ class InferenceRuntime:
         lock = threading.Lock() if kwargs.get("threaded") else None
         return cls(lambda index: EnsembleWorker(ensemble, lock=lock),
                    pattern_fn=message_pattern, **kwargs)
+
+    # ------------------------------------------------------------------
+    def swap_weights(self, state: dict) -> None:
+        """Promote candidate model weights into the serving path live.
+
+        ``state`` is a :meth:`~repro.nn.module.Module.state_dict` for
+        the served :class:`~repro.core.model.LogSynergyModel`.  Process
+        mode rebuilds the shared-memory broadcast and swaps every shard
+        process; the in-process modes load the state into the served
+        pipeline's model — under the shared worker lock when threaded,
+        so a swap never interleaves with a scoring pass.
+        """
+        if self._process is not None:
+            self._process.swap_weights(state)
+        elif self._serving is not None:
+            pipeline, lock = self._serving
+            if lock is None:
+                pipeline.model.load_state_dict(state)
+            else:
+                with lock:
+                    pipeline.model.load_state_dict(state)
+        else:
+            raise RuntimeError(
+                "swap_weights requires a runtime built with from_model "
+                "(or a process-executor model spec)")
+        self.registry.counter(f"{self.prefix}.weight_swaps").inc()
 
     # ------------------------------------------------------------------
     def _emit(self, report: AnomalyReport) -> None:

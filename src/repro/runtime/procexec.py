@@ -207,6 +207,7 @@ class ProcessShardExecutor:
         self._restarts = registry.counter(f"{prefix}.proc.restarts")
         self._spawn_failures = registry.counter(f"{prefix}.proc.spawn_failures")
         self._refed = registry.counter(f"{prefix}.proc.refed_records")
+        self._rebroadcasts = registry.counter(f"{prefix}.proc.rebroadcasts")
         self._live = registry.gauge(f"{prefix}.proc.live")
         broadcast_bytes = registry.gauge(f"{prefix}.proc.broadcast_bytes")
         if spec.broadcast is not None:
@@ -341,6 +342,62 @@ class ProcessShardExecutor:
             for start in range(0, len(slot.journal), _CHUNK):
                 slot.in_q.put(("recs", slot.journal[start:start + _CHUNK]))
             self._refed.inc(len(slot.journal))
+
+    def swap_weights(self, model_state: dict) -> None:
+        """Promote new model weights into every shard process.
+
+        Rebuilds the weight broadcast with the ``model/*`` arrays
+        replaced (featurizer state is unchanged — the candidate was
+        fine-tuned behind the same featurizers), installs it as the
+        spec every future respawn warm-starts from, then ships the
+        state to live children in-band.  Dead children are recovered
+        through the normal respawn path, which now attaches the new
+        arena.  The old arena is unlinked only after the replacement is
+        fully populated; children that still hold mappings keep them
+        until their own close.
+        """
+        import dataclasses
+
+        from .broadcast import attach
+
+        if self.spec.kind != "model" or self.spec.broadcast is None:
+            raise ValueError(
+                "weight swap requires a model worker spec with a broadcast, "
+                f"got kind={self.spec.kind!r}")
+        self.ensure_started()
+        old = self.spec.broadcast
+        attached = attach(old.handle())
+        try:
+            prefix = "model/"
+            expected = {key[len(prefix):] for key in attached.arrays
+                        if key.startswith(prefix)}
+            if set(model_state) != expected:
+                raise ValueError(
+                    "candidate state keys do not match the serving model "
+                    f"({len(model_state)} vs {len(expected)} arrays)")
+            arrays = {}
+            for key, value in attached.arrays.items():
+                if key.startswith(prefix):
+                    arrays[key] = model_state[key[len(prefix):]]
+                else:
+                    arrays[key] = value
+            # The constructor copies every array into the fresh arena,
+            # so the zero-copy views above are read exactly once while
+            # the old mapping is still alive.
+            replacement = WeightBroadcast(arrays, attached.meta,
+                                          use_shm=old.via_shared_memory)
+        finally:
+            attached.close()
+        self.spec = dataclasses.replace(self.spec, broadcast=replacement)
+        old.unlink()
+        self._rebroadcasts.inc()
+        for slot in self._slots:
+            if slot.fallback is not None:
+                continue
+            if slot.process is None or not slot.process.is_alive():
+                self._recover(slot)
+                continue
+            slot.in_q.put(("swap", model_state))
 
     def _kill(self, slot: _ShardSlot) -> None:
         if slot.process is not None and slot.process.pid is not None:
@@ -619,6 +676,11 @@ def _shard_process_main(index: int, epoch: int, cfg: dict,
                     out_q.put(("drained", epoch,
                                _registry_snapshot(registry)))
                     _registry_reset(registry)
+                    continue
+                elif kind == "swap":
+                    # Hot weight promotion: only model specs receive
+                    # this, and their worker is always a ModelWorker.
+                    worker.load_weights(message[1])
                     continue
                 elif kind == "stop":
                     break

@@ -82,6 +82,18 @@ class ModelWorker:
         # missing result like an exhausted retry budget).
         return None if reports is DROPPED else reports
 
+    def load_weights(self, state: dict) -> None:
+        """Hot-swap the served model's weights (the promotion path).
+
+        Taken under the shared lock in threaded mode so a swap never
+        interleaves with a scoring pass over half-new parameters.
+        """
+        if self._lock is None:
+            self.model.model.load_state_dict(state)
+        else:
+            with self._lock:
+                self.model.model.load_state_dict(state)
+
 
 class EnsembleWorker:
     """Scores batches through a :class:`repro.detectors.Ensemble`.

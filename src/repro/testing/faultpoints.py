@@ -66,6 +66,9 @@ FAULT_POINTS: dict[str, str] = {
     "llm.provider.complete": "repro/llm/providers.py",
     # Training step: corrupt the assembled loss (NaN/Inf injection).
     "core.trainer.loss": "repro/core/trainer.py",
+    # Checkpoint payload between digest and write: raise = crash with
+    # nothing durable, corrupt = torn bytes the load digest must catch.
+    "trainer.checkpoint.write": "repro/core/checkpoint.py",
 }
 
 # The currently armed injector (None = hooks disabled).

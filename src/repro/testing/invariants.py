@@ -42,6 +42,10 @@ or against the fuzzer's planted ground truth:
   member has no pipeline still raises anomalies through the runtime,
   byte-identically at any shard count, while every model call is
   counted as a member error.
+* ``onboard-crash-never-demotes`` — a crash mid-onboarding (the
+  ``trainer.checkpoint.write`` fault killing the fine-tune's first
+  checkpoint) leaves the serving weights and their scores
+  byte-identical: promotion is all-or-nothing.
 
 Checkers take a :class:`CheckContext`; ``context.broken`` names recovery
 paths to *disable*, which is how the harness proves it can detect the
@@ -665,3 +669,80 @@ def check_degraded_model_fallback(context: CheckContext) -> InvariantResult:
                f"identical={identical} anomalies={anomalies} "
                f"model_errors={model_errors}")
     return InvariantResult("degraded-model-keeps-unsupervised-live", ok, details)
+
+
+@_invariant("onboard-crash-never-demotes", "onboard")
+def check_onboard_crash_never_demotes(context: CheckContext) -> InvariantResult:
+    """A crash mid-onboarding must leave the serving weights untouched.
+
+    Builds a tiny warm pipeline, takes its serving scores as the golden
+    baseline, then runs an onboarding fine-tune whose first checkpoint
+    write is killed by the ``trainer.checkpoint.write`` raise fault.
+    The session dies before any promotion decision; the serving model's
+    parameters and scores must be byte-identical to the baseline.
+    """
+    from ..config import LogSynergyConfig
+    from ..core import (
+        CheckpointStore, ControllerError, LogSynergyModel, OnboardingSession,
+    )
+    from ..core.pipeline import LogSynergy
+    from ..logs.sequences import sliding_windows
+    from .plan import InjectedFault
+
+    config = LogSynergyConfig(
+        d_model=16, num_heads=2, num_layers=1, d_ff=32, feature_dim=8,
+        embedding_dim=16, epochs=2, batch_size=8, window=4, step=2,
+        seed=context.seed, use_lei=False,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        pipeline = LogSynergy(config)
+        pipeline.target_system = "day0"
+        pipeline._system_index = {"source": 0, "day0": 1}
+        pipeline.model = LogSynergyModel(
+            config, num_systems=2, rng=np.random.default_rng(context.seed))
+        stream = _day0_stream(context)
+        sequences = sliding_windows(
+            stream.by_system()["day0"], window=config.window, step=config.step)
+        probe = sequences[-8:]
+        baseline_state = {key: value.copy()
+                          for key, value in pipeline.model.state_dict().items()}
+        baseline_scores = pipeline.predict_proba(probe)
+
+        store = CheckpointStore(context.workdir / "onboard-ckpt",
+                                clock=lambda: 0.0)
+        session = OnboardingSession(pipeline, gate_f1=0.0)
+        plan = FaultPlan((
+            FaultSpec("trainer.checkpoint.write", "raise", start=0, count=1),
+        ), seed=context.seed)
+        crashed = False
+        with FaultInjector(plan, registry=registry) as injector:
+            try:
+                session.run("day0", sequences, store=store)
+            except (ControllerError, InjectedFault):
+                crashed = True
+        after_state = pipeline.model.state_dict()
+        after_scores = pipeline.predict_proba(probe)
+
+    if injector.total_fired == 0:
+        return InvariantResult(
+            "onboard-crash-never-demotes", False,
+            "vacuous: the checkpoint-write fault never fired")
+    if not crashed:
+        return InvariantResult(
+            "onboard-crash-never-demotes", False,
+            "the injected checkpoint crash did not abort the session")
+    weights_intact = (
+        set(baseline_state) == set(after_state)
+        and all(np.array_equal(baseline_state[key], after_state[key])
+                for key in baseline_state))
+    scores_intact = np.array_equal(np.asarray(baseline_scores),
+                                   np.asarray(after_scores))
+    not_promoted = session.state != "promoted"
+    ok = weights_intact and scores_intact and not_promoted
+    details = (f"serving weights and {len(probe)} probe scores byte-identical "
+               f"after mid-onboarding crash (session state {session.state})"
+               if ok else
+               f"weights_intact={weights_intact} scores_intact={scores_intact} "
+               f"session_state={session.state}")
+    return InvariantResult("onboard-crash-never-demotes", ok, details)

@@ -790,3 +790,52 @@ class TestDetectorOutsideRegistry:
             "        return 0.0\n"
         )
         assert lint_source(text, path="src/repro/deploy/custom.py") == []
+
+
+class TestUnmanagedCheckpointWrite:
+    SAVEZ = (
+        "import numpy as np\n"
+        "def snapshot(path, arrays):\n"
+        "    np.savez(path, **arrays)\n"
+    )
+
+    def test_flags_raw_savez_in_production_code(self):
+        violations = lint_source(self.SAVEZ, path="src/repro/deploy/dump.py")
+        assert [v.rule for v in violations] == ["unmanaged-checkpoint-write"]
+        assert "np.savez" in violations[0].message
+
+    def test_flags_savez_compressed_and_full_module_name(self):
+        text = ("import numpy\n"
+                "def f(p, a):\n"
+                "    numpy.savez_compressed(p, **a)\n")
+        violations = lint_source(text, path="src/repro/core/extra.py")
+        assert [v.rule for v in violations] == ["unmanaged-checkpoint-write"]
+
+    def test_flags_bare_name_import(self):
+        text = ("from numpy import savez\n"
+                "def f(p, a):\n"
+                "    savez(p, **a)\n")
+        violations = lint_source(text, path="src/repro/core/extra.py")
+        assert [v.rule for v in violations] == ["unmanaged-checkpoint-write"]
+
+    def test_manifest_aware_saver_and_serializers_exempt(self):
+        for path in ("src/repro/core/checkpoint.py",
+                     "src/repro/nn/module.py",
+                     "src/repro/runtime/broadcast.py",
+                     "src/repro/core/pipeline.py",
+                     "tests/core/test_x.py",
+                     "benchmarks/bench_x.py"):
+            assert lint_source(self.SAVEZ, path=path) == [], path
+
+    def test_np_load_and_other_attrs_allowed(self):
+        text = ("import numpy as np\n"
+                "def f(p):\n"
+                "    return np.load(p)\n")
+        assert lint_source(text, path="src/repro/deploy/dump.py") == []
+
+    def test_line_suppression_is_the_escape_hatch(self):
+        text = ("import numpy as np\n"
+                "def f(p, a):\n"
+                "    np.savez(p, **a)"
+                "  # lint: disable=unmanaged-checkpoint-write\n")
+        assert lint_source(text, path="src/repro/deploy/dump.py") == []

@@ -215,3 +215,112 @@ class TestProfile:
         names = {event.get("name", "") for event in read_jsonl(metrics)}
         assert any(name.startswith("nn.profile.") for name in names)
         assert any(name.endswith(".backward_seconds") for name in names)
+
+
+class TestCheckpointedTraining:
+    """train --checkpoint-dir / --stop-after / --resume and the onboard
+    subcommand (shadow-gated warm-start fine-tuning)."""
+
+    TRAIN_FLAGS = ["--n-source", "200", "--n-target", "60",
+                   "--epochs", "2", "--num-layers", "1", "--quiet"]
+
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("ckpt_cli")
+        files = {}
+        for system, lines in (("bgl", 1500), ("spirit", 1500),
+                              ("thunderbird", 1200)):
+            path = root / f"{system}.jsonl"
+            assert main(["generate", "--system", system, "--lines",
+                         str(lines), "--out", str(path)]) == 0
+            files[system] = str(path)
+        ref_dir = root / "reference"
+        assert main(["train",
+                     "--sources", files["bgl"], files["spirit"],
+                     "--target", files["thunderbird"],
+                     "--model-dir", str(ref_dir)] + self.TRAIN_FLAGS) == 0
+        return root, files, ref_dir
+
+    def test_stop_then_resume_is_byte_identical(self, workspace):
+        root, files, ref_dir = workspace
+        resumed_dir = root / "resumed"
+        ckpt_dir = root / "ckpt"
+        common = ["train",
+                  "--sources", files["bgl"], files["spirit"],
+                  "--target", files["thunderbird"],
+                  "--model-dir", str(resumed_dir),
+                  "--checkpoint-dir", str(ckpt_dir)] + self.TRAIN_FLAGS
+        # Epoch 1, pause, checkpoint durably...
+        assert main(common + ["--stop-after", "1"]) == 0
+        assert (ckpt_dir / "MANIFEST.json").exists()
+        # ...then resume to the full 2 epochs in a fresh invocation.
+        assert main(common + ["--resume"]) == 0
+        assert (resumed_dir / "model.npz").read_bytes() \
+            == (ref_dir / "model.npz").read_bytes()
+
+    def test_resume_requires_checkpoint_dir(self, workspace):
+        root, files, _ = workspace
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["train",
+                  "--sources", files["bgl"], files["spirit"],
+                  "--target", files["thunderbird"],
+                  "--model-dir", str(root / "x"), "--resume"]
+                 + self.TRAIN_FLAGS)
+
+    def test_kill_after_requires_checkpoint_dir(self, workspace):
+        root, files, _ = workspace
+        with pytest.raises(SystemExit, match="--kill-after requires"):
+            main(["train",
+                  "--sources", files["bgl"], files["spirit"],
+                  "--target", files["thunderbird"],
+                  "--model-dir", str(root / "x"), "--kill-after", "1"]
+                 + self.TRAIN_FLAGS)
+
+    def test_onboard_promotes_and_saves(self, workspace, tmp_path, capsys):
+        root, files, ref_dir = workspace
+        day0 = tmp_path / "day0.jsonl"
+        assert main(["generate", "--system", "thunderbird", "--lines", "400",
+                     "--out", str(day0), "--seed", "17"]) == 0
+        out_dir = tmp_path / "promoted"
+        code = main(["onboard", "--model-dir", str(ref_dir),
+                     "--logs", str(day0), "--epochs", "1",
+                     "--gate-f1", "0.0", "--executor", "sync",
+                     "--out-dir", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PROMOTED" in out and "shadow F1" in out
+        assert (out_dir / "model.npz").exists()
+
+    def test_onboard_rejection_keeps_serving_model(self, workspace, tmp_path,
+                                                   capsys):
+        root, files, ref_dir = workspace
+        day0 = tmp_path / "day0.jsonl"
+        assert main(["generate", "--system", "thunderbird", "--lines", "400",
+                     "--out", str(day0), "--seed", "23"]) == 0
+        before = (ref_dir / "model.npz").read_bytes()
+        out_dir = tmp_path / "never"
+        code = main(["onboard", "--model-dir", str(ref_dir),
+                     "--logs", str(day0), "--epochs", "1",
+                     "--gate-f1", "1.0", "--executor", "none",
+                     "--out-dir", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REJECTED" in out
+        assert not out_dir.exists()
+        assert (ref_dir / "model.npz").read_bytes() == before
+
+    def test_onboard_too_few_windows(self, workspace, tmp_path):
+        root, files, ref_dir = workspace
+        short = tmp_path / "short.jsonl"
+        assert main(["generate", "--system", "thunderbird", "--lines", "12",
+                     "--out", str(short)]) == 0
+        with pytest.raises(SystemExit, match="too few"):
+            main(["onboard", "--model-dir", str(ref_dir),
+                  "--logs", str(short)])
+
+    def test_onboard_resume_requires_checkpoint_dir(self, workspace,
+                                                    tmp_path):
+        root, files, ref_dir = workspace
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["onboard", "--model-dir", str(ref_dir),
+                  "--logs", files["thunderbird"], "--resume"])

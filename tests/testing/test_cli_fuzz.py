@@ -59,3 +59,11 @@ class TestFuzzCommand:
         text = metrics.read_text(encoding="utf-8")
         assert "testing.fuzz.episodes" in text
         assert "testing.fuzz.invariants_checked" in text
+
+    def test_onboard_suite_is_green(self, capsys):
+        code = main(["fuzz", "--episodes", "1", "--seed", "3",
+                     "--suite", "onboard"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "onboard-crash-never-demotes" in captured
+        assert "violations: 0" in captured
